@@ -1,0 +1,51 @@
+// Resilience ablation: degrade the full-bandwidth fat-tree and the cheaper
+// Xpander by failing a growing fraction of network links, then measure
+// fluid-flow per-server throughput on hard (longest-matching) TMs over
+// half the racks. Expanders' many short disjoint paths degrade gracefully;
+// the fat-tree's structured stages lose proportionally more.
+#include <cstdio>
+
+#include "flow/throughput.hpp"
+#include "flow/tm_generators.hpp"
+#include "topo/failures.hpp"
+#include "util.hpp"
+
+using namespace flexnets;
+
+int main() {
+  bench::banner("Ablation: link failures",
+                "fluid throughput under growing link-failure fractions");
+
+  const bool full = core::repro_full();
+  auto topos = bench::section64_topologies(full);
+  const double eps = full ? 0.1 : 0.05;
+
+  TextTable t({"failed_fraction", "fat_tree_tput", "fat_tree_links",
+               "xpander_tput", "xpander_links"});
+  for (const double f : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    const auto ft = topo::with_failed_links(topos.fat_tree.topo, f, 7);
+    const auto xp = topo::with_failed_links(topos.xpander, f, 7);
+
+    const auto ft_active =
+        flow::pick_active_racks(ft, static_cast<int>(ft.tors().size()) / 2, 3);
+    const auto xp_active =
+        flow::pick_active_racks(xp, static_cast<int>(xp.tors().size()) / 2, 3);
+
+    const double ft_tput = flow::per_server_throughput(
+        ft, flow::longest_matching_tm(ft, ft_active), {eps});
+    const double xp_tput = flow::per_server_throughput(
+        xp, flow::longest_matching_tm(xp, xp_active), {eps});
+
+    t.add_row({TextTable::fmt(f, 2), TextTable::fmt(ft_tput, 3),
+               std::to_string(ft.num_network_links()),
+               TextTable::fmt(xp_tput, 3),
+               std::to_string(xp.num_network_links())});
+  }
+  t.print();
+  std::printf(
+      "\nExpected: both degrade with failures, but the Xpander -- despite\n"
+      "costing ~2/3 as much -- keeps a larger share of its healthy\n"
+      "throughput (expander path diversity), narrowing or inverting the\n"
+      "gap as failures mount.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig 13: the ProjecToR-style comparison. 128 ToRs with 16
+// network ports each (static, vs ProjecToR's 16 dynamic ports), 8 servers
+// per ToR, no other switches; baseline is the full k=16 fat-tree.
+// Panels (a)/(b) ignore server-level bottlenecks (access links are given
+// effectively unlimited rate, as in ProjecToR's analysis); panel (c)
+// models them.
+//
+// SUBSTITUTION (DESIGN.md): ProjecToR's Microsoft rack-pair trace is not
+// public; per the paper itself, Skew(0.04, 0.77) is its simplification --
+// compare with bench_fig14, whose results the paper reports as "largely
+// similar".
+#include <cstdio>
+
+#include "topo/xpander.hpp"
+#include "util.hpp"
+#include "workload/flow_size.hpp"
+
+using namespace flexnets;
+
+int main() {
+  bench::banner("Fig 13",
+                "ProjecToR-style comparison (Skew(0.04,0.77) stands in for "
+                "the Microsoft trace)");
+
+  const bool full = core::repro_full();
+  // Paper: fat-tree k=16 vs 128 ToRs x 16 network ports, 8 servers each.
+  // Scaled: fat-tree k=8 vs 32 ToRs x 8 network ports, 4 servers each.
+  const auto ft = full ? topo::fat_tree(16) : topo::fat_tree(8);
+  const auto xp = full ? topo::xpander_for(128, 16, 8, /*seed=*/1)
+                       : topo::xpander_for(32, 8, 4, /*seed=*/1);
+  const auto sizes = workload::pfabric_web_search();
+
+  const double theta = 0.04;
+  const double phi = 0.77;
+  const std::vector<double> per_server =
+      full ? std::vector<double>{2, 4, 6, 8, 11, 14}
+           : std::vector<double>{8, 16, 32, 48, 64};
+
+  const RateBps unconstrained = 200 * kGbps;
+  for (const bool server_bottleneck : {false, true}) {
+    const RateBps rate_srv = server_bottleneck ? 10 * kGbps : unconstrained;
+    const std::vector<bench::Scenario> scenarios{
+        {"fat-tree", &ft.topo, routing::RoutingMode::kEcmp, rate_srv},
+        {"xpander-ECMP", &xp, routing::RoutingMode::kEcmp, rate_srv},
+        {"xpander-HYB", &xp, routing::RoutingMode::kHyb, rate_srv},
+    };
+    std::printf("%s\n",
+                server_bottleneck
+                    ? ">>> server-switch links at line rate (panel c)"
+                    : ">>> server-level bottlenecks ignored (panels a, b)");
+    std::vector<bench::SweepRow> rows;
+    for (const double rate : per_server) {
+      bench::SweepRow row;
+      row.x = rate;
+      for (const auto& s : scenarios) {
+        const auto pairs = workload::skew_pairs(*s.topo, theta, phi, 17);
+        row.results.push_back(
+            bench::run_point(s, *pairs, *sizes, rate, /*seed=*/37, full));
+      }
+      rows.push_back(std::move(row));
+    }
+    bench::print_three_panels("rate_per_server_s", scenarios, rows);
+  }
+  std::printf(
+      "Expected shape (paper): with server bottlenecks ignored, Xpander-HYB\n"
+      "achieves up to ~90%% lower average and tail FCT than the fat-tree as\n"
+      "load rises (the fat-tree hits its 8 ToR uplinks; Xpander has 16).\n"
+      "With server bottlenecks modeled, the full-bandwidth fat-tree leaves\n"
+      "no room to improve and Xpander matches it.\n");
+  return 0;
+}

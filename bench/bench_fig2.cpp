@@ -1,0 +1,35 @@
+// Reproduces paper Fig 2: the throughput-proportionality ideal versus the
+// oversubscribed fat-tree's flat-then-proportional curve (section 2).
+#include <cstdio>
+
+#include "flow/fat_tree_model.hpp"
+#include "flow/throughput.hpp"
+#include "util.hpp"
+
+using namespace flexnets;
+
+int main() {
+  bench::banner("Fig 2",
+                "throughput proportionality vs fat-tree inflexibility");
+
+  // Section 2.1's running example: a k=64 fat-tree oversubscribed to 50%.
+  const flow::FatTreeModel ft{64, 0.5};
+  const double alpha = ft.alpha;
+  std::printf("fat-tree k=%d, alpha=%.2f -> beta = 2/k = %.4f; a pair of\n",
+              ft.k, alpha, ft.beta());
+  std::printf(
+      "pods holding only %.1f%% of servers is stuck at %.0f%% throughput.\n\n",
+      100.0 * ft.beta(), 100.0 * alpha);
+
+  TextTable t({"fraction_x", "throughput_proportional", "fat_tree"});
+  for (double x = 0.01; x <= 1.0 + 1e-9; x += (x < 0.1 ? 0.01 : 0.05)) {
+    t.add_row({x, flow::tp_curve(alpha, x), ft.throughput(x)}, 4);
+  }
+  t.print();
+  std::printf(
+      "\nShape check: TP reaches line rate at x = alpha = %.2f; the fat-tree\n"
+      "stays at alpha until x = beta and reaches line rate only at x = "
+      "alpha*beta = %.4f.\n",
+      alpha, alpha * ft.beta());
+  return 0;
+}

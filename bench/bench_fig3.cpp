@@ -1,0 +1,61 @@
+// Reproduces paper Fig 3 (as structure statistics): the Xpander with 486
+// 24-port switches supporting 3402 servers, organized as 6 pods of 3
+// meta-nodes, and its cabling/cost profile vs a k=24 fat-tree.
+#include <cstdio>
+
+#include "cost/cost_model.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/spectral.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+#include "util.hpp"
+
+using namespace flexnets;
+
+int main() {
+  bench::banner("Fig 3", "Xpander structure: 486 switches, 3402 servers, pods");
+
+  const auto x = topo::xpander(17, 27, 7, 1);
+  const auto ft = topo::fat_tree(24);
+
+  TextTable t({"property", "xpander", "fat-tree k=24"});
+  t.add_row({"switches", std::to_string(x.topo.num_switches()),
+             std::to_string(ft.topo.num_switches())});
+  t.add_row({"servers", std::to_string(x.topo.num_servers()),
+             std::to_string(ft.topo.num_servers())});
+  t.add_row({"network links", std::to_string(x.topo.num_network_links()),
+             std::to_string(ft.topo.num_network_links())});
+  t.add_row({"network cost ($)",
+             TextTable::fmt(cost::network_cost(x.topo), 0),
+             TextTable::fmt(cost::network_cost(ft.topo), 0)});
+  t.add_row({"switch-graph diameter",
+             std::to_string(graph::diameter(x.topo.g)),
+             std::to_string(graph::diameter(ft.topo.g))});
+  t.add_row({"mean switch distance",
+             TextTable::fmt(graph::mean_distance(x.topo.g), 3),
+             TextTable::fmt(graph::mean_distance(ft.topo.g), 3)});
+  t.print();
+
+  // Pod / meta-node organization: 18 meta-nodes of 27 switches, grouped
+  // into 6 pods of 3 meta-nodes (as drawn in the figure).
+  std::printf("\nmeta-nodes: %d (one per lift group, %d switches each)\n",
+              x.num_meta_nodes(), x.lift);
+  std::printf("pods: 6 x 3 meta-nodes = %d switches/pod\n", 3 * x.lift);
+
+  // Cable aggregation: links between a meta-node pair form one bundle.
+  const int bundles = x.num_meta_nodes() * (x.num_meta_nodes() - 1) / 2;
+  std::printf(
+      "cable bundles: %d (one %d-cable bundle per meta-node pair;\n"
+      "bundling cuts fiber capex+opex by ~40%% per Jupiter-rising [29])\n",
+      bundles, x.lift);
+
+  const double gap = graph::second_eigenvalue(x.topo.g, 300, 7);
+  std::printf("\nexpansion: lambda2 = %.2f vs Ramanujan bound 2*sqrt(d-1) = %.2f\n",
+              gap, graph::ramanujan_bound(x.network_degree));
+  std::printf(
+      "cost: the Xpander above costs %.0f%% of the full k=24 fat-tree while\n"
+      "hosting %.1fx the servers.\n",
+      100.0 * cost::network_cost(x.topo) / cost::network_cost(ft.topo),
+      static_cast<double>(x.topo.num_servers()) / ft.topo.num_servers());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Fig 7(c): all-to-all traffic across the whole network.
+// Here shortest paths are the right choice: ECMP matches the full-bandwidth
+// fat-tree while VLB's 2x bandwidth tax degrades as load rises.
+#include <cstdio>
+
+#include "util.hpp"
+#include "workload/flow_size.hpp"
+
+using namespace flexnets;
+
+int main() {
+  bench::banner("Fig 7(c)", "all-to-all: VLB's bandwidth tax vs ECMP");
+
+  const bool full = core::repro_full();
+  auto topos = bench::section64_topologies(full);
+
+  const auto xp_pairs =
+      workload::all_to_all_pairs(topos.xpander, topos.xpander.tors());
+  const auto ft_pairs = workload::all_to_all_pairs(
+      topos.fat_tree.topo, topos.fat_tree.topo.tors());
+  const auto sizes = workload::pfabric_web_search();
+
+  const std::vector<bench::Scenario> scenarios{
+      {"fat-tree", &topos.fat_tree.topo, routing::RoutingMode::kEcmp},
+      {"xpander-ECMP", &topos.xpander, routing::RoutingMode::kEcmp},
+      {"xpander-VLB", &topos.xpander, routing::RoutingMode::kVlb},
+  };
+
+  // Flow starts per second per server. 10G / (2.33MB * 8) ~ 536/s/server is
+  // line rate; VLB halves the usable capacity on the oversubscribed
+  // Xpander, so it should degrade first.
+  const std::vector<double> per_server =
+      full ? std::vector<double>{50, 100, 150, 200, 250}
+           : std::vector<double>{40, 80, 120, 160};
+
+  std::vector<bench::SweepRow> rows;
+  for (const double rate : per_server) {
+    bench::SweepRow row;
+    row.x = rate;
+    for (const auto& s : scenarios) {
+      const auto& pairs = s.topo == &topos.xpander ? *xp_pairs : *ft_pairs;
+      row.results.push_back(
+          bench::run_point(s, pairs, *sizes, rate, /*seed=*/11, full));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_three_panels("rate_per_server_s", scenarios, rows);
+  std::printf(
+      "Expected shape (paper): ECMP tracks the fat-tree across the sweep;\n"
+      "VLB deteriorates as load grows because it burns 2x capacity per\n"
+      "byte on a uniformly loaded network.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces paper Fig 8: the two flow-size distributions used by the
+// packet-level experiments, as CDF tables plus sampled statistics.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "util.hpp"
+#include "workload/flow_size.hpp"
+
+using namespace flexnets;
+
+int main() {
+  bench::banner("Fig 8", "flow size distributions (CDF)");
+
+  const auto pfabric = workload::pfabric_web_search();
+  const auto pareto = workload::pareto_hull();
+
+  TextTable t({"size_bytes", "pareto_hull_cdf", "pfabric_web_search_cdf"});
+  for (double s = 1e3; s <= 1e9 + 1; s *= 2.15443469) {  // ~3 points/decade
+    const auto size = static_cast<Bytes>(s);
+    t.add_row({TextTable::fmt(s, 0), TextTable::fmt(pareto->cdf(size), 4),
+               TextTable::fmt(pfabric->cdf(size), 4)});
+  }
+  t.print();
+
+  for (const auto* d :
+       {static_cast<const workload::FlowSizeDistribution*>(pareto.get()),
+        static_cast<const workload::FlowSizeDistribution*>(pfabric.get())}) {
+    Rng rng(1);
+    RunningStats st;
+    int short_flows = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      const auto s = d->sample(rng);
+      st.add(static_cast<double>(s));
+      short_flows += (s < workload::kShortFlowThreshold);
+    }
+    std::printf(
+        "\n%s: sampled mean = %.0f KB, %%flows < 100KB = %.1f%% "
+        "(paper: mean %s, short/long split at 100KB)",
+        d->name().c_str(), st.mean() / 1e3, 100.0 * short_flows / n,
+        d->name() == "pareto-hull" ? "100KB" : "2.4MB");
+  }
+  std::printf("\n");
+  return 0;
+}

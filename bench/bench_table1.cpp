@@ -1,0 +1,55 @@
+// Reproduces paper Table 1: cost per network port for static and recent
+// dynamic networks, and the derived flexible-port cost factor delta.
+#include <cstdio>
+
+#include "cost/cost_model.hpp"
+#include "util.hpp"
+
+using namespace flexnets;
+
+namespace {
+
+std::string money(double v) {
+  return v == 0.0 ? "-" : "$" + TextTable::fmt(v, 0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 1", "cost per network port (component costs from ProjecToR)");
+
+  const auto stat = cost::static_port();
+  const auto ff = cost::firefly_port();
+  const auto pj_lo = cost::projector_port_low();
+  const auto pj_hi = cost::projector_port_high();
+
+  TextTable t({"Component", "Static", "FireFly", "ProjecToR"});
+  auto row = [&](const std::string& name, auto get) {
+    const double lo = get(pj_lo);
+    const double hi = get(pj_hi);
+    const std::string pj =
+        lo == hi ? money(lo) : money(lo) + " to " + money(hi);
+    t.add_row({name, money(get(stat)), money(get(ff)), pj});
+  };
+  row("SR transceiver", [](const auto& p) { return p.transceiver; });
+  row("Optical cable ($0.3/m)", [](const auto& p) { return p.cable; });
+  row("ToR port", [](const auto& p) { return p.tor_port; });
+  row("ProjecToR Tx+Rx", [](const auto& p) { return p.tx_rx; });
+  row("DMD", [](const auto& p) { return p.dmd; });
+  row("Mirror assembly, lens", [](const auto& p) { return p.mirror_lens; });
+  row("Galvo mirror", [](const auto& p) { return p.galvo; });
+  row("Total", [](const auto& p) { return p.total(); });
+  t.print();
+
+  std::printf("\nDerived flexible-port cost factor delta (vs static $%.0f):\n",
+              stat.total());
+  std::printf("  FireFly          delta = %.2f\n", cost::delta(ff));
+  std::printf("  ProjecToR (low)  delta = %.2f\n", cost::delta(pj_lo));
+  std::printf("  ProjecToR (high) delta = %.2f\n", cost::delta(pj_hi));
+  std::printf(
+      "\nPaper: \"the lowest estimates imply delta = 1.5\" -> an equal-cost\n"
+      "dynamic network affords at most %d flexible ports per 24 static "
+      "ports.\n",
+      cost::equal_cost_flexible_ports(24, 1.5));
+  return 0;
+}

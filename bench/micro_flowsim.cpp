@@ -1,0 +1,61 @@
+// Micro-benchmarks for the flow-level max-min simulator: events/second as
+// concurrency grows, and routing-mode overhead.
+#include <benchmark/benchmark.h>
+
+#include "flowsim/flow_sim.hpp"
+#include "topo/xpander.hpp"
+#include "workload/flow_size.hpp"
+
+namespace {
+
+using namespace flexnets;
+
+std::vector<workload::FlowSpec> make_flows(const topo::Topology& t,
+                                           double rate_per_server,
+                                           int count) {
+  const auto pairs = workload::all_to_all_pairs(t, t.tors());
+  const auto sizes = workload::pfabric_web_search();
+  return workload::generate_flows(*pairs, *sizes,
+                                  rate_per_server * t.num_servers(), count,
+                                  7);
+}
+
+void BM_FlowSimThroughput(benchmark::State& state) {
+  const auto x = topo::xpander(5, 9, 3, 1);  // 54 switches, 162 servers
+  const int count = static_cast<int>(state.range(0));
+  const auto flows = make_flows(x.topo, 100.0, count);
+  std::int64_t done = 0;
+  for (auto _ : state) {
+    flowsim::FlowSimConfig cfg;
+    cfg.routing = flowsim::FlowRouting::kEcmpSampled;
+    flowsim::FlowLevelSimulator sim(x.topo, cfg);
+    benchmark::DoNotOptimize(sim.run(flows));
+    done += count;
+  }
+  state.SetItemsProcessed(done);
+  state.SetLabel("items = flows simulated");
+}
+BENCHMARK(BM_FlowSimThroughput)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_FlowSimRoutingModes(benchmark::State& state) {
+  const auto x = topo::xpander(5, 9, 3, 1);
+  const auto flows = make_flows(x.topo, 100.0, 400);
+  const auto mode = static_cast<flowsim::FlowRouting>(state.range(0));
+  for (auto _ : state) {
+    flowsim::FlowSimConfig cfg;
+    cfg.routing = mode;
+    flowsim::FlowLevelSimulator sim(x.topo, cfg);
+    benchmark::DoNotOptimize(sim.run(flows));
+  }
+  static const char* const names[] = {"ecmp-sampled", "ecmp-split", "vlb",
+                                      "hyb"};
+  state.SetLabel(names[state.range(0)]);
+}
+BENCHMARK(BM_FlowSimRoutingModes)
+    ->Arg(static_cast<int>(flexnets::flowsim::FlowRouting::kEcmpSampled))
+    ->Arg(static_cast<int>(flexnets::flowsim::FlowRouting::kEcmpSplit))
+    ->Arg(static_cast<int>(flexnets::flowsim::FlowRouting::kVlb))
+    ->Arg(static_cast<int>(flexnets::flowsim::FlowRouting::kHyb))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Micro-benchmarks for the discrete-event core: event queue throughput,
+// link enqueue/dequeue cycles, and whole-simulation packets/second.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/network.hpp"
+#include "topo/xpander.hpp"
+#include "workload/flow_size.hpp"
+
+namespace {
+
+using namespace flexnets;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue q;
+  Rng rng(1);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::Event e;
+      e.time = static_cast<TimeNs>(rng.next_u64(1'000'000));
+      q.push(std::move(e));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_LinkTransmitCycle(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::LinkConfig cfg;
+  sim::Link link(0, 0, 1, cfg);
+  sim.set_handler([&](const sim::Event& e) {
+    if (e.type == sim::EventType::kLinkDequeue) link.on_dequeue(sim);
+  });
+  sim::Packet p;
+  p.wire_size = 1500;
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) link.enqueue(sim, p);
+    sim.run();
+    packets += 64;
+  }
+  state.SetItemsProcessed(packets);
+}
+BENCHMARK(BM_LinkTransmitCycle);
+
+void BM_EndToEndPacketSim(benchmark::State& state) {
+  // A small Xpander under moderate uniform load; reports simulator events
+  // per second.
+  const auto x = topo::xpander(4, 6, 3, 1);  // 30 switches, 90 servers
+  const auto pairs = workload::all_to_all_pairs(x.topo, x.topo.tors());
+  const auto sizes = workload::pfabric_web_search();
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    core::PacketSimOptions opts;
+    opts.arrival_rate = 100.0 * x.topo.num_servers();
+    opts.window_begin = 1 * kMillisecond;
+    opts.window_end = 6 * kMillisecond;
+    opts.arrival_tail = 2 * kMillisecond;
+    opts.net.routing.mode = routing::RoutingMode::kHyb;
+    const auto r = core::run_packet_experiment(x.topo, *pairs, *sizes, opts);
+    events += static_cast<std::int64_t>(r.events);
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_EndToEndPacketSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,51 @@
+// Micro-benchmarks for topology generation and routing-table construction.
+#include <benchmark/benchmark.h>
+
+#include "routing/routing_table.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/slim_fly.hpp"
+#include "topo/xpander.hpp"
+
+namespace {
+
+using namespace flexnets;
+
+void BM_FatTree(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(topo::fat_tree(k));
+}
+BENCHMARK(BM_FatTree)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Jellyfish(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::jellyfish(n, 12, 6, ++seed));
+  }
+}
+BENCHMARK(BM_Jellyfish)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Xpander(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::xpander(11, 18, 5, ++seed));
+  }
+}
+BENCHMARK(BM_Xpander);
+
+void BM_SlimFly(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(topo::slim_fly(17, 24));
+}
+BENCHMARK(BM_SlimFly);
+
+void BM_EcmpTableBuild(benchmark::State& state) {
+  const auto ft = topo::fat_tree(static_cast<int>(state.range(0)));
+  const auto tors = ft.topo.tors();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::EcmpTable::build(ft.topo.g, tors));
+  }
+}
+BENCHMARK(BM_EcmpTableBuild)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace

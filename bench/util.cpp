@@ -1,0 +1,114 @@
+#include "util.hpp"
+
+#include <cstdio>
+
+#include "topo/xpander.hpp"
+
+namespace flexnets::bench {
+
+void banner(const std::string& figure, const std::string& description) {
+  std::printf("=== %s — %s ===\n", figure.c_str(), description.c_str());
+  std::printf("scale: %s (set REPRO_FULL=1 for paper-scale parameters)\n\n",
+              core::repro_full() ? "PAPER-SCALE" : "scaled-down default");
+}
+
+std::string health_note(const core::PacketResult& r) {
+  std::string s;
+  if (r.fct.incomplete_flows > 0) {
+    s += "incomplete=" + std::to_string(r.fct.incomplete_flows) + " ";
+  }
+  if (r.drops > 0) s += "drops=" + std::to_string(r.drops);
+  return s.empty() ? "ok" : s;
+}
+
+core::PacketSimOptions default_packet_options(bool full) {
+  core::PacketSimOptions opts;
+  if (full) {
+    // Paper section 6.4: statistics over flows starting in [0.5s, 1.5s).
+    opts.window_begin = 500 * kMillisecond;
+    opts.window_end = 1500 * kMillisecond;
+    opts.arrival_tail = 500 * kMillisecond;
+    opts.hard_stop = 120 * kSecond;
+  } else {
+    opts.window_begin = 20 * kMillisecond;
+    opts.window_end = 50 * kMillisecond;
+    opts.arrival_tail = 15 * kMillisecond;
+    opts.hard_stop = 20 * kSecond;
+  }
+  return opts;
+}
+
+int active_server_count(const topo::Topology& t,
+                        const workload::PairDistribution& pairs) {
+  int n = 0;
+  for (const auto r : pairs.active_racks()) n += t.servers_per_switch[r];
+  return n;
+}
+
+core::PacketResult run_point(const Scenario& s,
+                             const workload::PairDistribution& pairs,
+                             const workload::FlowSizeDistribution& sizes,
+                             double rate_per_active_server,
+                             std::uint64_t seed, bool full) {
+  core::PacketSimOptions opts = default_packet_options(full);
+  opts.arrival_rate =
+      rate_per_active_server * active_server_count(*s.topo, pairs);
+  opts.net.routing.mode = s.mode;
+  opts.net.server_link.rate = s.server_rate;
+  opts.seed = seed;
+  return core::run_packet_experiment(*s.topo, pairs, sizes, opts);
+}
+
+Section64 section64_topologies(bool full) {
+  Section64 out;
+  if (full) {
+    out.fat_tree = topo::fat_tree(16);
+    auto x = topo::xpander(11, 18, 5, /*seed=*/1);  // 216 sw, 1080 servers
+    out.xpander = std::move(x.topo);
+  } else {
+    out.fat_tree = topo::fat_tree(8);
+    auto x = topo::xpander(5, 9, 3, /*seed=*/1);  // 54 sw, 162 servers
+    out.xpander = std::move(x.topo);
+  }
+  return out;
+}
+
+void print_three_panels(const std::string& sweep_label,
+                        const std::vector<Scenario>& scenarios,
+                        const std::vector<SweepRow>& rows) {
+  const struct Panel {
+    const char* title;
+    double (*get)(const core::PacketResult&);
+    int precision;
+  } panels[] = {
+      {"(a) average FCT (ms)",
+       [](const core::PacketResult& r) { return r.fct.avg_fct_ms; }, 3},
+      {"(b) 99th %-ile FCT, flows < 100KB (ms)",
+       [](const core::PacketResult& r) { return r.fct.p99_short_fct_ms; }, 3},
+      {"(c) avg throughput, flows >= 100KB (Gbps)",
+       [](const core::PacketResult& r) { return r.fct.avg_long_tput_gbps; },
+       3},
+  };
+  for (const auto& panel : panels) {
+    std::printf("%s\n", panel.title);
+    std::vector<std::string> header{sweep_label};
+    for (const auto& s : scenarios) header.push_back(s.label);
+    header.push_back("health");
+    TextTable t(header);
+    for (const auto& row : rows) {
+      std::vector<std::string> cells{TextTable::fmt(row.x, 2)};
+      std::string health;
+      for (const auto& r : row.results) {
+        cells.push_back(TextTable::fmt(panel.get(r), panel.precision));
+        const auto note = health_note(r);
+        if (note != "ok" && health.empty()) health = note;
+      }
+      cells.push_back(health.empty() ? "ok" : health);
+      t.add_row(std::move(cells));
+    }
+    t.print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace flexnets::bench

@@ -1,0 +1,68 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "routing/strategy.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::bench {
+
+// Prints the standard experiment banner: which paper item this binary
+// regenerates and whether it runs at paper scale (REPRO_FULL=1) or the
+// scaled-down default.
+void banner(const std::string& figure, const std::string& description);
+
+// Formats a PacketResult row note (drops / incomplete counts) for sanity.
+std::string health_note(const core::PacketResult& r);
+
+// A packet-simulation contender: a topology plus a routing configuration.
+struct Scenario {
+  std::string label;
+  const topo::Topology* topo = nullptr;
+  routing::RoutingMode mode = routing::RoutingMode::kEcmp;
+  RateBps server_rate = 10 * kGbps;  // raise to model "no server bottleneck"
+};
+
+// Measurement window used by the packet benches. The paper measures flows
+// starting in [0.5s, 1.5s); the scaled default uses [20ms, 60ms).
+core::PacketSimOptions default_packet_options(bool full);
+
+// Runs one scenario point: arrival rate is `rate_per_active_server` times
+// the number of servers on the pair distribution's active racks.
+core::PacketResult run_point(const Scenario& s,
+                             const workload::PairDistribution& pairs,
+                             const workload::FlowSizeDistribution& sizes,
+                             double rate_per_active_server,
+                             std::uint64_t seed, bool full);
+
+int active_server_count(const topo::Topology& t,
+                        const workload::PairDistribution& pairs);
+
+// The section 6.4 topology pair: a full-bandwidth fat-tree baseline and an
+// Xpander built at ~33% lower cost with at least as many servers.
+//   full:   fat-tree k=16 (1024 servers) vs Xpander 216x16p (1080 servers)
+//   scaled: fat-tree k=8  (128 servers)  vs Xpander  54x8p  (162 servers)
+struct Section64 {
+  topo::FatTree fat_tree;
+  topo::Topology xpander;
+};
+Section64 section64_topologies(bool full);
+
+// Prints the paper's three standard panels for a sweep: average FCT (ms),
+// 99th-percentile short-flow FCT (ms), and average long-flow throughput
+// (Gbps). `sweep_label` names the x column; rows are (x, per-scenario
+// results).
+struct SweepRow {
+  double x = 0.0;
+  std::vector<core::PacketResult> results;  // one per scenario
+};
+void print_three_panels(const std::string& sweep_label,
+                        const std::vector<Scenario>& scenarios,
+                        const std::vector<SweepRow>& rows);
+
+}  // namespace flexnets::bench

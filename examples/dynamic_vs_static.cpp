@@ -1,0 +1,87 @@
+// Head-to-head on one skewed flow set: a static Xpander running the full
+// DCTCP packet simulation vs an idealized time-slotted dynamic fabric
+// (rotor and demand-aware schedulers) at equal cost (delta = 1.5), the
+// methodology the paper's section 7.2 prescribes for future dynamic-network
+// proposals.
+//
+//   $ ./example_dynamic_vs_static
+#include <cstdio>
+
+#include "dynnet/dynamic_network.hpp"
+#include "core/experiment.hpp"
+#include "topo/xpander.hpp"
+#include "workload/flow_size.hpp"
+
+using namespace flexnets;
+
+int main() {
+  const int tors = 32;
+  const int servers_per_tor = 4;
+  const int static_ports = 8;
+  const int flex_ports = static_cast<int>(static_ports / 1.5);  // delta=1.5
+
+  const auto xp = topo::xpander_for(tors, static_ports, servers_per_tor, 1);
+  const auto pairs = workload::skew_pairs(xp, 0.04, 0.77, 7);
+  const auto sizes = workload::pfabric_web_search();
+  const double rate = 20.0 * xp.num_servers();
+  const auto flows = workload::generate_flows(
+      *pairs, *sizes, rate, static_cast<int>(rate * 0.06), /*seed=*/3);
+
+  std::printf("flow set: %zu flows, Skew(0.04,0.77), pFabric sizes\n",
+              flows.size());
+  std::printf("static: %d ToRs x %d ports | dynamic: %d flexible ports "
+              "(equal cost at delta=1.5)\n\n",
+              tors, static_ports, flex_ports);
+
+  // Static side: full packet-level DCTCP + HYB.
+  {
+    sim::NetworkConfig cfg;
+    cfg.routing.mode = routing::RoutingMode::kHyb;
+    sim::PacketNetwork net(xp, cfg);
+    net.run(flows);
+    double sum = 0.0;
+    int done = 0;
+    for (std::size_t i = 0; i < net.engine().num_flows(); ++i) {
+      const auto& f = net.engine().flow(static_cast<std::int32_t>(i));
+      if (f.completed) {
+        sum += to_millis(f.completion_time - f.start_time);
+        ++done;
+      }
+    }
+    std::printf("%-34s avg FCT %.3f ms (%d flows, packet-level DCTCP)\n",
+                "static xpander + HYB:", sum / done, done);
+  }
+
+  // Dynamic side: flow-level (optimistic!) rotor and demand-aware fabrics.
+  for (const auto sched :
+       {dynnet::Scheduler::kRotor, dynnet::Scheduler::kDemandAware}) {
+    dynnet::DynNetConfig cfg;
+    cfg.num_tors = tors;
+    cfg.servers_per_tor = servers_per_tor;
+    cfg.flex_ports = flex_ports;
+    cfg.slot_duration = 100 * kMicrosecond;
+    cfg.reconfig_delay = 10 * kMicrosecond;
+    cfg.scheduler = sched;
+    dynnet::DynamicNetwork net(cfg);
+    const auto recs = net.run(flows);
+    double sum = 0.0;
+    int done = 0;
+    for (const auto& r : recs) {
+      if (r.completed()) {
+        sum += to_millis(r.end - r.start);
+        ++done;
+      }
+    }
+    std::printf("%-34s avg FCT %.3f ms (%d flows, idealized fluid slots)\n",
+                sched == dynnet::Scheduler::kRotor
+                    ? "dynamic rotor (traffic-agnostic):"
+                    : "dynamic demand-aware:",
+                sum / done, done);
+  }
+
+  std::printf(
+      "\nEven against idealized dynamic fabrics (no congestion control, no\n"
+      "ACKs), the equal-cost static expander with oblivious routing holds\n"
+      "its ground -- the paper's core claim.\n");
+  return 0;
+}

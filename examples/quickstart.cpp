@@ -1,0 +1,59 @@
+// Quickstart: build an expander datacenter topology, run a small
+// packet-level experiment with the HYB routing scheme, and print the
+// standard metrics.
+//
+//   $ ./example_quickstart
+//
+// Walks through the three layers of the library:
+//   1. topo::     -- topology generators (Xpander here)
+//   2. workload:: -- who talks to whom, how large, how often
+//   3. core::     -- one call runs the DCTCP packet simulation
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "topo/xpander.hpp"
+#include "workload/flow_size.hpp"
+
+using namespace flexnets;
+
+int main() {
+  // 1. An Xpander with network degree 5 and lift 9: 54 switches in 6
+  //    meta-nodes, each switch hosting 3 servers (radix 8). Deterministic
+  //    in the seed.
+  const auto x = topo::xpander(/*network_degree=*/5, /*lift=*/9,
+                               /*servers_per_switch=*/3, /*seed=*/42);
+  std::printf("topology: %s — %d switches, %d servers, %d links\n",
+              x.topo.name.c_str(), x.topo.num_switches(),
+              x.topo.num_servers(), x.topo.num_network_links());
+
+  // 2. Workload: all-to-all among every rack, pFabric web-search flow
+  //    sizes (heavy-tailed, mean ~2.4 MB), Poisson arrivals.
+  const auto pairs = workload::all_to_all_pairs(x.topo, x.topo.tors());
+  const auto sizes = workload::pfabric_web_search();
+
+  // 3. Simulate: 100 flow-starts/s/server, measure flows starting in
+  //    [10ms, 40ms), run until they all complete.
+  core::PacketSimOptions opts;
+  opts.arrival_rate = 100.0 * x.topo.num_servers();
+  opts.window_begin = 10 * kMillisecond;
+  opts.window_end = 40 * kMillisecond;
+  opts.arrival_tail = 10 * kMillisecond;
+  opts.net.routing.mode = routing::RoutingMode::kHyb;  // ECMP then VLB
+  opts.seed = 1;
+
+  std::printf("simulating ~%.0f flows (HYB routing, DCTCP)...\n",
+              opts.arrival_rate * to_seconds(opts.window_end + opts.arrival_tail));
+  const auto r = core::run_packet_experiment(x.topo, *pairs, *sizes, opts);
+
+  std::printf("\nresults over %d measured flows:\n", r.fct.measured_flows);
+  std::printf("  average FCT:                 %8.3f ms\n", r.fct.avg_fct_ms);
+  std::printf("  99th %%-ile FCT (<100KB):     %8.3f ms\n",
+              r.fct.p99_short_fct_ms);
+  std::printf("  avg long-flow throughput:    %8.3f Gbps\n",
+              r.fct.avg_long_tput_gbps);
+  std::printf("  simulator events:            %8llu\n",
+              static_cast<unsigned long long>(r.events));
+  std::printf("  packet drops:                %8llu\n",
+              static_cast<unsigned long long>(r.drops));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The paper's headline scenario as a program: a skewed workload
+// (Skew(0.04, 0.77): 4% of racks carry 77% of traffic) on
+//   - a full-bandwidth fat-tree, and
+//   - an Xpander built with ~2/3 of the switches,
+// showing the cheaper static expander matching the expensive fat-tree.
+//
+//   $ ./example_skewed_traffic
+#include <cstdio>
+
+#include "cost/cost_model.hpp"
+#include "core/experiment.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+#include "workload/flow_size.hpp"
+
+using namespace flexnets;
+
+namespace {
+
+core::PacketResult simulate(const topo::Topology& t,
+                            routing::RoutingMode mode) {
+  const auto pairs = workload::skew_pairs(t, /*theta=*/0.04, /*phi=*/0.77,
+                                          /*seed=*/7);
+  const auto sizes = workload::pfabric_web_search();
+  core::PacketSimOptions opts;
+  opts.arrival_rate = 30.0 * t.num_servers();
+  opts.window_begin = 10 * kMillisecond;
+  opts.window_end = 40 * kMillisecond;
+  opts.arrival_tail = 10 * kMillisecond;
+  opts.net.routing.mode = mode;
+  opts.seed = 3;
+  return core::run_packet_experiment(t, *pairs, *sizes, opts);
+}
+
+}  // namespace
+
+int main() {
+  const auto ft = topo::fat_tree(8);                 // 80 switches, 128 servers
+  const auto xp = topo::xpander(5, 9, 3, /*seed=*/1);  // 54 switches, 162 servers
+
+  std::printf("fat-tree: %d switches, %d servers, network cost $%.0f\n",
+              ft.topo.num_switches(), ft.topo.num_servers(),
+              cost::network_cost(ft.topo));
+  std::printf("xpander:  %d switches, %d servers, network cost $%.0f (%.0f%%)\n\n",
+              xp.topo.num_switches(), xp.topo.num_servers(),
+              cost::network_cost(xp.topo),
+              100.0 * cost::network_cost(xp.topo) / cost::network_cost(ft.topo));
+
+  struct Row {
+    const char* label;
+    core::PacketResult r;
+  };
+  const Row rows[] = {
+      {"fat-tree + ECMP", simulate(ft.topo, routing::RoutingMode::kEcmp)},
+      {"xpander  + ECMP", simulate(xp.topo, routing::RoutingMode::kEcmp)},
+      {"xpander  + HYB ", simulate(xp.topo, routing::RoutingMode::kHyb)},
+  };
+
+  std::printf("%-16s %12s %18s %16s\n", "design", "avg FCT (ms)",
+              "p99 short FCT (ms)", "long tput (Gbps)");
+  for (const auto& row : rows) {
+    std::printf("%-16s %12.3f %18.3f %16.3f\n", row.label,
+                row.r.fct.avg_fct_ms, row.r.fct.p99_short_fct_ms,
+                row.r.fct.avg_long_tput_gbps);
+  }
+  std::printf(
+      "\nTakeaway (paper sections 6.6-6.7): on skewed traffic the cheaper\n"
+      "static expander with simple oblivious routing keeps pace with the\n"
+      "full-bandwidth fat-tree.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace flexnets {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t z = seed;
+  for (auto& s : s_) s = splitmix64(z++);
+  // Avoid the all-zero state (cannot occur with splitmix64, but cheap to
+  // guard against future changes).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::child(std::uint64_t tag) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(tag)));
+}
+
+std::uint64_t Rng::next_u64(std::uint64_t n) {
+  // Lemire's nearly-divisionless bounded draw with rejection for exactness.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t x = (*this)();
+    const auto m = static_cast<unsigned __int128>(x) * n;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_u64(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+}  // namespace flexnets

@@ -1,0 +1,72 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component (topology wiring, workload draws, routing
+// hash salts) derives its stream from a single master seed via `child()`,
+// so a whole experiment is reproducible from one integer and components
+// do not perturb each other's streams when one of them draws more numbers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace flexnets {
+
+// splitmix64: used both as a seeding mixer and as a stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Stateless hash of several words; used for ECMP path selection so the
+// choice is a pure function of (flow, flowlet, switch).
+constexpr std::uint64_t hash_words(std::uint64_t a, std::uint64_t b = 0,
+                                   std::uint64_t c = 0) {
+  return splitmix64(splitmix64(splitmix64(a) ^ b) ^ c);
+}
+
+// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  // Derive an independent child stream; deterministic in (this seed, tag).
+  [[nodiscard]] Rng child(std::uint64_t tag) const;
+
+  // Uniform in [0, n). Precondition: n > 0.
+  std::uint64_t next_u64(std::uint64_t n);
+  // Uniform in [0, 1).
+  double next_double();
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_u64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+};
+
+}  // namespace flexnets

@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flexnets {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = samples_.size() <= 1;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+}  // namespace flexnets

@@ -1,0 +1,29 @@
+// Minimal fixed-width text table writer used by the benchmark harness to
+// print paper-figure series in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexnets {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 4);
+
+  // Renders with a header rule; each column padded to its widest cell.
+  [[nodiscard]] std::string str() const;
+  void print() const;
+
+  static std::string fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexnets

@@ -1,0 +1,43 @@
+// Strongly-typed simulation units: nanosecond time, bits-per-second rates,
+// byte counts. All simulator arithmetic happens in integer nanoseconds to
+// keep event ordering exact and runs reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace flexnets {
+
+// Simulated time in integer nanoseconds.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNanosecond = 1;
+constexpr TimeNs kMicrosecond = 1'000;
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+
+// Link rates in bits per second.
+using RateBps = std::int64_t;
+
+constexpr RateBps kGbps = 1'000'000'000;
+constexpr RateBps kMbps = 1'000'000;
+
+// Byte counts (flow sizes, queue occupancy).
+using Bytes = std::int64_t;
+
+constexpr Bytes kKB = 1'000;
+constexpr Bytes kMB = 1'000'000;
+
+// Time to serialize `bytes` onto a link of rate `rate`, rounded up so a
+// packet is never considered transmitted early.
+constexpr TimeNs serialization_time(Bytes bytes, RateBps rate) {
+  // bytes * 8 bits * 1e9 ns/s / rate. 64-bit safe for bytes < ~1.1e9 at any
+  // rate >= 1 bps; flows are capped well below that per packet.
+  const auto bits = static_cast<__int128>(bytes) * 8 * kSecond;
+  return static_cast<TimeNs>((bits + rate - 1) / rate);
+}
+
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) / kSecond; }
+constexpr double to_millis(TimeNs t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_micros(TimeNs t) { return static_cast<double>(t) / kMicrosecond; }
+
+}  // namespace flexnets

@@ -1,0 +1,13 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace flexnets::core {
+
+bool repro_full() {
+  const char* v = std::getenv("REPRO_FULL");
+  return v != nullptr && std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0;
+}
+
+}  // namespace flexnets::core

@@ -1,0 +1,41 @@
+#include "core/fluid_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/tm_generators.hpp"
+
+namespace flexnets::core {
+
+std::vector<FluidPoint> fluid_sweep(const topo::Topology& topo,
+                                    const FluidSweepOptions& opts) {
+  const auto tors = topo.tors();
+  std::vector<FluidPoint> out;
+  out.reserve(opts.fractions.size());
+  for (const double x : opts.fractions) {
+    const int count = std::clamp<int>(
+        static_cast<int>(std::llround(x * static_cast<double>(tors.size()))),
+        2, static_cast<int>(tors.size()));
+    const auto active = flow::pick_active_racks(topo, count, opts.seed);
+
+    flow::TrafficMatrix tm;
+    switch (opts.family) {
+      case TmFamily::kLongestMatching:
+        tm = flow::longest_matching_tm(topo, active);
+        break;
+      case TmFamily::kRandomPermutation:
+        tm = flow::random_permutation_tm(topo, active, opts.seed);
+        break;
+      case TmFamily::kAllToAll:
+        tm = flow::all_to_all_tm(topo, active);
+        break;
+    }
+    FluidPoint p;
+    p.fraction = x;
+    p.throughput = flow::per_server_throughput(topo, tm, {opts.eps});
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace flexnets::core

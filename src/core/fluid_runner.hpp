@@ -1,0 +1,37 @@
+// Fluid-flow sweeps for the paper's section 5 figures: per-server
+// throughput as the fraction of racks with traffic demand varies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/throughput.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::core {
+
+enum class TmFamily {
+  kLongestMatching,  // the paper's default hard TM for static networks
+  kRandomPermutation,
+  kAllToAll,
+};
+
+struct FluidPoint {
+  double fraction = 0.0;    // of racks (and thus servers) with demand
+  double throughput = 0.0;  // per-server, fraction of line rate
+};
+
+struct FluidSweepOptions {
+  std::vector<double> fractions = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9, 1.0};
+  TmFamily family = TmFamily::kLongestMatching;
+  double eps = 0.1;  // GK approximation parameter
+  std::uint64_t seed = 1;
+};
+
+// For each requested fraction x: activate x of the ToRs (random subset),
+// build the TM, and evaluate per-server throughput.
+std::vector<FluidPoint> fluid_sweep(const topo::Topology& topo,
+                                    const FluidSweepOptions& opts);
+
+}  // namespace flexnets::core

@@ -1,0 +1,56 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+
+namespace flexnets::cost {
+
+PortComponents static_port() {
+  PortComponents p;
+  p.name = "static";
+  p.transceiver = 80.0;
+  p.cable = 45.0;  // $0.3/m * 300 m, shared over the cable's two ports
+  p.tor_port = 90.0;
+  return p;
+}
+
+PortComponents firefly_port() {
+  PortComponents p;
+  p.name = "firefly";
+  p.transceiver = 80.0;
+  p.tor_port = 90.0;
+  p.galvo = 200.0;
+  return p;
+}
+
+PortComponents projector_port_low() {
+  PortComponents p;
+  p.name = "projector-low";
+  p.tor_port = 90.0;
+  p.tx_rx = 80.0;
+  p.dmd = 100.0;
+  p.mirror_lens = 50.0;
+  return p;
+}
+
+PortComponents projector_port_high() {
+  PortComponents p = projector_port_low();
+  p.name = "projector-high";
+  p.tx_rx = 180.0;
+  return p;
+}
+
+double delta(const PortComponents& flexible) {
+  return flexible.total() / static_port().total();
+}
+
+double network_cost(const topo::Topology& t) {
+  // Two static ports per network link.
+  return 2.0 * static_cast<double>(t.num_network_links()) *
+         static_port().total();
+}
+
+int equal_cost_flexible_ports(int static_ports, double delta) {
+  return static_cast<int>(std::floor(static_cast<double>(static_ports) / delta));
+}
+
+}  // namespace flexnets::cost

@@ -1,0 +1,51 @@
+// Network cost model (paper Table 1 and section 4).
+//
+// A static network port costs: SR transceiver + ToR switch port + half of a
+// 300 m optical cable. Dynamic (flexible) ports cost more; the paper
+// normalizes this as delta = flexible-port cost / static-port cost, with
+// delta = 1.5 the lowest estimate across FireFly and ProjecToR. Equal-cost
+// comparisons give a dynamic network 1/delta the ports of a static one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace flexnets::cost {
+
+struct PortComponents {
+  std::string name;
+  double transceiver = 0.0;
+  double cable = 0.0;         // share of the cable attributed to this port
+  double tor_port = 0.0;
+  double tx_rx = 0.0;         // ProjecToR laser Tx+Rx
+  double dmd = 0.0;           // digital micromirror device
+  double mirror_lens = 0.0;   // mirror assembly + lens
+  double galvo = 0.0;         // FireFly galvo mirror
+
+  [[nodiscard]] double total() const {
+    return transceiver + cable + tor_port + tx_rx + dmd + mirror_lens + galvo;
+  }
+};
+
+// The three columns of Table 1. Cable cost: $0.3/m * 300 m / 2 ports = $45.
+PortComponents static_port();
+PortComponents firefly_port();
+PortComponents projector_port_low();
+PortComponents projector_port_high();
+
+// delta estimates relative to the static port.
+double delta(const PortComponents& flexible);
+
+// Whole-network cost: every switch-to-switch network port priced as a
+// static port (two ports per network link). Server-facing ports are
+// excluded, matching the paper's equal-cost methodology ("the same total
+// expense on ports", where server counts are held equal across designs).
+double network_cost(const topo::Topology& t);
+
+// Ports a dynamic network can afford with the budget of `static_ports`
+// static ports, at normalized flexible-port cost `delta`.
+int equal_cost_flexible_ports(int static_ports, double delta);
+
+}  // namespace flexnets::cost

@@ -1,0 +1,174 @@
+#include "dynnet/dynamic_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace flexnets::dynnet {
+
+DynamicNetwork::DynamicNetwork(const DynNetConfig& cfg) : cfg_(cfg) {
+  assert(cfg_.num_tors >= 2 && cfg_.num_tors % 2 == 0 &&
+         "rotor schedule needs an even ToR count");
+  assert(cfg_.flex_ports >= 1 && cfg_.flex_ports < cfg_.num_tors);
+  assert(cfg_.reconfig_delay < cfg_.slot_duration);
+  voq_.assign(static_cast<std::size_t>(cfg_.num_tors),
+              std::vector<std::vector<PendingFlow>>(
+                  static_cast<std::size_t>(cfg_.num_tors)));
+}
+
+std::vector<std::pair<int, int>> DynamicNetwork::tournament_round(
+    int r) const {
+  // Classic round-robin scheduling ("circle method"): node n-1 fixed,
+  // others rotate. Round r pairs (n-1, r) and ((r+1+i) mod (n-1),
+  // (r-1-i+n-1) mod (n-1)).
+  const int n = cfg_.num_tors;
+  const int m = n - 1;
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) / 2);
+  pairs.emplace_back(n - 1, r % m);
+  for (int i = 1; i < n / 2; ++i) {
+    const int a = (r + i) % m;
+    const int b = (r - i + 2 * m) % m;
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+std::vector<std::pair<int, int>> DynamicNetwork::demand_aware_matching()
+    const {
+  // Greedy maximum-weight b-matching with b = flex_ports: repeatedly take
+  // the heaviest remaining (src, dst) demand whose endpoints still have
+  // free ports. Directed demands; a matched pair gets a full-duplex link.
+  struct Cand {
+    Bytes w;
+    int a;
+    int b;
+  };
+  std::vector<Cand> cands;
+  for (int a = 0; a < cfg_.num_tors; ++a) {
+    for (int b = a + 1; b < cfg_.num_tors; ++b) {
+      Bytes w = 0;
+      for (const auto& f : voq_[a][b]) w += f.remaining;
+      for (const auto& f : voq_[b][a]) w += f.remaining;
+      if (w > 0) cands.push_back({w, a, b});
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+    return std::tie(y.w, x.a, x.b) < std::tie(x.w, y.a, y.b);
+  });
+  std::vector<int> free_ports(static_cast<std::size_t>(cfg_.num_tors),
+                              cfg_.flex_ports);
+  std::vector<std::pair<int, int>> links;
+  for (const Cand& c : cands) {
+    if (free_ports[c.a] > 0 && free_ports[c.b] > 0) {
+      --free_ports[c.a];
+      --free_ports[c.b];
+      links.emplace_back(c.a, c.b);
+    }
+  }
+  return links;
+}
+
+std::vector<std::pair<int, int>> DynamicNetwork::matching_for_slot(
+    std::int64_t slot) const {
+  if (cfg_.scheduler == Scheduler::kDemandAware) {
+    return demand_aware_matching();
+  }
+  // Rotor: flex_ports consecutive tournament rounds per slot, advancing by
+  // flex_ports each slot so every pair connects once per ceil((n-1)/f)
+  // slots.
+  std::vector<std::pair<int, int>> links;
+  for (int p = 0; p < cfg_.flex_ports; ++p) {
+    const int round = static_cast<int>(
+        (slot * cfg_.flex_ports + p) % (cfg_.num_tors - 1));
+    const auto pairs = tournament_round(round);
+    links.insert(links.end(), pairs.begin(), pairs.end());
+  }
+  return links;
+}
+
+std::vector<DynFlowRecord> DynamicNetwork::run(
+    const std::vector<workload::FlowSpec>& flows, TimeNs hard_stop) {
+  std::vector<DynFlowRecord> records;
+  records.reserve(flows.size());
+  for (const auto& f : flows) records.push_back({f.start, -1, f.size});
+
+  // Flows sorted by start time for slot-boundary admission.
+  std::vector<int> order(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) order[static_cast<int>(i)] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return flows[static_cast<std::size_t>(a)].start <
+           flows[static_cast<std::size_t>(b)].start;
+  });
+
+  auto tor_of = [&](int server) { return server / cfg_.servers_per_tor; };
+
+  std::size_t next_admit = 0;
+  std::size_t incomplete = flows.size();
+  const Bytes slot_bytes = static_cast<Bytes>(
+      static_cast<double>(cfg_.link_rate) / 8.0 *
+      to_seconds(cfg_.slot_duration - cfg_.reconfig_delay));
+
+  for (std::int64_t slot = 0; incomplete > 0; ++slot) {
+    const TimeNs slot_start = slot * cfg_.slot_duration;
+    const TimeNs slot_end = slot_start + cfg_.slot_duration;
+    if (slot_start >= hard_stop) break;
+
+    // Admit flows that started before this slot ends (they become eligible
+    // for service within the slot; completion times are computed from the
+    // drain position inside the slot).
+    while (next_admit < order.size() &&
+           flows[static_cast<std::size_t>(order[next_admit])].start <
+               slot_end) {
+      const int id = order[next_admit];
+      const auto& f = flows[static_cast<std::size_t>(id)];
+      const int src = tor_of(f.src_server);
+      const int dst = tor_of(f.dst_server);
+      assert(src != dst && "dynamic fabric flows must be inter-rack");
+      voq_[src][dst].push_back({id, f.size});
+      ++next_admit;
+    }
+
+    // Serve each active link: FIFO within the VOQ, both directions.
+    const auto links = matching_for_slot(slot);
+    for (const auto& [a, b] : links) {
+      for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+        auto& q = voq_[src][dst];
+        Bytes budget = slot_bytes;
+        std::size_t i = 0;
+        while (i < q.size() && budget > 0) {
+          auto& pf = q[i];
+          const auto& spec = flows[static_cast<std::size_t>(pf.id)];
+          // A flow arriving mid-slot only uses the remainder of the slot.
+          if (spec.start >= slot_end) break;
+          const Bytes served = std::min(pf.remaining, budget);
+          pf.remaining -= served;
+          budget -= served;
+          if (pf.remaining == 0) {
+            // Completion inside the slot, proportional to bytes drained.
+            const double fraction =
+                1.0 - static_cast<double>(budget) /
+                          static_cast<double>(slot_bytes);
+            const TimeNs done =
+                slot_start + cfg_.reconfig_delay +
+                static_cast<TimeNs>(
+                    fraction *
+                    static_cast<double>(cfg_.slot_duration -
+                                        cfg_.reconfig_delay));
+            records[static_cast<std::size_t>(pf.id)].end =
+                std::max(done, spec.start);
+            --incomplete;
+            ++i;
+          } else {
+            break;  // budget exhausted mid-flow
+          }
+        }
+        q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (next_admit >= order.size() && slot_start > hard_stop) break;
+  }
+  return records;
+}
+
+}  // namespace flexnets::dynnet

@@ -1,0 +1,82 @@
+// A time-slotted reconfigurable (dynamic) ToR fabric, the "greater
+// machinery" the paper's section 4 says a realistic dynamic-network
+// abstraction needs: explicit reconfiguration delay, source buffering until
+// connectivity is available, and a choice of scheduler:
+//
+//  - kRotor: traffic-agnostic round-robin port matchings (RotorNet-style,
+//    paper section 8);
+//  - kDemandAware: at each slot boundary, greedily match the ToR pairs with
+//    the most queued bytes (the direct-connection heuristic of the
+//    restricted model, section 4).
+//
+// The simulation is at flow granularity (fluid within a slot): matched
+// ToR pairs drain their virtual output queues at link rate for the usable
+// part of each slot (slot minus reconfiguration delay). This deliberately
+// FAVORS the dynamic network -- no congestion control, no packetization,
+// no ACK path -- so comparisons where static networks still win are
+// conservative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/arrivals.hpp"
+
+namespace flexnets::dynnet {
+
+enum class Scheduler { kRotor, kDemandAware };
+
+struct DynNetConfig {
+  int num_tors = 0;            // must be even for the rotor schedule
+  int servers_per_tor = 0;
+  int flex_ports = 0;          // flexible (reconfigurable) ports per ToR
+  RateBps link_rate = 10 * kGbps;
+  TimeNs slot_duration = 100 * kMicrosecond;
+  TimeNs reconfig_delay = 10 * kMicrosecond;  // links dark while retargeting
+  Scheduler scheduler = Scheduler::kRotor;
+};
+
+struct DynFlowRecord {
+  TimeNs start = 0;
+  TimeNs end = -1;  // -1 while incomplete
+  Bytes size = 0;
+
+  [[nodiscard]] bool completed() const { return end >= 0; }
+};
+
+class DynamicNetwork {
+ public:
+  explicit DynamicNetwork(const DynNetConfig& cfg);
+
+  // Runs the given flows (server ids are mapped to ToRs by dividing by
+  // servers_per_tor) until all complete or `hard_stop`. Returns per-flow
+  // records in input order.
+  std::vector<DynFlowRecord> run(const std::vector<workload::FlowSpec>& flows,
+                                 TimeNs hard_stop = 60 * kSecond);
+
+  // The port matchings used in slot `slot` (list of (src_tor, dst_tor)
+  // directed links). Exposed for tests; valid after construction for
+  // kRotor, and reflects the last computed slot for kDemandAware.
+  [[nodiscard]] std::vector<std::pair<int, int>> matching_for_slot(
+      std::int64_t slot) const;
+
+  [[nodiscard]] const DynNetConfig& config() const { return cfg_; }
+
+ private:
+  struct PendingFlow {
+    int id = -1;
+    Bytes remaining = 0;
+  };
+
+  // Rotor: round-robin tournament round r (0 <= r < num_tors-1) as a
+  // perfect matching.
+  [[nodiscard]] std::vector<std::pair<int, int>> tournament_round(int r) const;
+  [[nodiscard]] std::vector<std::pair<int, int>> demand_aware_matching() const;
+
+  DynNetConfig cfg_;
+  // Virtual output queues: voq_[src][dst] = flows awaiting service, FIFO.
+  std::vector<std::vector<std::vector<PendingFlow>>> voq_;
+};
+
+}  // namespace flexnets::dynnet

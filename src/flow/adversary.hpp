@@ -1,0 +1,41 @@
+// Adversarial traffic-matrix search. The paper (section 5, citing Jyothi et
+// al.) notes that finding worst-case TMs is computationally non-trivial and
+// uses the longest-matching heuristic as its "best effort". This module
+// pushes further with local search: perturb the rack matching and keep
+// changes that reduce the solver's throughput -- strengthening "hard TM"
+// claims, and providing random hose-model TMs for exploring the paper's
+// Conjecture 2.3 (throughput proportionality over general hose TMs).
+#pragma once
+
+#include <cstdint>
+
+#include "flow/traffic_matrix.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::flow {
+
+struct AdversaryResult {
+  TrafficMatrix tm;
+  double throughput = 1.0;     // of the returned TM
+  double initial_throughput = 1.0;  // of the longest-matching seed
+  int improvements = 0;        // accepted perturbations
+};
+
+// Starts from the longest-matching TM over `active` racks and applies
+// `iterations` random 2-swap perturbations to the matching, keeping each
+// swap that strictly reduces per-server throughput (evaluated with the GK
+// solver at accuracy eps). Deterministic in `seed`.
+AdversaryResult adversarial_matching_tm(const topo::Topology& t,
+                                        const std::vector<topo::NodeId>& active,
+                                        int iterations, double eps,
+                                        std::uint64_t seed);
+
+// A random hose-model TM over the active racks: the sum of `layers` random
+// permutation TMs, each carrying 1/layers of every rack's demand. Row and
+// column sums equal each rack's server count, so the TM satisfies the hose
+// constraints with equality.
+TrafficMatrix random_hose_tm(const topo::Topology& t,
+                             const std::vector<topo::NodeId>& active,
+                             int layers, std::uint64_t seed);
+
+}  // namespace flexnets::flow

@@ -1,0 +1,66 @@
+#include "flow/bounds.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/algorithms.hpp"
+#include "graph/spectral.hpp"
+
+namespace flexnets::flow {
+
+double path_length_upper_bound(const topo::Topology& t,
+                               const TrafficMatrix& tm) {
+  if (tm.commodities.empty()) return 0.0;
+  // Minimum capacity consumption: every byte of commodity (s, d) crosses at
+  // least dist(s, d) links. Note demands are rack-level; a commodity's
+  // traffic also needs its server-edge hops, but those are not network
+  // links and are excluded on both sides of the ratio.
+  double consumption = 0.0;
+  // Group BFS by source to avoid repeated searches.
+  topo::NodeId last_src = graph::kInvalidNode;
+  std::vector<int> dist;
+  auto sorted = tm.commodities;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Commodity& a, const Commodity& b) {
+              return a.src_tor < b.src_tor;
+            });
+  for (const auto& c : sorted) {
+    if (c.src_tor != last_src) {
+      dist = graph::bfs_distances(t.g, c.src_tor);
+      last_src = c.src_tor;
+    }
+    assert(dist[c.dst_tor] != graph::kUnreachable);
+    consumption += c.demand * static_cast<double>(dist[c.dst_tor]);
+  }
+  if (consumption <= 0.0) return 1.0;
+  const double capacity = 2.0 * static_cast<double>(t.num_network_links());
+  return std::min(1.0, capacity / consumption);
+}
+
+double spectral_bisection_lower_bound(const topo::Topology& t) {
+  const int n = t.num_switches();
+  if (n < 2) return 0.0;
+  int d = t.g.degree(0);
+  for (topo::NodeId s = 1; s < n; ++s) d = std::max(d, t.g.degree(s));
+  const double l2 = graph::second_eigenvalue(t.g, 300, 11);
+  const double gap = std::max(0.0, static_cast<double>(d) - l2);
+  // Standard spectral cut bound: any balanced bipartition cuts at least
+  // gap * n / 4 edges.
+  return gap * static_cast<double>(n) / 4.0;
+}
+
+double bisection_per_server(const topo::Topology& t) {
+  const int servers = t.num_servers();
+  if (servers == 0) return 0.0;
+  // Traffic crossing the bisection in the worst case: half the servers send
+  // to the other half, so per-server bandwidth = width / (servers / 2).
+  return spectral_bisection_lower_bound(t) /
+         (static_cast<double>(servers) / 2.0);
+}
+
+double proportionality_ceiling(double t_full, double x) {
+  assert(x > 0.0 && x <= 1.0);
+  return std::min(1.0, t_full / x);
+}
+
+}  // namespace flexnets::flow

@@ -1,0 +1,39 @@
+// Analytic throughput bounds for static topologies, complementing the
+// measured (Garg-Koenemann) values:
+//
+//  - the path-length upper bound of Singla et al. (NSDI 2014), used by the
+//    paper's section 4.1 computation, instantiated both with the
+//    Moore-bound distance (any-topology bound) and with the topology's
+//    ACTUAL mean shortest-path distance (per-topology bound);
+//  - a spectral bisection-bandwidth estimate (the "Metric of Goodness" the
+//    paper's footnote 1 warns can be a log factor off throughput -- made
+//    concrete here so the gap is measurable);
+//  - the throughput-proportionality ceiling of Theorem 2.1.
+#pragma once
+
+#include "flow/traffic_matrix.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::flow {
+
+// Upper bound on per-server throughput for `tm` on `t`: total directed link
+// capacity divided by the TM's minimum possible capacity consumption
+// (sum over commodities of demand * shortest-path distance). 1.0-capped.
+double path_length_upper_bound(const topo::Topology& t,
+                               const TrafficMatrix& tm);
+
+// Lower bound on the bisection width (number of links crossing any
+// balanced cut) via the spectral inequality  width >= lambda_gap * n / 4,
+// where lambda_gap = d - lambda_2 for a d-regular graph. Returns links.
+double spectral_bisection_lower_bound(const topo::Topology& t);
+
+// Bisection bandwidth per server implied by the spectral bound (each
+// direction of the cut carries half the servers' traffic).
+double bisection_per_server(const topo::Topology& t);
+
+// Theorem 2.1 ceiling: a network supporting throughput t_full on worst-case
+// full permutations cannot exceed min(1, t_full / x) when only an
+// x-fraction participates.
+double proportionality_ceiling(double t_full, double x);
+
+}  // namespace flexnets::flow

@@ -1,0 +1,42 @@
+#include "flow/dynamic_models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace flexnets::flow {
+
+namespace {
+
+int flexible_ports(int network_ports, double delta) {
+  assert(delta >= 1.0);
+  return static_cast<int>(
+      std::floor(static_cast<double>(network_ports) / delta));
+}
+
+}  // namespace
+
+double unrestricted_dynamic_throughput(int network_ports, int server_ports,
+                                       double delta) {
+  const int r = flexible_ports(network_ports, delta);
+  return std::min(1.0, static_cast<double>(r) /
+                           static_cast<double>(server_ports));
+}
+
+double restricted_dynamic_throughput(int active_racks, int network_ports,
+                                     int server_ports, double delta) {
+  const int r = flexible_ports(network_ports, delta);
+  if (active_racks < 2) return 1.0;
+  if (r >= active_racks - 1) {
+    // Complete graph over active racks is possible: direct links only.
+    return std::min(1.0, static_cast<double>(r) /
+                             static_cast<double>(server_ports));
+  }
+  const double dbar = graph::moore_bound_mean_distance(active_racks, r);
+  return std::min(1.0, static_cast<double>(r) /
+                           (static_cast<double>(server_ports) * dbar));
+}
+
+}  // namespace flexnets::flow

@@ -1,0 +1,27 @@
+// Analytic throughput models for dynamic (reconfigurable) topologies,
+// following paper sections 4 and 5.
+//
+// Both models describe a network of ToRs with `server_ports` servers each
+// and a static-equivalent budget of `network_ports` per ToR; at normalized
+// flexible-port cost `delta`, the dynamic design affords
+// floor(network_ports / delta) flexible ports per ToR.
+#pragma once
+
+namespace flexnets::flow {
+
+// Unrestricted model: ignores reconfiguration delay, buffering, and any
+// connectivity constraint. Per-server throughput = min(1, r_dyn / s),
+// independent of how many racks participate (paper section 5).
+double unrestricted_dynamic_throughput(int network_ports, int server_ports,
+                                       double delta);
+
+// Restricted model: direct-connection heuristics without buffering make the
+// instantaneous ToR-level topology a static degree-r_dyn graph over the m
+// active racks. Its throughput is upper-bounded (as in Singla et al., NSDI
+// 2014) by r_dyn / (s * dbar) with dbar the Moore-bound lower bound on mean
+// shortest-path distance of any r_dyn-regular graph on m nodes. Reproduces
+// the 80% bound of the paper's toy example (section 4.1).
+double restricted_dynamic_throughput(int active_racks, int network_ports,
+                                     int server_ports, double delta);
+
+}  // namespace flexnets::flow

@@ -1,0 +1,16 @@
+#include "flow/fat_tree_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexnets::flow {
+
+double FatTreeModel::throughput(double x) const {
+  assert(x > 0.0 && x <= 1.0);
+  assert(alpha > 0.0 && alpha <= 1.0 && k >= 2);
+  const double b = beta();
+  if (x >= b) return alpha;
+  return std::min(1.0, alpha * b / x);
+}
+
+}  // namespace flexnets::flow

@@ -1,0 +1,24 @@
+// Analytic throughput model of an oversubscribed fat-tree under skewed TMs
+// (paper Observation 1 and Fig 2).
+//
+// A fat-tree with k-port switches oversubscribed to fraction `alpha` of
+// full capacity admits a TM over just beta = 2/k of the servers that is
+// limited to alpha per-server throughput. As the participating fraction x
+// drops below beta (fewer servers inside the two pods), throughput rises
+// proportionally, reaching line rate at x = alpha * beta.
+#pragma once
+
+namespace flexnets::flow {
+
+struct FatTreeModel {
+  int k = 0;            // switch radix
+  double alpha = 1.0;   // oversubscription fraction of full capacity
+
+  [[nodiscard]] double beta() const { return 2.0 / k; }
+
+  // Per-server throughput for a worst-case TM over an x-fraction of
+  // servers, x in (0, 1].
+  [[nodiscard]] double throughput(double x) const;
+};
+
+}  // namespace flexnets::flow

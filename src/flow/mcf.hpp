@@ -1,0 +1,41 @@
+// Maximum concurrent multicommodity flow via the Garg-Koenemann FPTAS
+// (Garg & Koenemann, FOCS 1998 / SICOMP 2007, with Fleischer's phase
+// organization).
+//
+// Given a directed capacitated graph and commodities (src, dst, demand),
+// computes lambda such that lambda * demand_i is simultaneously routable
+// for every commodity, with lambda >= (1 - eps)^3 * lambda_opt. This stands
+// in for the exact LP the paper solves with a commercial solver (see
+// DESIGN.md substitutions).
+#pragma once
+
+#include <vector>
+
+namespace flexnets::flow {
+
+struct DirectedEdge {
+  int from = 0;
+  int to = 0;
+  double capacity = 0.0;
+};
+
+struct McfCommodity {
+  int src = 0;
+  int dst = 0;
+  double demand = 0.0;
+};
+
+struct McfResult {
+  double lambda = 0.0;   // guaranteed-feasible concurrent-flow fraction
+  int phases = 0;        // completed GK phases
+  long long dijkstra_calls = 0;
+};
+
+// Preconditions: capacities > 0, demands > 0, every commodity's dst
+// reachable from its src. eps in (0, 0.5].
+McfResult max_concurrent_flow(int num_nodes,
+                              const std::vector<DirectedEdge>& edges,
+                              const std::vector<McfCommodity>& commodities,
+                              double eps = 0.1);
+
+}  // namespace flexnets::flow

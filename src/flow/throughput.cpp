@@ -1,0 +1,52 @@
+#include "flow/throughput.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace flexnets::flow {
+
+double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
+                             const ThroughputOptions& opts) {
+  if (tm.commodities.empty()) return 0.0;
+
+  const int s = t.num_switches();
+  const auto out_d = tm.out_demand(s);
+  const auto in_d = tm.in_demand(s);
+
+  std::vector<DirectedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(t.g.num_edges()) * 2 +
+                tm.commodities.size() * 2);
+  for (const auto& e : t.g.edges()) {
+    edges.push_back({e.a, e.b, 1.0});
+    edges.push_back({e.b, e.a, 1.0});
+  }
+
+  // Virtual hose nodes for racks with demand.
+  int next_node = s;
+  std::unordered_map<int, int> vnode;  // switch -> virtual node id
+  for (int sw = 0; sw < s; ++sw) {
+    if (out_d[sw] > 0.0 || in_d[sw] > 0.0) {
+      vnode[sw] = next_node++;
+      if (out_d[sw] > 0.0) edges.push_back({vnode[sw], sw, out_d[sw]});
+      if (in_d[sw] > 0.0) edges.push_back({sw, vnode[sw], in_d[sw]});
+    }
+  }
+
+  std::vector<McfCommodity> commodities;
+  commodities.reserve(tm.commodities.size());
+  for (const auto& c : tm.commodities) {
+    assert(c.demand > 0.0);
+    commodities.push_back({vnode.at(c.src_tor), vnode.at(c.dst_tor), c.demand});
+  }
+
+  const auto r = max_concurrent_flow(next_node, edges, commodities, opts.eps);
+  return std::clamp(r.lambda, 0.0, 1.0);
+}
+
+double tp_curve(double alpha, double x) {
+  assert(x > 0.0);
+  return std::min(1.0, alpha / x);
+}
+
+}  // namespace flexnets::flow

@@ -1,0 +1,31 @@
+// Per-server throughput of a static topology on a rack-level TM in the
+// hose-model fluid-flow setting (paper section 5).
+//
+// Construction: each network link becomes two directed edges of capacity 1
+// (one server line rate per direction). Each rack appearing in the TM gets
+// a virtual source/sink node attached by directed edges whose capacities
+// equal its total out/in demand, structurally enforcing the hose-model NIC
+// limits. Per-server throughput is then the max concurrent-flow fraction
+// lambda, in [0, 1].
+#pragma once
+
+#include "flow/mcf.hpp"
+#include "flow/traffic_matrix.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::flow {
+
+struct ThroughputOptions {
+  double eps = 0.1;  // GK approximation parameter
+};
+
+// Returns lambda in [0, 1]; 0 for an empty TM.
+double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
+                             const ThroughputOptions& opts = {});
+
+// The throughput-proportionality ideal (paper Fig 2): a TP network built at
+// worst-case throughput `alpha` achieves min(alpha / x, 1) when only an
+// x-fraction of servers participate.
+double tp_curve(double alpha, double x);
+
+}  // namespace flexnets::flow

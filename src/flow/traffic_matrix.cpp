@@ -1,0 +1,23 @@
+#include "flow/traffic_matrix.hpp"
+
+namespace flexnets::flow {
+
+double TrafficMatrix::total_demand() const {
+  double s = 0.0;
+  for (const auto& c : commodities) s += c.demand;
+  return s;
+}
+
+std::vector<double> TrafficMatrix::out_demand(int num_switches) const {
+  std::vector<double> d(static_cast<std::size_t>(num_switches), 0.0);
+  for (const auto& c : commodities) d[c.src_tor] += c.demand;
+  return d;
+}
+
+std::vector<double> TrafficMatrix::in_demand(int num_switches) const {
+  std::vector<double> d(static_cast<std::size_t>(num_switches), 0.0);
+  for (const auto& c : commodities) d[c.dst_tor] += c.demand;
+  return d;
+}
+
+}  // namespace flexnets::flow

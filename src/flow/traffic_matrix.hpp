@@ -1,0 +1,31 @@
+// Rack-level traffic matrices for the fluid-flow engine.
+//
+// Demands are expressed in server line-rate units: a rack with s active
+// servers sending all traffic to one other rack has demand s. Per-server
+// throughput of a topology on a TM is the max concurrent-flow fraction
+// lambda (hose-model NIC limits are enforced structurally by the
+// evaluator), so lambda = 1 means every active server sustains line rate.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace flexnets::flow {
+
+struct Commodity {
+  topo::NodeId src_tor = -1;
+  topo::NodeId dst_tor = -1;
+  double demand = 0.0;  // in server line-rate units
+};
+
+struct TrafficMatrix {
+  std::vector<Commodity> commodities;
+
+  [[nodiscard]] double total_demand() const;
+  // Sum of demands leaving / entering each switch (indexed by switch id).
+  [[nodiscard]] std::vector<double> out_demand(int num_switches) const;
+  [[nodiscard]] std::vector<double> in_demand(int num_switches) const;
+};
+
+}  // namespace flexnets::flow

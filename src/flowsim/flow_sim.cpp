@@ -1,0 +1,303 @@
+#include "flowsim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/rng.hpp"
+#include "graph/algorithms.hpp"
+
+namespace flexnets::flowsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+FlowLevelSimulator::FlowLevelSimulator(const topo::Topology& topo,
+                                       const FlowSimConfig& cfg)
+    : topo_(topo), cfg_(cfg) {
+  const int s = topo_.num_switches();
+  num_network_links_ = 2 * topo_.g.num_edges();
+  const int servers = topo_.num_servers();
+  capacity_.assign(static_cast<std::size_t>(num_network_links_) +
+                       2 * static_cast<std::size_t>(servers),
+                   static_cast<double>(cfg_.link_rate));
+  for (int i = 0; i < 2 * servers; ++i) {
+    capacity_[static_cast<std::size_t>(num_network_links_ + i)] =
+        static_cast<double>(cfg_.server_rate);
+  }
+
+  out_link_.resize(static_cast<std::size_t>(s));
+  for (graph::EdgeId e = 0; e < topo_.g.num_edges(); ++e) {
+    const auto& ed = topo_.g.edge(e);
+    out_link_[ed.a].emplace_back(ed.b, 2 * e);
+    out_link_[ed.b].emplace_back(ed.a, 2 * e + 1);
+  }
+  for (auto& v : out_link_) std::sort(v.begin(), v.end());
+
+  tor_of_server_.reserve(static_cast<std::size_t>(servers));
+  for (topo::NodeId sw = 0; sw < s; ++sw) {
+    for (int i = 0; i < topo_.servers_per_switch[sw]; ++i) {
+      tor_of_server_.push_back(sw);
+    }
+  }
+
+  next_hops_.resize(static_cast<std::size_t>(s));
+  dist_.resize(static_cast<std::size_t>(s));
+  for (topo::NodeId dst = 0; dst < s; ++dst) {
+    next_hops_[dst] = graph::ecmp_next_hops_to(topo_.g, dst);
+    dist_[dst] = graph::bfs_distances(topo_.g, dst);
+  }
+}
+
+std::int32_t FlowLevelSimulator::link_id(topo::NodeId from,
+                                         topo::NodeId to) const {
+  const auto& v = out_link_[from];
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), std::pair<topo::NodeId, std::int32_t>{to, -1});
+  assert(it != v.end() && it->first == to && "no such link");
+  return it->second;
+}
+
+void FlowLevelSimulator::append_ecmp_leg(std::vector<RouteShare>& out,
+                                         topo::NodeId from, topo::NodeId to,
+                                         bool split, std::uint64_t salt) {
+  if (from == to) return;
+  if (split) {
+    // Fluid ECMP: traffic at each node divides evenly over its next hops;
+    // propagate fractions breadth-first along the shortest-path DAG.
+    std::map<topo::NodeId, double> mass{{from, 1.0}};
+    while (!(mass.size() == 1 && mass.begin()->first == to)) {
+      std::map<topo::NodeId, double> next_mass;
+      for (const auto& [node, m] : mass) {
+        if (node == to) {
+          next_mass[to] += m;
+          continue;
+        }
+        const auto& hops = next_hops_[to][node];
+        assert(!hops.empty());
+        const double each = m / static_cast<double>(hops.size());
+        for (const auto h : hops) {
+          out.push_back({link_id(node, h), each});
+          next_mass[h] += each;
+        }
+      }
+      mass = std::move(next_mass);
+    }
+  } else {
+    topo::NodeId at = from;
+    int hop = 0;
+    while (at != to) {
+      const auto& hops = next_hops_[to][at];
+      assert(!hops.empty());
+      const auto h = hops[hash_words(salt, static_cast<std::uint64_t>(at),
+                                     static_cast<std::uint64_t>(hop)) %
+                          hops.size()];
+      out.push_back({link_id(at, h), 1.0});
+      at = h;
+      ++hop;
+    }
+  }
+}
+
+std::vector<FlowLevelSimulator::RouteShare> FlowLevelSimulator::route_for(
+    int src_server, int dst_server, Bytes size) {
+  const std::uint64_t salt =
+      splitmix64(cfg_.seed ^ (0x9e3779b9ULL + ++flow_counter_));
+
+  std::vector<RouteShare> route;
+  const auto src_tor = tor_of_server_[src_server];
+  const auto dst_tor = tor_of_server_[dst_server];
+  // Server access links.
+  route.push_back(
+      {num_network_links_ + 2 * src_server, 1.0});  // host uplink
+  route.push_back(
+      {num_network_links_ + 2 * dst_server + 1, 1.0});  // host downlink
+  if (src_tor == dst_tor) return route;
+
+  const bool vlb =
+      cfg_.routing == FlowRouting::kVlb ||
+      (cfg_.routing == FlowRouting::kHyb && size >= cfg_.hyb_threshold);
+  if (vlb) {
+    // Spread over several random vias (the fluid analogue of per-flowlet
+    // via re-selection), each carrying an equal share of the flow.
+    Rng rng(salt);
+    const auto& tors = topo_.tors();
+    const int k = std::max(1, cfg_.vlb_via_samples);
+    std::vector<topo::NodeId> vias;
+    int guard = 100 * k;
+    while (static_cast<int>(vias.size()) < k && guard-- > 0) {
+      const auto via = tors[rng.next_u64(tors.size())];
+      if (via == src_tor || via == dst_tor) continue;
+      if (std::find(vias.begin(), vias.end(), via) != vias.end()) continue;
+      vias.push_back(via);
+    }
+    assert(!vias.empty());
+    const double share = 1.0 / static_cast<double>(vias.size());
+    for (std::size_t v = 0; v < vias.size(); ++v) {
+      std::vector<RouteShare> leg;
+      append_ecmp_leg(leg, src_tor, vias[v], /*split=*/false,
+                      salt ^ (2 * v + 1));
+      append_ecmp_leg(leg, vias[v], dst_tor, /*split=*/false,
+                      salt ^ (2 * v + 2));
+      for (auto& rs : leg) {
+        rs.share *= share;
+        route.push_back(rs);
+      }
+    }
+  } else {
+    const bool split = cfg_.routing == FlowRouting::kEcmpSplit;
+    append_ecmp_leg(route, src_tor, dst_tor, split, salt ^ 3);
+  }
+  return route;
+}
+
+std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
+    const std::vector<workload::FlowSpec>& flows) {
+  struct Active {
+    int id;
+    Bytes remaining;
+    double rate = 0.0;  // bits per second
+    std::vector<RouteShare> route;
+  };
+
+  std::vector<metrics::FlowRecord> records;
+  records.reserve(flows.size());
+  for (const auto& f : flows) records.push_back({f.start, -1, f.size});
+
+  std::vector<int> arrival_order(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    arrival_order[i] = static_cast<int>(i);
+  }
+  std::sort(arrival_order.begin(), arrival_order.end(), [&](int a, int b) {
+    return flows[static_cast<std::size_t>(a)].start <
+           flows[static_cast<std::size_t>(b)].start;
+  });
+
+  std::vector<Active> active;
+  std::size_t next_arrival = 0;
+  double now_sec = 0.0;
+
+  // Max-min fair rates by progressive filling. Only links actually carrying
+  // unfrozen flows are scanned each round (the capacity vector covers every
+  // link in the network, most of which are idle at any instant).
+  std::vector<double> residual;
+  std::vector<double> weight;
+  std::vector<std::int32_t> hot_links;
+  auto recompute_rates = [&]() {
+    residual = capacity_;
+    weight.assign(capacity_.size(), 0.0);  // unfrozen shares
+    hot_links.clear();
+    for (const auto& a : active) {
+      for (const auto& rs : a.route) {
+        if (weight[rs.link] == 0.0) hot_links.push_back(rs.link);
+        weight[rs.link] += rs.share;
+      }
+    }
+    std::vector<char> frozen(active.size(), 0);
+    std::size_t remaining = active.size();
+    while (remaining > 0) {
+      // Bottleneck link: minimal residual / weight.
+      double best = kInf;
+      for (const auto l : hot_links) {
+        if (weight[l] > 1e-12) {
+          best = std::min(best, residual[l] / weight[l]);
+        }
+      }
+      if (best == kInf) break;  // no constrained flows left (cannot happen)
+      // Freeze every unfrozen flow whose bottleneck share equals `best` on
+      // some saturated link; to keep the loop simple and O(F*L) total,
+      // freeze all flows traversing any link within epsilon of `best`.
+      bool froze_any = false;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (frozen[i]) continue;
+        bool bottlenecked = false;
+        for (const auto& rs : active[i].route) {
+          if (weight[rs.link] > 1e-12 &&
+              residual[rs.link] / weight[rs.link] <= best * (1.0 + 1e-9)) {
+            bottlenecked = true;
+            break;
+          }
+        }
+        if (bottlenecked) {
+          frozen[i] = 1;
+          froze_any = true;
+          --remaining;
+          active[i].rate = best;  // fair share at the bottleneck
+          for (const auto& rs : active[i].route) {
+            residual[rs.link] =
+                std::max(0.0, residual[rs.link] - best * rs.share);
+            weight[rs.link] -= rs.share;
+          }
+        }
+      }
+      assert(froze_any);
+      if (!froze_any) break;
+    }
+  };
+
+  while (next_arrival < flows.size() || !active.empty()) {
+    // Next event: earliest of (next arrival, earliest completion).
+    double next_event = kInf;
+    bool is_arrival = false;
+    if (next_arrival < flows.size()) {
+      next_event =
+          to_seconds(flows[static_cast<std::size_t>(
+                               arrival_order[next_arrival])].start);
+      is_arrival = true;
+    }
+    int completing = -1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const auto& a = active[i];
+      assert(a.rate > 0.0);
+      const double done_at =
+          now_sec + static_cast<double>(a.remaining) * 8.0 / a.rate;
+      if (done_at < next_event - 1e-15) {
+        next_event = done_at;
+        completing = static_cast<int>(i);
+        is_arrival = false;
+      }
+    }
+    assert(next_event < kInf);
+
+    // Drain bytes until the event.
+    const double dt = std::max(0.0, next_event - now_sec);
+    for (auto& a : active) {
+      const auto served = static_cast<Bytes>(
+          std::llround(a.rate * dt / 8.0));
+      a.remaining = std::max<Bytes>(0, a.remaining - served);
+    }
+    now_sec = next_event;
+
+    if (is_arrival) {
+      const int id = arrival_order[next_arrival++];
+      const auto& spec = flows[static_cast<std::size_t>(id)];
+      Active a;
+      a.id = id;
+      a.remaining = spec.size;
+      a.route = route_for(spec.src_server, spec.dst_server, spec.size);
+      active.push_back(std::move(a));
+    } else {
+      // The completing flow (and any that rounded to zero) retire. Clear
+      // its remaining explicitly: byte rounding in the drain above must not
+      // leave a 1-byte tail that would stall the event loop.
+      active[completing].remaining = 0;
+      records[static_cast<std::size_t>(active[completing].id)].end =
+          static_cast<TimeNs>(std::llround(now_sec * 1e9));
+      active.erase(active.begin() + completing);
+      for (std::size_t i = active.size(); i-- > 0;) {
+        if (active[i].remaining == 0) {
+          records[static_cast<std::size_t>(active[i].id)].end =
+              static_cast<TimeNs>(std::llround(now_sec * 1e9));
+          active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+    recompute_rates();
+  }
+  return records;
+}
+
+}  // namespace flexnets::flowsim

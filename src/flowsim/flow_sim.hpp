@@ -1,0 +1,78 @@
+// Flow-level network simulator: flows are fluid streams sharing links by
+// max-min fairness (progressive filling), recomputed at every flow arrival
+// and departure. Orders of magnitude faster than the packet simulator, so
+// paper-scale configurations run on one core; fidelity against the packet
+// simulator is quantified in bench_flowsim_validation.
+//
+// Routing models mirror the packet simulator's source routing at flow
+// granularity:
+//   kEcmpSampled -- one hash-sampled shortest path per flow (a long-lived
+//                   flow under flowlet-less ECMP);
+//   kEcmpSplit   -- even split across all shortest paths (the fluid ideal
+//                   that flowlet ECMP approaches);
+//   kVlb         -- concatenated shortest paths through a random via ToR;
+//   kHyb         -- flow-level HYB: flows smaller than the Q threshold use
+//                   kEcmpSampled, larger ones kVlb.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "metrics/fct_tracker.hpp"
+#include "topo/topology.hpp"
+#include "workload/arrivals.hpp"
+
+namespace flexnets::flowsim {
+
+enum class FlowRouting { kEcmpSampled, kEcmpSplit, kVlb, kHyb };
+
+struct FlowSimConfig {
+  RateBps link_rate = 10 * kGbps;
+  RateBps server_rate = 10 * kGbps;
+  FlowRouting routing = FlowRouting::kEcmpSampled;
+  Bytes hyb_threshold = 100'000;
+  // VLB re-picks its via at flowlet boundaries in the packet simulator; the
+  // fluid equivalent splits each flow evenly over this many sampled vias.
+  int vlb_via_samples = 4;
+  std::uint64_t seed = 1;
+};
+
+class FlowLevelSimulator {
+ public:
+  FlowLevelSimulator(const topo::Topology& topo, const FlowSimConfig& cfg);
+
+  // Simulates the flow set to completion; records in input order.
+  std::vector<metrics::FlowRecord> run(
+      const std::vector<workload::FlowSpec>& flows);
+
+ private:
+  // A flow's fluid route: (link id, fraction of the flow's rate crossing
+  // that link). Fractions are 1.0 except under kEcmpSplit.
+  struct RouteShare {
+    std::int32_t link = 0;
+    double share = 1.0;
+  };
+
+  std::vector<RouteShare> route_for(int src_server, int dst_server,
+                                    Bytes size);
+  void append_ecmp_leg(std::vector<RouteShare>& out, topo::NodeId from,
+                       topo::NodeId to, bool split, std::uint64_t salt);
+
+  const topo::Topology& topo_;
+  FlowSimConfig cfg_;
+  // Directed links: index 2e / 2e+1 for edge e, then server up/down pairs.
+  std::vector<double> capacity_;  // bits per second
+  int num_network_links_ = 0;
+  std::vector<topo::NodeId> tor_of_server_;
+  // next_hops_[dst][node] -> shortest-path neighbors (as in EcmpTable but
+  // kept simple here).
+  std::vector<std::vector<std::vector<topo::NodeId>>> next_hops_;
+  std::vector<std::vector<int>> dist_;  // dist_[dst][node]
+  // edge lookup: for (a, b) adjacent, directed link id.
+  [[nodiscard]] std::int32_t link_id(topo::NodeId from, topo::NodeId to) const;
+  std::vector<std::vector<std::pair<topo::NodeId, std::int32_t>>> out_link_;
+  std::uint64_t flow_counter_ = 0;  // per-flow routing salt source
+};
+
+}  // namespace flexnets::flowsim

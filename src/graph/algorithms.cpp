@@ -1,0 +1,136 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace flexnets::graph {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (EdgeId e : g.incident(u)) {
+      const NodeId v = g.edge(e).other(u);
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_distances(const Graph& g) {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) dist.push_back(bfs_distances(g, u));
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d == kUnreachable; });
+}
+
+int diameter(const Graph& g) {
+  if (g.num_nodes() == 0) return -1;
+  int diam = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (int d : dist) {
+      if (d == kUnreachable) return -1;
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+double mean_distance(const Graph& g) {
+  double sum = 0.0;
+  std::int64_t pairs = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != u && dist[v] != kUnreachable) {
+        sum += dist[v];
+        ++pairs;
+      }
+    }
+  }
+  return pairs ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+std::vector<std::vector<NodeId>> ecmp_next_hops_to(const Graph& g, NodeId dst) {
+  const auto dist = bfs_distances(g, dst);
+  std::vector<std::vector<NodeId>> next(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == dst || dist[u] == kUnreachable) continue;
+    for (EdgeId e : g.incident(u)) {
+      const NodeId v = g.edge(e).other(u);
+      if (dist[v] == dist[u] - 1) next[u].push_back(v);
+    }
+    // Deterministic order independent of edge insertion order.
+    std::sort(next[u].begin(), next[u].end());
+    next[u].erase(std::unique(next[u].begin(), next[u].end()), next[u].end());
+  }
+  return next;
+}
+
+DijkstraResult dijkstra(const Graph& g, NodeId src,
+                        const std::vector<double>& edge_length) {
+  assert(edge_length.size() == static_cast<std::size_t>(g.num_edges()));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  DijkstraResult r;
+  r.dist.assign(static_cast<std::size_t>(g.num_nodes()), kInf);
+  r.parent_edge.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  r.parent_node.assign(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;
+    for (EdgeId e : g.incident(u)) {
+      const NodeId v = g.edge(e).other(u);
+      const double nd = d + edge_length[e];
+      if (nd < r.dist[v]) {
+        r.dist[v] = nd;
+        r.parent_edge[v] = e;
+        r.parent_node[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return r;
+}
+
+double moore_bound_mean_distance(int n, int d) {
+  assert(n > 1 && d >= 1);
+  // Pack as many nodes as possible close to an arbitrary root: at most d
+  // nodes at distance 1, d(d-1) at distance 2, etc. This lower-bounds the
+  // distance sum of any d-regular graph on n nodes.
+  std::int64_t remaining = n - 1;
+  std::int64_t level_cap = d;
+  double sum = 0.0;
+  for (int dist = 1; remaining > 0; ++dist) {
+    const std::int64_t here = std::min<std::int64_t>(remaining, level_cap);
+    sum += static_cast<double>(dist) * static_cast<double>(here);
+    remaining -= here;
+    // Guard against overflow for large d / n.
+    if (level_cap < n) level_cap *= (d - 1 > 0 ? d - 1 : 1);
+  }
+  return sum / static_cast<double>(n - 1);
+}
+
+}  // namespace flexnets::graph

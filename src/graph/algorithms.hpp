@@ -1,0 +1,49 @@
+// Graph algorithms shared by topology analysis, traffic-matrix generation,
+// routing-table construction, and the fluid-flow engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flexnets::graph {
+
+constexpr int kUnreachable = -1;
+
+// BFS hop distances from `src` (kUnreachable where disconnected).
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+// Hop distances between all node pairs; dist[u][v].
+std::vector<std::vector<int>> all_pairs_distances(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+// Diameter (max finite pairwise distance); -1 for empty/disconnected graphs.
+int diameter(const Graph& g);
+
+// Mean pairwise distance over connected ordered pairs.
+double mean_distance(const Graph& g);
+
+// For each node u, the neighbors of u that lie on some shortest path from u
+// to `dst` (i.e. dist[v] == dist[u] - 1 measured toward dst). This is the
+// ECMP next-hop set. next_hops[dst] = {} by convention.
+std::vector<std::vector<NodeId>> ecmp_next_hops_to(const Graph& g, NodeId dst);
+
+// Dijkstra over per-edge lengths (same indexing as g.edges()); used by the
+// Garg-Koenemann oracle. Returns (dist, parent-edge) pairs; parent edge id is
+// -1 at src/unreachable nodes.
+struct DijkstraResult {
+  std::vector<double> dist;
+  std::vector<EdgeId> parent_edge;
+  std::vector<NodeId> parent_node;
+};
+DijkstraResult dijkstra(const Graph& g, NodeId src,
+                        const std::vector<double>& edge_length);
+
+// Moore-bound lower bound on the mean shortest-path distance of ANY
+// d-regular graph with n nodes (used for the restricted-dynamic-network
+// throughput upper bound, paper section 4.1/5).
+double moore_bound_mean_distance(int n, int d);
+
+}  // namespace flexnets::graph

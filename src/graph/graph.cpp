@@ -1,0 +1,33 @@
+#include "graph/graph.hpp"
+
+#include <cassert>
+
+namespace flexnets::graph {
+
+Graph::Graph(NodeId num_nodes) : adj_(static_cast<std::size_t>(num_nodes)) {}
+
+EdgeId Graph::add_edge(NodeId a, NodeId b) {
+  assert(a != b && "self-loops are not allowed");
+  assert(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes());
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({a, b});
+  adj_[a].push_back(id);
+  adj_[b].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Graph::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  out.reserve(adj_[n].size());
+  for (EdgeId e : adj_[n]) out.push_back(edges_[e].other(n));
+  return out;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  for (EdgeId e : adj_[a]) {
+    if (edges_[e].other(a) == b) return true;
+  }
+  return false;
+}
+
+}  // namespace flexnets::graph

@@ -1,0 +1,60 @@
+// Undirected multigraph with integer node ids.
+//
+// This is the common substrate for topology generators, the fluid-flow
+// engine (which expands it into a directed capacitated graph), and the
+// packet simulator (which instantiates a link pair per edge).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flexnets::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+struct Edge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  [[nodiscard]] NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId num_nodes);
+
+  // Adds an undirected edge (parallel edges allowed; self-loops rejected).
+  EdgeId add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  // Edge ids incident to `n`.
+  [[nodiscard]] const std::vector<EdgeId>& incident(NodeId n) const {
+    return adj_[n];
+  }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+  [[nodiscard]] int degree(NodeId n) const {
+    return static_cast<int>(adj_[n].size());
+  }
+
+  // True if an edge {a,b} already exists (linear in deg(a)).
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adj_;
+};
+
+}  // namespace flexnets::graph

@@ -1,0 +1,104 @@
+#include "graph/ksp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace flexnets::graph {
+
+namespace {
+
+// BFS shortest path from src to dst avoiding banned nodes and banned
+// (directed, as traversed) edges. Returns empty if unreachable.
+std::vector<NodeId> restricted_shortest_path(
+    const Graph& g, NodeId src, NodeId dst,
+    const std::vector<char>& banned_node,
+    const std::set<std::pair<NodeId, NodeId>>& banned_hop) {
+  std::vector<NodeId> parent(static_cast<std::size_t>(g.num_nodes()),
+                             kInvalidNode);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::queue<NodeId> q;
+  seen[src] = 1;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    if (u == dst) break;
+    // Deterministic neighbor order: sorted copies.
+    std::vector<NodeId> nbrs = g.neighbors(u);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const NodeId v : nbrs) {
+      if (seen[v] || banned_node[v]) continue;
+      if (banned_hop.contains({u, v})) continue;
+      seen[v] = 1;
+      parent[v] = u;
+      q.push(v);
+    }
+  }
+  if (!seen[dst]) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != kInvalidNode; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& g, NodeId src,
+                                                  NodeId dst, int k) {
+  assert(src != dst && k >= 1);
+  std::vector<std::vector<NodeId>> result;
+  const std::vector<char> no_ban(static_cast<std::size_t>(g.num_nodes()), 0);
+  auto first = restricted_shortest_path(g, src, dst, no_ban, {});
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Candidate set ordered by (length, path) for determinism.
+  std::set<std::pair<std::size_t, std::vector<NodeId>>> candidates;
+
+  while (static_cast<int>(result.size()) < k) {
+    const auto& prev = result.back();
+    // Spur from every node of the previous path except dst.
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      const NodeId spur = prev[i];
+      std::vector<NodeId> root(prev.begin(),
+                               prev.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+
+      // Ban the next hop of every accepted path sharing this root.
+      std::set<std::pair<NodeId, NodeId>> banned_hop;
+      for (const auto& p : result) {
+        if (p.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          banned_hop.insert({p[i], p[i + 1]});
+        }
+      }
+      // Ban root nodes (except the spur) to keep paths loopless.
+      std::vector<char> banned_node(static_cast<std::size_t>(g.num_nodes()),
+                                    0);
+      for (std::size_t j = 0; j < i; ++j) banned_node[root[j]] = 1;
+
+      auto spur_path =
+          restricted_shortest_path(g, spur, dst, banned_node, banned_hop);
+      if (spur_path.empty()) continue;
+      root.pop_back();
+      root.insert(root.end(), spur_path.begin(), spur_path.end());
+      candidates.insert({root.size(), std::move(root)});
+    }
+    if (candidates.empty()) break;
+    auto it = candidates.begin();
+    // Skip candidates already accepted (can occur with equal-length ties).
+    while (it != candidates.end() &&
+           std::find(result.begin(), result.end(), it->second) !=
+               result.end()) {
+      it = candidates.erase(it);
+    }
+    if (it == candidates.end()) break;
+    result.push_back(it->second);
+    candidates.erase(it);
+  }
+  return result;
+}
+
+}  // namespace flexnets::graph

@@ -1,0 +1,21 @@
+// Yen's k-shortest loopless paths (Yen, Management Science 1971).
+//
+// Prior work routed expanders with MPTCP over k-shortest paths (paper
+// section 6 intro); this provides that baseline, and the KSP routing mode
+// built on it (routing/ksp_table.hpp).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flexnets::graph {
+
+// Up to k loopless paths from src to dst in ascending hop-length order,
+// each as a node sequence starting at src and ending at dst. Fewer than k
+// are returned if the graph does not contain k distinct loopless paths.
+// Ties are broken deterministically. Precondition: src != dst.
+std::vector<std::vector<NodeId>> k_shortest_paths(const Graph& g, NodeId src,
+                                                  NodeId dst, int k);
+
+}  // namespace flexnets::graph

@@ -1,0 +1,37 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace flexnets::graph {
+
+std::vector<std::pair<int, int>> greedy_max_weight_matching(
+    int n, const std::vector<std::vector<double>>& weight) {
+  assert(static_cast<int>(weight.size()) >= n);
+  struct Cand {
+    double w;
+    int i;
+    int j;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) cands.push_back({weight[i][j], i, j});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return std::tie(b.w, a.i, a.j) < std::tie(a.w, b.i, b.j);
+  });
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  std::vector<std::pair<int, int>> matching;
+  matching.reserve(static_cast<std::size_t>(n) / 2);
+  for (const Cand& c : cands) {
+    if (!used[c.i] && !used[c.j]) {
+      used[c.i] = used[c.j] = true;
+      matching.emplace_back(c.i, c.j);
+    }
+  }
+  return matching;
+}
+
+}  // namespace flexnets::graph

@@ -1,0 +1,20 @@
+// Weighted matching heuristics over a set of items.
+//
+// Used to build "longest matching" traffic matrices (paper section 5): pair
+// up racks so the total pairwise distance is (heuristically) maximized.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flexnets::graph {
+
+// Greedy maximum-weight perfect matching over `n` items with weight(i, j).
+// Considers all pairs sorted by descending weight and picks greedily; a
+// classic 1/2-approximation. If n is odd, one item stays unmatched.
+// Weights are arbitrary doubles; ties broken by (i, j) for determinism.
+std::vector<std::pair<int, int>> greedy_max_weight_matching(
+    int n, const std::vector<std::vector<double>>& weight);
+
+}  // namespace flexnets::graph

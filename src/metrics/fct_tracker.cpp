@@ -1,0 +1,38 @@
+#include "metrics/fct_tracker.hpp"
+
+namespace flexnets::metrics {
+
+FctSummary summarize(const std::vector<FlowRecord>& flows, TimeNs window_begin,
+                     TimeNs window_end, Bytes short_threshold) {
+  SampleSet all_fct;
+  SampleSet short_fct;
+  RunningStats long_tput;
+  FctSummary out;
+
+  for (const FlowRecord& f : flows) {
+    if (f.start < window_begin || f.start >= window_end) continue;
+    if (!f.completed()) {
+      ++out.incomplete_flows;
+      continue;
+    }
+    ++out.measured_flows;
+    const double fct_ms = to_millis(f.fct());
+    all_fct.add(fct_ms);
+    if (f.size < short_threshold) {
+      short_fct.add(fct_ms);
+    } else {
+      // Per-flow goodput in Gbps.
+      const double gbps =
+          static_cast<double>(f.size) * 8.0 / static_cast<double>(f.fct());
+      long_tput.add(gbps);
+    }
+  }
+
+  out.avg_fct_ms = all_fct.mean();
+  out.p99_fct_ms = all_fct.percentile(0.99);
+  out.p99_short_fct_ms = short_fct.percentile(0.99);
+  out.avg_long_tput_gbps = long_tput.mean();
+  return out;
+}
+
+}  // namespace flexnets::metrics

@@ -1,0 +1,38 @@
+// Flow-completion-time bookkeeping and the paper's three headline metrics
+// (section 6.4): average FCT over all flows, 99th-percentile FCT for short
+// flows (< 100 KB), and average per-flow throughput for the rest.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace flexnets::metrics {
+
+struct FlowRecord {
+  TimeNs start = 0;
+  TimeNs end = -1;  // -1 while incomplete
+  Bytes size = 0;
+
+  [[nodiscard]] bool completed() const { return end >= 0; }
+  [[nodiscard]] TimeNs fct() const { return end - start; }
+};
+
+struct FctSummary {
+  double avg_fct_ms = 0.0;
+  double p99_fct_ms = 0.0;
+  double p99_short_fct_ms = 0.0;   // flows < short_threshold
+  double avg_long_tput_gbps = 0.0; // flows >= short_threshold
+  int measured_flows = 0;
+  int incomplete_flows = 0;        // flows in-window that never finished
+};
+
+// Summarizes flows whose start lies in [window_begin, window_end). Flows
+// that never completed are counted in `incomplete_flows` and excluded from
+// the FCT/throughput statistics (the paper runs every experiment until all
+// in-window flows finish, so incomplete > 0 flags a truncated run).
+FctSummary summarize(const std::vector<FlowRecord>& flows, TimeNs window_begin,
+                     TimeNs window_end, Bytes short_threshold);
+
+}  // namespace flexnets::metrics

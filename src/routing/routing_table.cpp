@@ -1,0 +1,42 @@
+#include "routing/routing_table.hpp"
+
+#include <cassert>
+
+#include "graph/algorithms.hpp"
+
+namespace flexnets::routing {
+
+EcmpTable EcmpTable::build(const graph::Graph& g,
+                           const std::vector<NodeId>& dsts) {
+  EcmpTable t;
+  t.slot_of_dst_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  t.slots_.reserve(dsts.size());
+  for (const NodeId dst : dsts) {
+    assert(dst >= 0 && dst < g.num_nodes());
+    if (t.slot_of_dst_[dst] >= 0) continue;  // duplicate destination
+    const auto next = graph::ecmp_next_hops_to(g, dst);
+    PerDst slot;
+    slot.offset.resize(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
+    std::size_t total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) total += next[u].size();
+    slot.hops.reserve(total);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      slot.offset[u] = static_cast<std::int32_t>(slot.hops.size());
+      slot.hops.insert(slot.hops.end(), next[u].begin(), next[u].end());
+    }
+    slot.offset[g.num_nodes()] = static_cast<std::int32_t>(slot.hops.size());
+    t.slot_of_dst_[dst] = static_cast<std::int32_t>(t.slots_.size());
+    t.slots_.push_back(std::move(slot));
+  }
+  return t;
+}
+
+std::span<const NodeId> EcmpTable::next_hops(NodeId dst, NodeId at) const {
+  assert(has_dst(dst));
+  const PerDst& slot = slots_[static_cast<std::size_t>(slot_of_dst_[dst])];
+  const auto lo = static_cast<std::size_t>(slot.offset[at]);
+  const auto hi = static_cast<std::size_t>(slot.offset[at + 1]);
+  return {slot.hops.data() + lo, hi - lo};
+}
+
+}  // namespace flexnets::routing

@@ -1,0 +1,39 @@
+// ECMP routing tables: for each destination ToR, the set of neighbors on
+// shortest paths from every switch, stored in CSR form for compactness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flexnets::routing {
+
+using graph::NodeId;
+
+class EcmpTable {
+ public:
+  // Builds next-hop sets toward each destination in `dsts` (typically the
+  // ToRs). O(|dsts| * E) BFS time.
+  static EcmpTable build(const graph::Graph& g, const std::vector<NodeId>& dsts);
+
+  // Next hops from `at` toward `dst`; empty iff at == dst. Precondition:
+  // `dst` was in the build set and the graph is connected.
+  [[nodiscard]] std::span<const NodeId> next_hops(NodeId dst, NodeId at) const;
+
+  [[nodiscard]] bool has_dst(NodeId dst) const {
+    return dst >= 0 && dst < static_cast<NodeId>(slot_of_dst_.size()) &&
+           slot_of_dst_[dst] >= 0;
+  }
+
+ private:
+  struct PerDst {
+    std::vector<std::int32_t> offset;  // size = num_nodes + 1
+    std::vector<NodeId> hops;
+  };
+
+  std::vector<std::int32_t> slot_of_dst_;
+  std::vector<PerDst> slots_;
+};
+
+}  // namespace flexnets::routing

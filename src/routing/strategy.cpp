@@ -1,0 +1,117 @@
+#include "routing/strategy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexnets::routing {
+
+SourceRouter::SourceRouter(SourceRouteConfig cfg,
+                           std::vector<NodeId> via_candidates,
+                           std::uint64_t seed, KspTable* ksp)
+    : cfg_(cfg),
+      via_candidates_(std::move(via_candidates)),
+      rng_(splitmix64(seed ^ 0x50a7e2ULL)),
+      ksp_(ksp) {
+  assert((cfg_.mode != RoutingMode::kKsp || ksp_ != nullptr) &&
+         "KSP mode requires a KspTable");
+}
+
+NodeId SourceRouter::pick_via(const FlowRouteState& st) {
+  assert(via_candidates_.size() >= 3 &&
+         "VLB needs at least one ToR besides src and dst");
+  for (;;) {
+    const NodeId v = via_candidates_[rng_.next_u64(via_candidates_.size())];
+    if (v != st.src_tor && v != st.dst_tor) return v;
+  }
+}
+
+void SourceRouter::stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
+                                   bool new_flowlet) {
+  if (st.src_tor == st.dst_tor) return;  // intra-rack: no network hops
+  const auto& paths = ksp_->paths(st.src_tor, st.dst_tor);
+  assert(!paths.empty() && "no path between ToRs");
+  if (st.pinned_ksp >= 0) {
+    st.ksp_choice = std::min(st.pinned_ksp,
+                             static_cast<int>(paths.size()) - 1);
+  } else if (new_flowlet || st.ksp_choice < 0) {
+    st.ksp_choice = static_cast<int>(rng_.next_u64(paths.size()));
+  }
+  const auto& path = paths[static_cast<std::size_t>(st.ksp_choice)];
+  // path = [src_tor, ..., dst_tor]; stamp the hops after src_tor. Paths
+  // longer than the source-route capacity fall back to plain ECMP.
+  if (path.size() - 1 > static_cast<std::size_t>(sim::kMaxSourceRouteHops)) {
+    return;
+  }
+  pkt.src_route_len = static_cast<std::int8_t>(path.size() - 1);
+  pkt.src_route_pos = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    pkt.src_route[i - 1] = path[i];
+  }
+}
+
+void SourceRouter::prepare(FlowRouteState& st, sim::Packet& pkt, TimeNs now) {
+  bool new_flowlet = st.last_send < 0 || now - st.last_send > cfg_.flowlet_gap;
+  if (cfg_.mode == RoutingMode::kSpray) {
+    // Per-packet re-hash: every packet is its own flowlet.
+    if (st.last_send >= 0) ++st.flowlet;
+  } else if (new_flowlet && st.last_send >= 0) {
+    ++st.flowlet;
+  }
+
+  const bool vlb_phase =
+      cfg_.mode == RoutingMode::kVlb ||
+      (cfg_.mode == RoutingMode::kHyb &&
+       st.bytes_sent >= cfg_.hyb_threshold) ||
+      (cfg_.mode == RoutingMode::kHybEcn &&
+       st.ecn_echoes >= cfg_.hyb_ecn_marks);
+
+  if (vlb_phase) {
+    // Re-pick the bounce point at flowlet boundaries (paper 6.3: "for each
+    // new flow's flowlets, ECMP paths are chosen; for flowlets after the
+    // Q-threshold, VLB is used").
+    if (new_flowlet || st.via == graph::kInvalidNode) st.via = pick_via(st);
+  } else {
+    st.via = graph::kInvalidNode;
+    if (cfg_.mode == RoutingMode::kKsp) stamp_ksp_route(st, pkt, new_flowlet);
+  }
+
+  pkt.flowlet = st.flowlet;
+  pkt.via_tor = st.via == st.dst_tor ? graph::kInvalidNode : st.via;
+  st.last_send = now;
+  st.bytes_sent += pkt.payload;
+}
+
+std::span<const NodeId> SwitchForwarder::candidates(NodeId at,
+                                                    sim::Packet& pkt) const {
+  // Source-routed packets follow their stamped path verbatim.
+  if (pkt.src_route_len > 0) {
+    if (at == pkt.dst_tor) return {};
+    assert(pkt.src_route_pos < pkt.src_route_len && "source route exhausted");
+    const auto pos = pkt.src_route_pos++;
+    return {&pkt.src_route[static_cast<std::size_t>(pos)], 1};
+  }
+  if (pkt.via_tor == at) pkt.via_tor = graph::kInvalidNode;
+  const NodeId target =
+      pkt.via_tor != graph::kInvalidNode ? pkt.via_tor : pkt.dst_tor;
+  if (at == target) return {};  // deliver to host port
+  const auto hops = table_.next_hops(target, at);
+  assert(!hops.empty() && "no route toward target");
+  return hops;
+}
+
+NodeId SwitchForwarder::choose_by_hash(NodeId at, const sim::Packet& pkt,
+                                       std::span<const NodeId> hops) const {
+  const std::uint64_t h = hash_words(
+      salt_ ^ (static_cast<std::uint64_t>(pkt.flow_id) << 1 |
+               (pkt.is_ack ? 1 : 0)),
+      pkt.flowlet, static_cast<std::uint64_t>(at));
+  return hops[h % hops.size()];
+}
+
+NodeId SwitchForwarder::next_hop(NodeId at, sim::Packet& pkt) const {
+  const auto hops = candidates(at, pkt);
+  if (hops.empty()) return graph::kInvalidNode;
+  return choose_by_hash(at, pkt, hops);
+}
+
+}  // namespace flexnets::routing

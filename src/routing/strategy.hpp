@@ -1,0 +1,112 @@
+// Routing strategies (paper section 6 plus the section 7.1 design space):
+//
+//  - ECMP:    per-flowlet hashing over shortest-path next hops.
+//  - VLB:     bounce every flowlet through a random intermediate ToR
+//             (encapsulation), then ECMP on each leg.
+//  - HYB:     ECMP until the flow has sent Q bytes (default 100 KB), then
+//             VLB for subsequent flowlets (the paper's headline scheme).
+//  - HYB-ECN: the congestion-aware hybrid the paper describes first in
+//             section 6.3 -- switch to VLB once the flow has seen a
+//             threshold number of ECN marks, instead of a byte count.
+//  - KSP:     source-route each flowlet over one of the k shortest paths
+//             (the prior-art baseline for expanders).
+//  - SPRAY:   per-packet ECMP re-hashing (packet spraying).
+//
+// Independently, switches can select among ECMP candidates by hash
+// (default) or by least-occupied output queue (a DRILL/CONGA-flavored
+// local-adaptive policy; see paper section 7.1's open question).
+//
+// Path choice is split between the source (flowlet detection, VLB via
+// selection, mode switching, source-route stamping -- SourceRouter) and
+// the switches (next-hop choice among candidates -- SwitchForwarder).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "routing/ksp_table.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/packet.hpp"
+
+namespace flexnets::routing {
+
+enum class RoutingMode { kEcmp, kVlb, kHyb, kHybEcn, kKsp, kSpray };
+
+enum class SwitchPolicy {
+  kHash,        // deterministic hash of (flow, flowlet, switch)
+  kLeastQueue,  // smallest output-queue occupancy, hash tie-break
+};
+
+struct SourceRouteConfig {
+  RoutingMode mode = RoutingMode::kEcmp;
+  SwitchPolicy switch_policy = SwitchPolicy::kHash;
+  Bytes hyb_threshold = 100'000;   // Q: bytes of ECMP before VLB (paper 6.3)
+  std::uint64_t hyb_ecn_marks = 10;  // HYB-ECN: marks before switching
+  TimeNs flowlet_gap = 50 * kMicrosecond;
+  int ksp_k = 4;  // paths per ToR pair in KSP mode
+};
+
+// Per-flow source-side routing state.
+struct FlowRouteState {
+  NodeId src_tor = graph::kInvalidNode;
+  NodeId dst_tor = graph::kInvalidNode;
+  TimeNs last_send = -1;
+  std::uint32_t flowlet = 0;
+  NodeId via = graph::kInvalidNode;
+  Bytes bytes_sent = 0;
+  std::uint64_t ecn_echoes = 0;  // updated by the transport (HYB-ECN)
+  int ksp_choice = -1;           // current flowlet's path index (KSP)
+  int pinned_ksp = -1;  // >= 0 pins every flowlet to that KSP path (MPTCP
+                        // subflows); clamped to the available path count
+};
+
+class SourceRouter {
+ public:
+  // `ksp` may be null unless mode == kKsp.
+  SourceRouter(SourceRouteConfig cfg, std::vector<NodeId> via_candidates,
+               std::uint64_t seed, KspTable* ksp = nullptr);
+
+  // Assigns flowlet id, VLB via, and/or source route to an outgoing data
+  // packet and updates the flow's routing state.
+  void prepare(FlowRouteState& st, sim::Packet& pkt, TimeNs now);
+
+  [[nodiscard]] const SourceRouteConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] NodeId pick_via(const FlowRouteState& st);
+  void stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
+                       bool new_flowlet);
+
+  SourceRouteConfig cfg_;
+  std::vector<NodeId> via_candidates_;
+  Rng rng_;
+  KspTable* ksp_;
+};
+
+// Switch-side forwarding, in two steps so the network can apply the
+// configured SwitchPolicy:
+//   candidates() returns the admissible next hops (empty = deliver to the
+//   local host port), resolving source routes and clearing the packet's
+//   via_tor once the bounce point is reached;
+//   choose_by_hash() picks deterministically among them.
+class SwitchForwarder {
+ public:
+  SwitchForwarder(const EcmpTable& table, std::uint64_t hash_salt)
+      : table_(table), salt_(hash_salt) {}
+
+  [[nodiscard]] std::span<const NodeId> candidates(NodeId at,
+                                                   sim::Packet& pkt) const;
+  [[nodiscard]] NodeId choose_by_hash(NodeId at, const sim::Packet& pkt,
+                                      std::span<const NodeId> hops) const;
+
+  // Convenience for the default hash policy: kInvalidNode = deliver.
+  NodeId next_hop(NodeId at, sim::Packet& pkt) const;
+
+ private:
+  const EcmpTable& table_;
+  std::uint64_t salt_;
+};
+
+}  // namespace flexnets::routing

@@ -1,0 +1,19 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace flexnets::sim {
+
+void EventQueue::push(Event e) {
+  e.seq = next_seq_++;
+  heap_.push(std::move(e));
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace flexnets::sim

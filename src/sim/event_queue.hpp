@@ -1,0 +1,51 @@
+// Discrete-event queue: a binary heap of (time, insertion-sequence) ordered
+// events. The sequence number makes simultaneous events FIFO and the whole
+// simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/packet.hpp"
+
+namespace flexnets::sim {
+
+enum class EventType : std::uint8_t {
+  kLinkDequeue,   // a = link id: transmission of head packet finished
+  kPacketArrive,  // a = node id: packet reached the node after propagation
+  kTransportTimer,  // a = flow id, b = timer generation
+  kFlowStart,     // a = index into the experiment's flow list
+};
+
+struct Event {
+  TimeNs time = 0;
+  std::uint64_t seq = 0;
+  EventType type = EventType::kFlowStart;
+  std::int32_t a = 0;
+  std::uint64_t b = 0;
+  Packet pkt;  // valid for kPacketArrive only
+};
+
+class EventQueue {
+ public:
+  void push(Event e);
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace flexnets::sim

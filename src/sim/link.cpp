@@ -1,0 +1,53 @@
+#include "sim/link.hpp"
+
+#include <cassert>
+
+namespace flexnets::sim {
+
+Link::Link(std::int32_t id, std::int32_t from_node, std::int32_t to_node,
+           const LinkConfig& cfg)
+    : id_(id), from_(from_node), to_(to_node), cfg_(cfg) {
+  assert(cfg_.rate > 0);
+}
+
+void Link::enqueue(Simulator& sim, Packet pkt) {
+  if (!busy_) {
+    start_transmission(sim, std::move(pkt));
+    return;
+  }
+  if (queued_bytes_ + pkt.wire_size > cfg_.queue_capacity) {
+    ++drops_;
+    return;
+  }
+  if (queued_bytes_ >= cfg_.ecn_threshold) {
+    pkt.ecn_ce = true;
+    ++ecn_marks_;
+  }
+  queued_bytes_ += pkt.wire_size;
+  queue_.push_back(std::move(pkt));
+}
+
+void Link::start_transmission(Simulator& sim, Packet pkt) {
+  busy_ = true;
+  ++packets_sent_;
+  bytes_sent_ += pkt.wire_size;
+  const TimeNs tx_done = sim.now() + serialization_time(pkt.wire_size, cfg_.rate);
+  // The packet leaves the wire at tx_done + propagation; the transmitter is
+  // free again at tx_done. Arrival is scheduled now (it cannot be affected
+  // by later events); the dequeue event frees the transmitter.
+  sim.schedule_packet(tx_done + cfg_.propagation, to_, std::move(pkt));
+  sim.schedule(tx_done, EventType::kLinkDequeue, id_);
+}
+
+void Link::on_dequeue(Simulator& sim) {
+  assert(busy_);
+  busy_ = false;
+  if (!queue_.empty()) {
+    Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= next.wire_size;
+    start_transmission(sim, std::move(next));
+  }
+}
+
+}  // namespace flexnets::sim

@@ -1,0 +1,63 @@
+// A unidirectional link: an output queue plus a serializing transmitter and
+// a fixed propagation delay. Queues are drop-tail and ECN-mark arriving
+// packets when the instantaneous occupancy is at or above the marking
+// threshold (DCTCP-style, paper section 6.4: K = 20 full-sized packets).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/units.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexnets::sim {
+
+struct LinkConfig {
+  RateBps rate = 10 * kGbps;
+  TimeNs propagation = 100;            // ~20m of fiber
+  Bytes queue_capacity = 150'000;      // 100 full-sized packets
+  Bytes ecn_threshold = 30'000;        // 20 full-sized packets
+};
+
+class Link {
+ public:
+  Link(std::int32_t id, std::int32_t from_node, std::int32_t to_node,
+       const LinkConfig& cfg);
+
+  // Queues the packet (possibly marking/dropping); starts transmitting if
+  // idle. Called when a node forwards a packet onto this link.
+  void enqueue(Simulator& sim, Packet pkt);
+
+  // kLinkDequeue handler: head packet finished serializing.
+  void on_dequeue(Simulator& sim);
+
+  [[nodiscard]] std::int32_t id() const { return id_; }
+  [[nodiscard]] std::int32_t from_node() const { return from_; }
+  [[nodiscard]] std::int32_t to_node() const { return to_; }
+  [[nodiscard]] Bytes queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+
+ private:
+  void start_transmission(Simulator& sim, Packet pkt);
+
+  std::int32_t id_;
+  std::int32_t from_;
+  std::int32_t to_;
+  LinkConfig cfg_;
+
+  std::deque<Packet> queue_;
+  Bytes queued_bytes_ = 0;
+  bool busy_ = false;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  Bytes bytes_sent_ = 0;
+};
+
+}  // namespace flexnets::sim

@@ -1,0 +1,192 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexnets::sim {
+
+PacketNetwork::PacketNetwork(const topo::Topology& topo,
+                             const NetworkConfig& cfg)
+    : topo_(topo),
+      cfg_(cfg),
+      num_switches_(topo.num_switches()),
+      num_hosts_(topo.num_servers()) {
+  out_.resize(static_cast<std::size_t>(num_switches_ + num_hosts_));
+
+  auto add_link = [&](std::int32_t from, std::int32_t to,
+                      const LinkConfig& lc) {
+    const auto id = static_cast<std::int32_t>(links_.size());
+    links_.push_back(std::make_unique<Link>(id, from, to, lc));
+    out_[from].emplace_back(to, id);
+  };
+
+  for (const auto& e : topo_.g.edges()) {
+    add_link(e.a, e.b, cfg_.network_link);
+    add_link(e.b, e.a, cfg_.network_link);
+  }
+  tor_of_server_.reserve(static_cast<std::size_t>(num_hosts_));
+  int server = 0;
+  for (graph::NodeId sw = 0; sw < num_switches_; ++sw) {
+    for (int i = 0; i < topo_.servers_per_switch[sw]; ++i, ++server) {
+      const std::int32_t host = host_node(server);
+      add_link(host, sw, cfg_.server_link);
+      add_link(sw, host, cfg_.server_link);
+      tor_of_server_.push_back(sw);
+    }
+  }
+  for (auto& v : out_) std::sort(v.begin(), v.end());
+
+  // Routing: ECMP next hops toward every ToR (VLB vias are ToRs too).
+  const auto tors = topo_.tors();
+  ecmp_ = routing::EcmpTable::build(topo_.g, tors);
+  if (cfg_.routing.mode == routing::RoutingMode::kKsp) {
+    ksp_ = std::make_unique<routing::KspTable>(topo_.g, cfg_.routing.ksp_k);
+  }
+  router_ = std::make_unique<routing::SourceRouter>(
+      cfg_.routing, tors, splitmix64(cfg_.seed ^ 0x70e7e5ULL), ksp_.get());
+  forwarder_ = std::make_unique<routing::SwitchForwarder>(
+      ecmp_, splitmix64(cfg_.seed ^ 0xec3b5aULL));
+  engine_ = std::make_unique<transport::DctcpEngine>(cfg_.transport, *this,
+                                                     *router_);
+
+  sim_.set_handler([this](const Event& e) { handle(e); });
+}
+
+Link& PacketNetwork::out_link(std::int32_t from_node, std::int32_t to_node) {
+  const auto& v = out_[from_node];
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), std::pair<std::int32_t, std::int32_t>{to_node, -1});
+  assert(it != v.end() && it->first == to_node && "no such link");
+  return *links_[static_cast<std::size_t>(it->second)];
+}
+
+const Link& PacketNetwork::link_between(std::int32_t from_node,
+                                        std::int32_t to_node) const {
+  return const_cast<PacketNetwork*>(this)->out_link(from_node, to_node);
+}
+
+void PacketNetwork::inject(std::int32_t host, Packet pkt) {
+  // A host has exactly one uplink (to its ToR).
+  assert(out_[host].size() == 1);
+  links_[static_cast<std::size_t>(out_[host][0].second)]->enqueue(sim_,
+                                                                  std::move(pkt));
+}
+
+void PacketNetwork::set_timer(std::int32_t flow, TimeNs at,
+                              std::uint64_t gen) {
+  sim_.schedule(at, EventType::kTransportTimer, flow, gen);
+}
+
+void PacketNetwork::flow_completed(std::int32_t, TimeNs) {
+  // Completion times live in the engine's flow records; nothing to do.
+}
+
+void PacketNetwork::forward_at_switch(graph::NodeId sw, Packet pkt) {
+  const auto hops = forwarder_->candidates(sw, pkt);
+  if (hops.empty()) {
+    out_link(sw, pkt.dst_host).enqueue(sim_, std::move(pkt));
+    return;
+  }
+  graph::NodeId nh;
+  if (cfg_.routing.switch_policy == routing::SwitchPolicy::kLeastQueue &&
+      hops.size() > 1) {
+    // DRILL/CONGA-flavored local adaptivity: pick the least-occupied output
+    // queue; break ties by the deterministic hash.
+    nh = forwarder_->choose_by_hash(sw, pkt, hops);
+    Bytes best = out_link(sw, nh).queued_bytes();
+    for (const auto h : hops) {
+      const Bytes q = out_link(sw, h).queued_bytes();
+      if (q < best) {
+        best = q;
+        nh = h;
+      }
+    }
+  } else {
+    nh = forwarder_->choose_by_hash(sw, pkt, hops);
+  }
+  out_link(sw, nh).enqueue(sim_, std::move(pkt));
+}
+
+void PacketNetwork::handle(const Event& e) {
+  switch (e.type) {
+    case EventType::kLinkDequeue:
+      links_[static_cast<std::size_t>(e.a)]->on_dequeue(sim_);
+      break;
+    case EventType::kPacketArrive:
+      if (e.a < num_switches_) {
+        forward_at_switch(e.a, e.pkt);
+      } else {
+        engine_->on_packet(e.pkt);
+      }
+      break;
+    case EventType::kTransportTimer:
+      engine_->on_timer(e.a, e.b);
+      break;
+    case EventType::kFlowStart: {
+      assert(pending_flows_);
+      const auto& spec = (*pending_flows_)[static_cast<std::size_t>(e.a)];
+      if (flow_opener_) {
+        flow_opener_(spec);
+        break;
+      }
+      const auto id = engine_->open_flow(
+          host_node(spec.src_server), host_node(spec.dst_server),
+          tor_of_server_[spec.src_server], tor_of_server_[spec.dst_server],
+          spec.size);
+      engine_->start(id);
+      break;
+    }
+  }
+}
+
+void PacketNetwork::run(const std::vector<workload::FlowSpec>& flows,
+                        TimeNs until) {
+  pending_flows_ = &flows;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    sim_.schedule(flows[i].start, EventType::kFlowStart,
+                  static_cast<std::int32_t>(i));
+  }
+  sim_.run(until);
+  pending_flows_ = nullptr;
+}
+
+std::uint64_t PacketNetwork::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->drops();
+  return n;
+}
+
+std::uint64_t PacketNetwork::total_ecn_marks() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->ecn_marks();
+  return n;
+}
+
+PacketNetwork::UtilizationSummary PacketNetwork::utilization(
+    TimeNs horizon) const {
+  assert(horizon > 0);
+  UtilizationSummary s;
+  int network_links = 0;
+  int access_links = 0;
+  for (const auto& l : links_) {
+    const double cap_bytes = static_cast<double>(l->config().rate) / 8.0 *
+                             to_seconds(horizon);
+    const double u = static_cast<double>(l->bytes_sent()) / cap_bytes;
+    const bool is_network = l->from_node() < num_switches_ &&
+                            l->to_node() < num_switches_;
+    if (is_network) {
+      s.network_mean += u;
+      s.network_max = std::max(s.network_max, u);
+      ++network_links;
+    } else {
+      s.access_mean += u;
+      s.access_max = std::max(s.access_max, u);
+      ++access_links;
+    }
+  }
+  if (network_links > 0) s.network_mean /= network_links;
+  if (access_links > 0) s.access_mean /= access_links;
+  return s;
+}
+
+}  // namespace flexnets::sim

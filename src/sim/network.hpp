@@ -1,0 +1,108 @@
+// Instantiates the packet simulator for a topology: a pair of links per
+// network edge, an access link pair per server, ECMP tables, the source
+// router, and the DCTCP engine. Dispatches all simulator events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "routing/routing_table.hpp"
+#include "routing/strategy.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "topo/topology.hpp"
+#include "transport/dctcp.hpp"
+#include "workload/arrivals.hpp"
+
+namespace flexnets::sim {
+
+struct NetworkConfig {
+  LinkConfig network_link;  // switch <-> switch
+  LinkConfig server_link;   // host <-> ToR (rate may be set very high to
+                            // model the "server bottleneck ignored" setting
+                            // of the ProjecToR comparison, paper 6.6)
+  transport::DctcpConfig transport;
+  routing::SourceRouteConfig routing;
+  std::uint64_t seed = 1;
+};
+
+class PacketNetwork final : public transport::TransportEnv {
+ public:
+  PacketNetwork(const topo::Topology& topo, const NetworkConfig& cfg);
+
+  // Schedules all flows and runs the simulation to completion (or `until`).
+  void run(const std::vector<workload::FlowSpec>& flows,
+           TimeNs until = Simulator::kMaxTime);
+
+  // TransportEnv implementation.
+  [[nodiscard]] TimeNs now() const override { return sim_.now(); }
+  void inject(std::int32_t host, Packet pkt) override;
+  void set_timer(std::int32_t flow, TimeNs at, std::uint64_t gen) override;
+  void flow_completed(std::int32_t flow, TimeNs when) override;
+
+  [[nodiscard]] transport::DctcpEngine& engine() { return *engine_; }
+  [[nodiscard]] const transport::DctcpEngine& engine() const { return *engine_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+
+  [[nodiscard]] std::int32_t host_node(int server) const {
+    return num_switches_ + server;
+  }
+  // The link from `from_node` to `to_node`; asserts if absent.
+  [[nodiscard]] const Link& link_between(std::int32_t from_node,
+                                         std::int32_t to_node) const;
+
+  // Aggregate link statistics (drops, ECN marks) for diagnostics.
+  [[nodiscard]] std::uint64_t total_drops() const;
+  [[nodiscard]] std::uint64_t total_ecn_marks() const;
+
+  // Per-class link utilization over [0, horizon): mean and max fraction of
+  // each link's capacity consumed, split into network (switch-switch) and
+  // access (host-switch) links. Useful for diagnosing where a routing
+  // scheme concentrates load.
+  struct UtilizationSummary {
+    double network_mean = 0.0;
+    double network_max = 0.0;
+    double access_mean = 0.0;
+    double access_max = 0.0;
+  };
+  [[nodiscard]] UtilizationSummary utilization(TimeNs horizon) const;
+
+  // Overrides how kFlowStart events open flows (default: one DCTCP flow via
+  // the engine). Used to route flow arrivals through an alternative
+  // transport, e.g. transport::MptcpEngine.
+  using FlowOpener = std::function<void(const workload::FlowSpec&)>;
+  void set_flow_opener(FlowOpener opener) { flow_opener_ = std::move(opener); }
+
+  [[nodiscard]] graph::NodeId tor_of_server(int server) const {
+    return tor_of_server_[server];
+  }
+
+ private:
+  void handle(const Event& e);
+  Link& out_link(std::int32_t from_node, std::int32_t to_node);
+  void forward_at_switch(graph::NodeId sw, Packet pkt);
+
+  const topo::Topology& topo_;
+  NetworkConfig cfg_;
+  std::int32_t num_switches_;
+  std::int32_t num_hosts_;
+
+  Simulator sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // Per node: (neighbor node, link id) pairs, sorted by neighbor.
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> out_;
+
+  routing::EcmpTable ecmp_;
+  std::unique_ptr<routing::KspTable> ksp_;
+  std::unique_ptr<routing::SourceRouter> router_;
+  std::unique_ptr<routing::SwitchForwarder> forwarder_;
+  std::unique_ptr<transport::DctcpEngine> engine_;
+
+  const std::vector<workload::FlowSpec>* pending_flows_ = nullptr;
+  std::vector<graph::NodeId> tor_of_server_;
+  FlowOpener flow_opener_;
+};
+
+}  // namespace flexnets::sim

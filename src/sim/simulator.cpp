@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace flexnets::sim {
+
+void Simulator::schedule(TimeNs at, EventType type, std::int32_t a,
+                         std::uint64_t b) {
+  assert(at >= now_ && "cannot schedule into the past");
+  Event e;
+  e.time = at;
+  e.type = type;
+  e.a = a;
+  e.b = b;
+  queue_.push(std::move(e));
+}
+
+void Simulator::schedule_packet(TimeNs at, std::int32_t node, Packet pkt) {
+  assert(at >= now_ && "cannot schedule into the past");
+  Event e;
+  e.time = at;
+  e.type = EventType::kPacketArrive;
+  e.a = node;
+  e.pkt = pkt;
+  queue_.push(std::move(e));
+}
+
+std::uint64_t Simulator::run(TimeNs until) {
+  assert(handler_ && "no event handler installed");
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event e = queue_.pop();
+    assert(e.time >= now_);
+    now_ = e.time;
+    handler_(e);
+    ++n;
+  }
+  processed_ += n;
+  return n;
+}
+
+}  // namespace flexnets::sim

@@ -1,0 +1,38 @@
+// The simulation clock and event loop. Event semantics live in a handler
+// installed by the network (sim/network.hpp); this class only guarantees
+// monotonic time and deterministic ordering.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace flexnets::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  void schedule(TimeNs at, EventType type, std::int32_t a, std::uint64_t b = 0);
+  void schedule_packet(TimeNs at, std::int32_t node, Packet pkt);
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  // Runs until the queue drains or `until` is passed (events beyond `until`
+  // stay queued). Returns the number of events processed.
+  std::uint64_t run(TimeNs until = kMaxTime);
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  static constexpr TimeNs kMaxTime = INT64_MAX;
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  std::uint64_t processed_ = 0;
+  Handler handler_;
+};
+
+}  // namespace flexnets::sim

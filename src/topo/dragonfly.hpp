@@ -1,0 +1,29 @@
+// Dragonfly (Kim, Dally, Scott, Abts -- ISCA 2008), the structured
+// low-diameter topology whose HPC deployment the paper cites (section 4.2)
+// as evidence that adopting a non-Clos static topology is practical.
+//
+// Canonical balanced configuration: groups of `a` routers, each router
+// with h inter-group (global) links and a-1 intra-group links; g = a*h + 1
+// groups, with exactly one global link between every pair of groups.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+struct Dragonfly {
+  Topology topo;
+  int a = 0;  // routers per group
+  int h = 0;  // global links per router
+
+  [[nodiscard]] int num_groups() const { return a * h + 1; }
+  [[nodiscard]] int group_of(NodeId s) const { return s / a; }
+};
+
+// Balanced dragonfly: a routers/group, h global links/router, g = a*h + 1
+// groups, `servers_per_switch` hosts per router (canonical balance is
+// p = h). Global link between groups (i, j): deterministic port mapping.
+// Preconditions: a >= 1, h >= 1.
+Dragonfly dragonfly(int a, int h, int servers_per_switch);
+
+}  // namespace flexnets::topo

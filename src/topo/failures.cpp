@@ -1,0 +1,50 @@
+#include "topo/failures.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/algorithms.hpp"
+
+namespace flexnets::topo {
+
+Topology with_failed_links(const Topology& t, double fraction,
+                           std::uint64_t seed) {
+  assert(fraction >= 0.0 && fraction < 1.0);
+  const int total = t.num_network_links();
+  int to_remove = static_cast<int>(std::floor(fraction * total));
+
+  std::vector<graph::EdgeId> order(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) order[static_cast<std::size_t>(i)] = i;
+  Rng rng(splitmix64(seed ^ 0xfa11edULL));
+  rng.shuffle(order);
+
+  std::vector<char> removed(static_cast<std::size_t>(total), 0);
+  auto rebuild = [&]() {
+    graph::Graph g(t.num_switches());
+    for (graph::EdgeId e = 0; e < total; ++e) {
+      if (!removed[e]) g.add_edge(t.g.edge(e).a, t.g.edge(e).b);
+    }
+    return g;
+  };
+
+  for (const graph::EdgeId e : order) {
+    if (to_remove == 0) break;
+    removed[e] = 1;
+    if (graph::is_connected(rebuild())) {
+      --to_remove;
+    } else {
+      removed[e] = 0;  // cut edge; keep it
+    }
+  }
+
+  Topology out;
+  out.name = t.name + "+failures(" +
+             std::to_string(static_cast<int>(fraction * 100)) + "%)";
+  out.g = rebuild();
+  out.servers_per_switch = t.servers_per_switch;
+  return out;
+}
+
+}  // namespace flexnets::topo

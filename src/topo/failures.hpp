@@ -1,0 +1,22 @@
+// Link-failure injection: degrade a topology by removing a fraction of its
+// network links while preserving connectivity (so routing stays
+// well-defined). Expander-based designs are known to degrade gracefully
+// under failures, whereas a fat-tree's structured stages lose capacity in
+// lockstep -- an operational argument for static expanders that
+// complements the paper's cost argument.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+// Returns a copy of `t` with up to floor(fraction * links) network links
+// removed, chosen uniformly at random but skipping any link whose removal
+// would disconnect the switch graph. Deterministic in `seed`. The actual
+// number removed can be lower on sparse graphs; check num_network_links().
+Topology with_failed_links(const Topology& t, double fraction,
+                           std::uint64_t seed);
+
+}  // namespace flexnets::topo

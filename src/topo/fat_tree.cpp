@@ -1,0 +1,67 @@
+#include "topo/fat_tree.hpp"
+
+#include <cassert>
+
+namespace flexnets::topo {
+
+int FatTreeLayout::pod_of(NodeId s) const {
+  const int half = k / 2;
+  if (is_edge(s)) return static_cast<int>(s) / half;
+  if (is_agg(s)) return static_cast<int>(s - num_edge) / half;
+  return -1;  // cores belong to no pod
+}
+
+FatTree fat_tree_stripped(int k, int cores_kept) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  const int num_edge = k * half;
+  const int num_agg = k * half;
+  const int full_cores = half * half;
+  assert(cores_kept >= 1 && cores_kept <= full_cores);
+
+  FatTree ft;
+  ft.layout = {k, num_edge, num_agg, cores_kept};
+  ft.topo.name = cores_kept == full_cores
+                     ? "fat-tree(k=" + std::to_string(k) + ")"
+                     : "fat-tree(k=" + std::to_string(k) + ",cores=" +
+                           std::to_string(cores_kept) + "/" +
+                           std::to_string(full_cores) + ")";
+  ft.topo.g = graph::Graph(num_edge + num_agg + cores_kept);
+  ft.topo.servers_per_switch.assign(
+      static_cast<std::size_t>(num_edge + num_agg + cores_kept), 0);
+
+  // Edge switches host k/2 servers each.
+  for (NodeId e = 0; e < num_edge; ++e) ft.topo.servers_per_switch[e] = half;
+
+  // Edge <-> aggregation, full bipartite within each pod.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        ft.topo.g.add_edge(pod * half + e, num_edge + pod * half + a);
+      }
+    }
+  }
+
+  // Aggregation <-> core: core c (of the full (k/2)^2) connects to the
+  // (c / half)-th aggregation switch of every pod. Keeping a prefix of core
+  // ids strips cores evenly across stripes only when cores_kept is a
+  // multiple of half; we instead interleave so stripes lose cores uniformly:
+  // kept core i corresponds to full-core id perm(i) = (i * full_cores') ...
+  // Simplest uniform striping: walk stripes round-robin.
+  int added = 0;
+  for (int off = 0; off < half && added < cores_kept; ++off) {
+    for (int stripe = 0; stripe < half && added < cores_kept; ++stripe) {
+      // Full-core id = stripe * half + off; our compact id = added.
+      const NodeId core = num_edge + num_agg + added;
+      for (int pod = 0; pod < k; ++pod) {
+        ft.topo.g.add_edge(num_edge + pod * half + stripe, core);
+      }
+      ++added;
+    }
+  }
+  return ft;
+}
+
+FatTree fat_tree(int k) { return fat_tree_stripped(k, (k / 2) * (k / 2)); }
+
+}  // namespace flexnets::topo

@@ -1,0 +1,125 @@
+#include "topo/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace flexnets::topo {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+void write_text(std::ostream& out, const Topology& t) {
+  out << "flexnets-topology 1\n";
+  out << "name " << (t.name.empty() ? "(unnamed)" : t.name) << "\n";
+  out << "switches " << t.num_switches() << "\n";
+  out << "servers";
+  for (const int s : t.servers_per_switch) out << " " << s;
+  out << "\n";
+  out << "links " << t.g.num_edges() << "\n";
+  for (const auto& e : t.g.edges()) out << e.a << " " << e.b << "\n";
+}
+
+std::string to_text(const Topology& t) {
+  std::ostringstream out;
+  write_text(out, t);
+  return out.str();
+}
+
+std::optional<Topology> read_text(std::istream& in, std::string* error) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "flexnets-topology" ||
+      version != 1) {
+    fail(error, "bad header (expected 'flexnets-topology 1')");
+    return std::nullopt;
+  }
+  std::string key;
+  Topology t;
+  if (!(in >> key) || key != "name") {
+    fail(error, "expected 'name'");
+    return std::nullopt;
+  }
+  in >> std::ws;
+  std::getline(in, t.name);
+
+  int n = 0;
+  if (!(in >> key >> n) || key != "switches" || n < 0) {
+    fail(error, "expected 'switches <n>'");
+    return std::nullopt;
+  }
+  if (!(in >> key) || key != "servers") {
+    fail(error, "expected 'servers ...'");
+    return std::nullopt;
+  }
+  t.servers_per_switch.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!(in >> t.servers_per_switch[i]) || t.servers_per_switch[i] < 0) {
+      fail(error, "bad server count");
+      return std::nullopt;
+    }
+  }
+  int m = 0;
+  if (!(in >> key >> m) || key != "links" || m < 0) {
+    fail(error, "expected 'links <m>'");
+    return std::nullopt;
+  }
+  t.g = graph::Graph(n);
+  for (int i = 0; i < m; ++i) {
+    int a = 0;
+    int b = 0;
+    if (!(in >> a >> b) || a < 0 || b < 0 || a >= n || b >= n || a == b) {
+      fail(error, "bad link at index " + std::to_string(i));
+      return std::nullopt;
+    }
+    t.g.add_edge(a, b);
+  }
+  return t;
+}
+
+std::optional<Topology> from_text(const std::string& text,
+                                  std::string* error) {
+  std::istringstream in(text);
+  return read_text(in, error);
+}
+
+std::string to_dot(const Topology& t) {
+  std::ostringstream out;
+  out << "graph \"" << t.name << "\" {\n  node [shape=box];\n";
+  for (graph::NodeId s = 0; s < t.num_switches(); ++s) {
+    out << "  s" << s << " [label=\"s" << s;
+    if (t.servers_per_switch[s] > 0) {
+      out << " (+" << t.servers_per_switch[s] << " srv)";
+    }
+    out << "\"];\n";
+  }
+  for (const auto& e : t.g.edges()) {
+    out << "  s" << e.a << " -- s" << e.b << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+bool save_topology(const std::string& path, const Topology& t) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_text(out, t);
+  return static_cast<bool>(out);
+}
+
+std::optional<Topology> load_topology(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_text(in, error);
+}
+
+}  // namespace flexnets::topo

@@ -1,0 +1,40 @@
+// Topology serialization: a plain-text interchange format (round-trippable)
+// and Graphviz DOT export for visual inspection.
+//
+// Text format:
+//   flexnets-topology 1
+//   name <string, may contain spaces>
+//   switches <n>
+//   servers <s_0> <s_1> ... <s_{n-1}>
+//   links <m>
+//   <a_0> <b_0>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+void write_text(std::ostream& out, const Topology& t);
+std::string to_text(const Topology& t);
+
+// Parses the text format; returns nullopt (and leaves a message in `error`
+// if provided) on malformed input.
+std::optional<Topology> read_text(std::istream& in,
+                                  std::string* error = nullptr);
+std::optional<Topology> from_text(const std::string& text,
+                                  std::string* error = nullptr);
+
+// Graphviz: switches as boxes labeled "s<i> (+k srv)"; one edge per link.
+std::string to_dot(const Topology& t);
+
+// File helpers; return false on I/O failure.
+bool save_topology(const std::string& path, const Topology& t);
+std::optional<Topology> load_topology(const std::string& path,
+                                      std::string* error = nullptr);
+
+}  // namespace flexnets::topo

@@ -1,0 +1,154 @@
+#include "topo/jellyfish.hpp"
+
+#include <cassert>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace flexnets::topo {
+
+namespace {
+
+using Pair = std::pair<NodeId, NodeId>;
+
+Pair canon(NodeId a, NodeId b) { return a < b ? Pair{a, b} : Pair{b, a}; }
+
+// Jellyfish-style random graph with a prescribed degree per node: random
+// incremental joins, then edge-steal repair for nodes left with >= 2 free
+// ports. If the total port count is odd, one port stays unfilled.
+std::set<Pair> random_graph(const std::vector<int>& degree, Rng rng) {
+  const auto n = static_cast<NodeId>(degree.size());
+  std::vector<int> free_ports = degree;
+  std::set<Pair> links;
+
+  auto add = [&](NodeId a, NodeId b) {
+    links.insert(canon(a, b));
+    --free_ports[a];
+    --free_ports[b];
+  };
+  auto remove = [&](NodeId a, NodeId b) {
+    links.erase(canon(a, b));
+    ++free_ports[a];
+    ++free_ports[b];
+  };
+
+  // Phase 1: repeated random pairing passes over open switches.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<NodeId> open;
+    for (NodeId i = 0; i < n; ++i) {
+      if (free_ports[i] > 0) open.push_back(i);
+    }
+    if (open.size() < 2) break;
+    rng.shuffle(open);
+    for (std::size_t i = 0; i + 1 < open.size(); i += 2) {
+      const NodeId a = open[i];
+      const NodeId b = open[i + 1];
+      if (free_ports[a] > 0 && free_ports[b] > 0 &&
+          !links.contains(canon(a, b))) {
+        add(a, b);
+        progress = true;
+      }
+    }
+  }
+
+  // Phase 2: a switch with >= 2 free ports steals an existing link (x, y):
+  // remove it and add (s, x), (s, y).
+  for (NodeId s = 0; s < n; ++s) {
+    int guard = 20000;
+    while (free_ports[s] >= 2 && guard-- > 0) {
+      const auto idx = rng.next_u64(links.size());
+      auto it = links.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(idx));
+      const auto [x, y] = *it;
+      if (x == s || y == s) continue;
+      if (links.contains(canon(s, x)) || links.contains(canon(s, y))) continue;
+      remove(x, y);
+      add(s, x);
+      add(s, y);
+    }
+    assert(free_ports[s] <= 1 && "jellyfish repair failed to converge");
+  }
+
+  // Phase 3: if exactly two switches have one free port each, join them
+  // (directly or via one swap). A single leftover port (odd total) stays.
+  std::vector<NodeId> open;
+  for (NodeId i = 0; i < n; ++i) {
+    if (free_ports[i] == 1) open.push_back(i);
+  }
+  if (open.size() == 2) {
+    const NodeId a = open[0];
+    const NodeId b = open[1];
+    if (!links.contains(canon(a, b))) {
+      add(a, b);
+    } else {
+      int guard = 20000;
+      while (guard-- > 0) {
+        const auto idx = rng.next_u64(links.size());
+        auto it = links.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(idx));
+        const auto [x, y] = *it;
+        if (x == a || x == b || y == a || y == b) continue;
+        if (links.contains(canon(a, x)) || links.contains(canon(b, y))) continue;
+        remove(x, y);
+        add(a, x);
+        add(b, y);
+        break;
+      }
+    }
+  }
+  return links;
+}
+
+Topology from_links(std::string name, int num_switches,
+                    std::vector<int> servers, const std::set<Pair>& links) {
+  Topology t;
+  t.name = std::move(name);
+  t.g = graph::Graph(num_switches);
+  for (const auto& [a, b] : links) t.g.add_edge(a, b);
+  t.servers_per_switch = std::move(servers);
+  return t;
+}
+
+}  // namespace
+
+Topology jellyfish(int num_switches, int network_degree,
+                   int servers_per_switch, std::uint64_t seed) {
+  assert(num_switches > network_degree);
+  assert((static_cast<std::int64_t>(num_switches) * network_degree) % 2 == 0);
+
+  const std::vector<int> degree(static_cast<std::size_t>(num_switches),
+                                network_degree);
+  const auto links =
+      random_graph(degree, Rng(splitmix64(seed ^ 0x4a656c6c79ULL)));
+  return from_links("jellyfish(n=" + std::to_string(num_switches) +
+                        ",r=" + std::to_string(network_degree) + ")",
+                    num_switches,
+                    std::vector<int>(static_cast<std::size_t>(num_switches),
+                                     servers_per_switch),
+                    links);
+}
+
+Topology jellyfish_same_equipment(int num_switches, int radix,
+                                  int total_servers, std::uint64_t seed) {
+  assert(total_servers >= 0 && total_servers < num_switches * radix);
+  std::vector<int> servers(static_cast<std::size_t>(num_switches),
+                           total_servers / num_switches);
+  for (int i = 0; i < total_servers % num_switches; ++i) ++servers[i];
+  std::vector<int> degree(static_cast<std::size_t>(num_switches));
+  for (int i = 0; i < num_switches; ++i) {
+    degree[i] = radix - servers[i];
+    assert(degree[i] > 0);
+  }
+  const auto links =
+      random_graph(degree, Rng(splitmix64(seed ^ 0x4a656c6c79ULL)));
+  return from_links("jellyfish(n=" + std::to_string(num_switches) +
+                        ",radix=" + std::to_string(radix) + ",srv=" +
+                        std::to_string(total_servers) + ")",
+                    num_switches, std::move(servers), links);
+}
+
+}  // namespace flexnets::topo

@@ -1,0 +1,23 @@
+// LongHop-style topology (after Tomic, ANCS 2013: "Optimal Networks from
+// Error Correcting Codes").
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the original LongHop derives its link
+// set from linear error-correcting codes. We build the closest synthetic
+// equivalent exercising the same role in the paper's Fig 5(b): a
+// vertex-transitive Cayley graph over Z_2^dim whose generators are the
+// `dim` hypercube unit vectors plus `extra` dense "long hop" vectors
+// (complement-style words), giving degree dim + extra. The paper's instance
+// is 512 ToRs with network degree 10 -> dim = 9, extra = 1.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+// Cayley graph on n = 2^dim nodes with degree dim + extra. `extra` in
+// [0, dim]: extra generator e is the bitwise complement of a weight-e-
+// prefixed word pattern chosen to maximize spread (extra = 1 uses the
+// all-ones vector).
+Topology long_hop(int dim, int extra, int servers_per_switch);
+
+}  // namespace flexnets::topo

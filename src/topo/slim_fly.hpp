@@ -1,0 +1,36 @@
+// SlimFly (Besta & Hoefler, SC 2014): diameter-2 MMS graphs.
+//
+// For a prime q = 4w + delta (delta in {-1, 0, 1}), the network has 2*q^2
+// routers in two groups. With xi a primitive root mod q and
+//   X  = {xi^0, xi^2, ...}   (even powers),
+//   X' = {xi^1, xi^3, ...}   (odd powers),
+// router (0, x, y) links to (0, x, y') iff y - y' in X,
+// router (1, m, c) links to (1, m, c') iff c - c' in X',
+// and (0, x, y) links to (1, m, c) iff y = m*x + c (mod q).
+// Network degree is (3q - delta) / 2. q = 17 gives the paper's Fig 5(a)
+// configuration: 578 routers with 25 network ports each.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+struct SlimFly {
+  Topology topo;
+  int q = 0;
+  int delta = 0;
+
+  [[nodiscard]] int network_degree() const { return (3 * q - delta) / 2; }
+};
+
+// Preconditions: q is a prime with q % 4 == 1 (delta = +1), e.g. 5, 13, 17,
+// 29. This covers the paper's Fig 5(a) instance and keeps the generator
+// sets symmetric, which the undirected construction relies on.
+SlimFly slim_fly(int q, int servers_per_switch);
+
+// True if p is prime (trial division; inputs are small).
+bool is_prime(int p);
+// Smallest primitive root modulo prime q.
+int primitive_root(int q);
+
+}  // namespace flexnets::topo

@@ -1,0 +1,44 @@
+#include "topo/topology.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace flexnets::topo {
+
+int Topology::num_servers() const {
+  return std::accumulate(servers_per_switch.begin(), servers_per_switch.end(), 0);
+}
+
+std::vector<NodeId> Topology::tors() const {
+  std::vector<NodeId> out;
+  for (NodeId s = 0; s < num_switches(); ++s) {
+    if (servers_per_switch[s] > 0) out.push_back(s);
+  }
+  return out;
+}
+
+NodeId Topology::switch_of_server(int server) const {
+  assert(server >= 0);
+  int acc = 0;
+  for (NodeId s = 0; s < num_switches(); ++s) {
+    acc += servers_per_switch[s];
+    if (server < acc) return s;
+  }
+  assert(false && "server id out of range");
+  return graph::kInvalidNode;
+}
+
+int Topology::first_server_of_switch(NodeId sw) const {
+  int acc = 0;
+  for (NodeId s = 0; s < sw; ++s) acc += servers_per_switch[s];
+  return acc;
+}
+
+bool Topology::fits_radix(int radix) const {
+  for (NodeId s = 0; s < num_switches(); ++s) {
+    if (g.degree(s) + servers_per_switch[s] > radix) return false;
+  }
+  return true;
+}
+
+}  // namespace flexnets::topo

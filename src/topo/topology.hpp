@@ -1,0 +1,35 @@
+// A datacenter topology: a switch-level graph plus the number of servers
+// attached to each switch. Servers are numbered globally and assigned to
+// switches in switch-id order (switch 0's servers first, and so on).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace flexnets::topo {
+
+using graph::NodeId;
+
+struct Topology {
+  std::string name;
+  graph::Graph g;                      // switch-to-switch network links
+  std::vector<int> servers_per_switch;  // indexed by switch id
+
+  [[nodiscard]] int num_switches() const { return g.num_nodes(); }
+  [[nodiscard]] int num_servers() const;
+  [[nodiscard]] int num_network_links() const { return g.num_edges(); }
+
+  // Switches that host at least one server (the ToRs).
+  [[nodiscard]] std::vector<NodeId> tors() const;
+
+  // Switch hosting global server id `s`, and the dense per-switch offsets.
+  [[nodiscard]] NodeId switch_of_server(int server) const;
+  [[nodiscard]] int first_server_of_switch(NodeId sw) const;
+
+  // Sanity check: every switch's (network degree + servers) fits `radix`.
+  [[nodiscard]] bool fits_radix(int radix) const;
+};
+
+}  // namespace flexnets::topo

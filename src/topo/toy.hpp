@@ -1,0 +1,20 @@
+// The toy topology of paper section 4.1 (Fig 4): 54 switches with 12 ports,
+// 6 servers each. Only the servers on 9 "active" switches have traffic; the
+// other 45 switches are wired as a k = 6 fat-tree whose 54 exposed edge
+// ports connect to the 9 active switches (6 ports each), providing full
+// bandwidth between all active servers with zero topology dynamism.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+struct ToyTopology {
+  Topology topo;
+  // Ids of the 9 active ToRs (the rest form the embedded k=6 fat-tree).
+  std::vector<NodeId> active_tors;
+};
+
+ToyTopology toy_section41();
+
+}  // namespace flexnets::topo

@@ -1,0 +1,54 @@
+#include "topo/xpander.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/jellyfish.hpp"
+
+namespace flexnets::topo {
+
+Xpander xpander(int network_degree, int lift, int servers_per_switch,
+                std::uint64_t seed) {
+  assert(network_degree >= 1 && lift >= 1);
+  const int meta = network_degree + 1;
+  const int n = meta * lift;
+
+  Xpander x;
+  x.network_degree = network_degree;
+  x.lift = lift;
+  x.topo.name = "xpander(d=" + std::to_string(network_degree) +
+                ",lift=" + std::to_string(lift) + ")";
+  x.topo.g = graph::Graph(n);
+  x.topo.servers_per_switch.assign(static_cast<std::size_t>(n),
+                                   servers_per_switch);
+
+  Rng rng(splitmix64(seed ^ 0x587061ULL));  // "Xpa"
+  std::vector<int> perm(static_cast<std::size_t>(lift));
+  for (int i = 0; i < meta; ++i) {
+    for (int j = i + 1; j < meta; ++j) {
+      std::iota(perm.begin(), perm.end(), 0);
+      rng.shuffle(perm);
+      for (int a = 0; a < lift; ++a) {
+        x.topo.g.add_edge(i * lift + a, j * lift + perm[a]);
+      }
+    }
+  }
+  return x;
+}
+
+Topology xpander_for(int num_switches, int network_degree,
+                     int servers_per_switch, std::uint64_t seed) {
+  if (num_switches % (network_degree + 1) == 0) {
+    auto x = xpander(network_degree, num_switches / (network_degree + 1),
+                     servers_per_switch, seed);
+    return std::move(x.topo);
+  }
+  auto t = jellyfish(num_switches, network_degree, servers_per_switch, seed);
+  t.name = "xpander-rrg(n=" + std::to_string(num_switches) +
+           ",d=" + std::to_string(network_degree) + ")";
+  return t;
+}
+
+}  // namespace flexnets::topo

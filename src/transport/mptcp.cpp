@@ -1,0 +1,106 @@
+#include "transport/mptcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexnets::transport {
+
+MptcpEngine::MptcpEngine(MptcpConfig cfg, DctcpEngine& engine)
+    : cfg_(cfg), engine_(engine) {
+  assert(cfg_.subflows >= 1 && cfg_.chunk > 0);
+  engine_.set_on_progress(
+      [this](std::int32_t id) { on_subflow_progress(id); });
+  engine_.set_on_complete(
+      [this](std::int32_t id) { on_subflow_complete(id); });
+}
+
+std::int32_t MptcpEngine::open(std::int32_t src_host, std::int32_t dst_host,
+                               graph::NodeId src_tor, graph::NodeId dst_tor,
+                               Bytes size) {
+  assert(size > 0);
+  LogicalFlow lf;
+  lf.size = size;
+
+  // Small flows need fewer subflows than the configured maximum: one per
+  // chunk, so a 10 KB flow is a single (sub)flow with no scheduler overhead.
+  const int n = static_cast<int>(std::min<Bytes>(
+      cfg_.subflows, std::max<Bytes>(1, (size + cfg_.chunk - 1) / cfg_.chunk)));
+
+  // Initial assignment: one chunk per subflow (last one may be short). If
+  // the whole flow fits in the initial chunks, every subflow is final from
+  // the outset; otherwise all stay growable and share the remaining pool.
+  const Bytes initial_total =
+      std::min<Bytes>(size, static_cast<Bytes>(n) * cfg_.chunk);
+  lf.unassigned = size - initial_total;
+  Bytes remaining = initial_total;
+  for (int i = 0; i < n; ++i) {
+    const Bytes first = std::min(cfg_.chunk, remaining);
+    remaining -= first;
+    assert(first > 0);
+    const auto sub = engine_.open_flow(src_host, dst_host, src_tor, dst_tor,
+                                       first, /*size_final=*/lf.unassigned == 0);
+    engine_.route_state(sub).pinned_ksp = i;  // distinct KSP path per subflow
+    lf.subflows.push_back(sub);
+    if (static_cast<std::size_t>(sub) >= owner_.size()) {
+      owner_.resize(static_cast<std::size_t>(sub) + 1, -1);
+    }
+    owner_[static_cast<std::size_t>(sub)] =
+        static_cast<std::int32_t>(logicals_.size());
+  }
+  assert(remaining == 0);
+  logicals_.push_back(std::move(lf));
+  return static_cast<std::int32_t>(logicals_.size()) - 1;
+}
+
+void MptcpEngine::start(std::int32_t logical_id) {
+  LogicalFlow& lf = logicals_[logical_id];
+  lf.start_time = -1;  // set below from the engine's notion of now
+  for (const auto sub : lf.subflows) {
+    engine_.start(sub);
+    lf.start_time = engine_.flow(sub).start_time;
+  }
+}
+
+void MptcpEngine::top_up(LogicalFlow& lf, std::int32_t subflow_id) {
+  if (lf.unassigned == 0) return;
+  const auto& f = engine_.flow(subflow_id);
+  if (f.size_final) return;
+  // Keep roughly one chunk of backlog per subflow.
+  const Bytes backlog = f.size - f.snd_una;
+  if (backlog >= cfg_.chunk / 2) return;
+  const Bytes grant = std::min(cfg_.chunk, lf.unassigned);
+  lf.unassigned -= grant;
+  const bool final = lf.unassigned == 0;
+  engine_.extend_flow(subflow_id, grant, final);
+  if (final) {
+    // Close every other still-open subflow at its current size.
+    for (const auto sub : lf.subflows) {
+      if (sub != subflow_id && !engine_.flow(sub).size_final) {
+        engine_.extend_flow(sub, 0, /*final=*/true);
+      }
+    }
+  }
+}
+
+void MptcpEngine::on_subflow_progress(std::int32_t subflow_id) {
+  const auto lid = owner_[static_cast<std::size_t>(subflow_id)];
+  assert(lid >= 0);
+  top_up(logicals_[lid], subflow_id);
+}
+
+void MptcpEngine::on_subflow_complete(std::int32_t subflow_id) {
+  const auto lid = owner_[static_cast<std::size_t>(subflow_id)];
+  assert(lid >= 0);
+  LogicalFlow& lf = logicals_[lid];
+  ++lf.subflows_done;
+  if (lf.subflows_done == static_cast<int>(lf.subflows.size())) {
+    assert(lf.unassigned == 0);
+    lf.completion_time = engine_.flow(subflow_id).completion_time;
+    for (const auto sub : lf.subflows) {
+      lf.completion_time =
+          std::max(lf.completion_time, engine_.flow(sub).completion_time);
+    }
+  }
+}
+
+}  // namespace flexnets::transport

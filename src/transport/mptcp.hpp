@@ -1,0 +1,66 @@
+// Simplified MPTCP over k-shortest paths: the prior-art baseline for
+// routing expander networks (paper section 6: "so far, solutions have
+// depended on MPTCP over k-shortest paths").
+//
+// Each logical flow opens up to `subflows` DCTCP subflows, each pinned to a
+// distinct KSP path (via FlowRouteState::pinned_ksp; the network must run
+// RoutingMode::kKsp). Bytes are handed to subflows in chunks on demand --
+// subflows that drain their backlog fastest (better paths, less
+// congestion) receive more chunks, which approximates MPTCP's coupled
+// scheduling at flow-completion-time granularity. The logical flow
+// completes when all subflows complete.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/dctcp.hpp"
+
+namespace flexnets::transport {
+
+struct MptcpConfig {
+  int subflows = 4;          // at most this many subflows per logical flow
+  Bytes chunk = 64 * 1000;   // scheduler granularity
+};
+
+class MptcpEngine {
+ public:
+  struct LogicalFlow {
+    Bytes size = 0;
+    Bytes unassigned = 0;  // bytes not yet handed to any subflow
+    TimeNs start_time = 0;
+    TimeNs completion_time = -1;
+    std::vector<std::int32_t> subflows;  // DctcpEngine flow ids
+    int subflows_done = 0;
+
+    [[nodiscard]] bool completed() const { return completion_time >= 0; }
+  };
+
+  // Installs progress/completion observers on `engine`; at most one
+  // MptcpEngine may drive a DctcpEngine, and all of that engine's flows
+  // must then be opened through this class.
+  MptcpEngine(MptcpConfig cfg, DctcpEngine& engine);
+
+  // Opens a logical flow; returns its id. Call start() to begin.
+  std::int32_t open(std::int32_t src_host, std::int32_t dst_host,
+                    graph::NodeId src_tor, graph::NodeId dst_tor, Bytes size);
+  void start(std::int32_t logical_id);
+
+  [[nodiscard]] const LogicalFlow& logical(std::int32_t id) const {
+    return logicals_[id];
+  }
+  [[nodiscard]] std::size_t num_logical() const { return logicals_.size(); }
+
+ private:
+  void on_subflow_progress(std::int32_t subflow_id);
+  void on_subflow_complete(std::int32_t subflow_id);
+  // Tops up one subflow from the logical flow's unassigned bytes.
+  void top_up(LogicalFlow& lf, std::int32_t subflow_id);
+
+  MptcpConfig cfg_;
+  DctcpEngine& engine_;
+  std::vector<LogicalFlow> logicals_;
+  std::vector<std::int32_t> owner_;  // subflow id -> logical id
+};
+
+}  // namespace flexnets::transport

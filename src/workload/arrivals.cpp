@@ -1,0 +1,35 @@
+#include "workload/arrivals.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace flexnets::workload {
+
+std::vector<FlowSpec> generate_flows(const PairDistribution& pairs,
+                                     const FlowSizeDistribution& sizes,
+                                     double rate_per_sec, int num_flows,
+                                     std::uint64_t seed) {
+  assert(rate_per_sec > 0.0 && num_flows >= 0);
+  Rng arrival_rng = Rng(seed).child(1);
+  Rng pair_rng = Rng(seed).child(2);
+  Rng size_rng = Rng(seed).child(3);
+
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(num_flows));
+  double t_sec = 0.0;
+  const double mean_gap = 1.0 / rate_per_sec;
+  for (int i = 0; i < num_flows; ++i) {
+    t_sec += arrival_rng.exponential(mean_gap);
+    FlowSpec f;
+    f.start = static_cast<TimeNs>(std::llround(t_sec * 1e9));
+    const auto [src, dst] = pairs.sample(pair_rng);
+    f.src_server = src;
+    f.dst_server = dst;
+    f.size = sizes.sample(size_rng);
+    assert(f.size > 0);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace flexnets::workload

@@ -1,0 +1,32 @@
+// Poisson flow arrivals (paper section 6.4): flows arrive network-wide as a
+// Poisson process at aggregate rate lambda; each arrival draws a server
+// pair and a flow size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/flow_size.hpp"
+#include "workload/pairs.hpp"
+
+namespace flexnets::workload {
+
+struct FlowSpec {
+  TimeNs start = 0;
+  int src_server = -1;
+  int dst_server = -1;
+  Bytes size = 0;
+};
+
+// Generates the full flow list for an experiment: Poisson arrivals at
+// `rate_per_sec` starting at t = 0 until `num_flows` flows are emitted.
+// Deterministic in `seed` (the paper fixes the RNG seed so topologies see
+// an identical flow set).
+std::vector<FlowSpec> generate_flows(const PairDistribution& pairs,
+                                     const FlowSizeDistribution& sizes,
+                                     double rate_per_sec, int num_flows,
+                                     std::uint64_t seed);
+
+}  // namespace flexnets::workload

@@ -1,0 +1,125 @@
+#include "workload/flow_size.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flexnets::workload {
+
+EmpiricalCdf::EmpiricalCdf(std::string name,
+                           std::vector<std::pair<Bytes, double>> knots)
+    : name_(std::move(name)), knots_(std::move(knots)) {
+  assert(knots_.size() >= 2);
+  assert(std::is_sorted(knots_.begin(), knots_.end()));
+  assert(std::abs(knots_.back().second - 1.0) < 1e-9);
+}
+
+Bytes EmpiricalCdf::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  if (u <= knots_.front().second) return knots_.front().first;
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (u <= knots_[i].second) {
+      const auto [s0, p0] = knots_[i - 1];
+      const auto [s1, p1] = knots_[i];
+      const double frac = (u - p0) / (p1 - p0);
+      return s0 + static_cast<Bytes>(frac * static_cast<double>(s1 - s0));
+    }
+  }
+  return knots_.back().first;
+}
+
+double EmpiricalCdf::cdf(Bytes size) const {
+  if (size <= knots_.front().first) {
+    return size == knots_.front().first ? knots_.front().second : 0.0;
+  }
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (size <= knots_[i].first) {
+      const auto [s0, p0] = knots_[i - 1];
+      const auto [s1, p1] = knots_[i];
+      const double frac = static_cast<double>(size - s0) /
+                          static_cast<double>(s1 - s0);
+      return p0 + frac * (p1 - p0);
+    }
+  }
+  return 1.0;
+}
+
+double EmpiricalCdf::mean() const {
+  // Mass at first knot + trapezoid means for each linear segment.
+  double m = static_cast<double>(knots_.front().first) * knots_.front().second;
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    const double prob = knots_[i].second - knots_[i - 1].second;
+    const double mid = 0.5 * static_cast<double>(knots_[i - 1].first +
+                                                 knots_[i].first);
+    m += prob * mid;
+  }
+  return m;
+}
+
+BoundedPareto::BoundedPareto(std::string name, double shape, Bytes min_size,
+                             Bytes max_size)
+    : name_(std::move(name)),
+      shape_(shape),
+      min_(static_cast<double>(min_size)),
+      max_(static_cast<double>(max_size)) {
+  assert(shape_ > 0.0 && min_ > 0.0 && max_ > min_);
+}
+
+Bytes BoundedPareto::sample(Rng& rng) const {
+  // Inverse-CDF sampling of the bounded Pareto.
+  const double u = rng.next_double();
+  const double la = std::pow(min_, shape_);
+  const double ha = std::pow(max_, shape_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape_);
+  return static_cast<Bytes>(std::clamp(x, min_, max_));
+}
+
+double BoundedPareto::cdf(Bytes size) const {
+  const double x = static_cast<double>(size);
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  const double la = std::pow(min_, shape_);
+  const double ha = std::pow(max_, shape_);
+  return (1.0 - la / std::pow(x, shape_)) / (1.0 - la / ha);
+}
+
+double BoundedPareto::mean() const {
+  const double a = shape_;
+  const double l = min_;
+  const double h = max_;
+  const double la = std::pow(l, a);
+  const double ha = std::pow(h, a);
+  // E[X] for bounded Pareto (a != 1).
+  return la / (1.0 - la / ha) * (a / (a - 1.0)) *
+         (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+}
+
+std::unique_ptr<FlowSizeDistribution> pfabric_web_search() {
+  // Empirical CDF approximating the pFabric web-search workload (Fig 8):
+  // ~60% of flows below 100 KB, heavy tail to 30 MB, mean ~2.4 MB.
+  return std::make_unique<EmpiricalCdf>(
+      "pfabric-web-search",
+      std::vector<std::pair<Bytes, double>>{
+          {6 * kKB, 0.15},
+          {13 * kKB, 0.28},
+          {19 * kKB, 0.39},
+          {33 * kKB, 0.47},
+          {53 * kKB, 0.53},
+          {133 * kKB, 0.61},
+          {667 * kKB, 0.66},
+          {1467 * kKB, 0.71},
+          {3333 * kKB, 0.79},
+          {6667 * kKB, 0.87},
+          {13333 * kKB, 0.97},
+          {30000 * kKB, 1.00},
+      });
+}
+
+std::unique_ptr<FlowSizeDistribution> pareto_hull() {
+  // Shape 1.05; bounds chosen so the mean is ~100 KB and the 90th
+  // percentile sits just under 100 KB (HULL / paper Fig 8).
+  return std::make_unique<BoundedPareto>("pareto-hull", 1.05, 11 * kKB,
+                                         1000 * kMB);
+}
+
+}  // namespace flexnets::workload

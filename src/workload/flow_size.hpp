@@ -1,0 +1,69 @@
+// Flow-size distributions (paper Fig 8).
+//
+// - pFabric web-search: heavy-tailed empirical CDF with mean ~2.4 MB and
+//   ~60% of flows under 100 KB (encoded from the published distribution;
+//   see DESIGN.md substitutions).
+// - Pareto-HULL: bounded Pareto, shape 1.05, mean ~100 KB (HULL, NSDI 12).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace flexnets::workload {
+
+class FlowSizeDistribution {
+ public:
+  virtual ~FlowSizeDistribution() = default;
+  [[nodiscard]] virtual Bytes sample(Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  // CDF value at the given size (used for Fig 8 and distribution tests).
+  [[nodiscard]] virtual double cdf(Bytes size) const = 0;
+};
+
+// Piecewise-linear interpolation of an empirical CDF given as
+// (size_bytes, cumulative_probability) knots; first knot probability may be
+// > 0 (mass at the smallest size).
+class EmpiricalCdf final : public FlowSizeDistribution {
+ public:
+  EmpiricalCdf(std::string name, std::vector<std::pair<Bytes, double>> knots);
+
+  [[nodiscard]] Bytes sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double cdf(Bytes size) const override;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<Bytes, double>> knots_;
+};
+
+// Bounded Pareto on [min_size, max_size] with the given shape.
+class BoundedPareto final : public FlowSizeDistribution {
+ public:
+  BoundedPareto(std::string name, double shape, Bytes min_size, Bytes max_size);
+
+  [[nodiscard]] Bytes sample(Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] double cdf(Bytes size) const override;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::string name_;
+  double shape_;
+  double min_;
+  double max_;
+};
+
+// The two distributions used throughout the paper's section 6.
+std::unique_ptr<FlowSizeDistribution> pfabric_web_search();
+std::unique_ptr<FlowSizeDistribution> pareto_hull();
+
+// Paper's short/long flow split (section 6.4): short means < 100 KB.
+constexpr Bytes kShortFlowThreshold = 100 * kKB;
+
+}  // namespace flexnets::workload

@@ -1,0 +1,71 @@
+// Communication-pair distributions (paper section 6.4): who talks to whom.
+//
+// Each distribution draws (src_server, dst_server) pairs for new flows over
+// a given topology. All are rack-level distributions; the server within a
+// rack is chosen uniformly at random.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::workload {
+
+using ServerPair = std::pair<int, int>;  // global server ids, src != dst
+
+class PairDistribution {
+ public:
+  virtual ~PairDistribution() = default;
+  [[nodiscard]] virtual ServerPair sample(Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Racks that can appear in samples (for active-server accounting).
+  [[nodiscard]] virtual const std::vector<topo::NodeId>& active_racks()
+      const = 0;
+};
+
+// A2A(x): uniform all-to-all restricted to the given active racks (paper:
+// the first x-fraction for fat-trees, a random x-fraction for expanders).
+std::unique_ptr<PairDistribution> all_to_all_pairs(
+    const topo::Topology& t, std::vector<topo::NodeId> active);
+
+// Permute(x): a fixed random rack-level permutation among the active racks;
+// flows start only between matched rack pairs (both directions).
+std::unique_ptr<PairDistribution> permutation_pairs(
+    const topo::Topology& t, std::vector<topo::NodeId> active,
+    std::uint64_t seed);
+
+// Skew(theta, phi): theta-fraction of racks are "hot" and attract/source
+// phi of the traffic (paper section 6.7; Skew(0.04, 0.77) approximates the
+// ProjecToR Microsoft-datacenter matrix). Rack-pair probability is the
+// normalized product of per-rack weights, zeroing self-pairs.
+std::unique_ptr<PairDistribution> skew_pairs(const topo::Topology& t,
+                                             double theta, double phi,
+                                             std::uint64_t seed);
+
+// Incast (the many-to-one TM family of paper section 2.2, at packet level):
+// every flow targets `dst_server`; sources are drawn uniformly from the
+// servers of `source_racks` (the destination's own rack is excluded from
+// the sources). The classic fan-in stress test for the transport.
+std::unique_ptr<PairDistribution> incast_pairs(
+    const topo::Topology& t, int dst_server,
+    std::vector<topo::NodeId> source_racks);
+
+// The Fig 7(b) corner case: only `servers_per_rack` servers on each of two
+// adjacent racks exchange traffic (cross-rack pairs only).
+std::unique_ptr<PairDistribution> two_rack_pairs(const topo::Topology& t,
+                                                 topo::NodeId rack_a,
+                                                 topo::NodeId rack_b,
+                                                 int servers_per_rack);
+
+// Helpers: pick the first / a random x-fraction of racks.
+std::vector<topo::NodeId> first_fraction_racks(const topo::Topology& t,
+                                               double x);
+std::vector<topo::NodeId> random_fraction_racks(const topo::Topology& t,
+                                                double x, std::uint64_t seed);
+
+}  // namespace flexnets::workload

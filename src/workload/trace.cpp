@@ -1,0 +1,97 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace flexnets::workload {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const std::vector<FlowSpec>& flows) {
+  out << "start_ns,src_server,dst_server,size_bytes\n";
+  for (const auto& f : flows) {
+    out << f.start << "," << f.src_server << "," << f.dst_server << ","
+        << f.size << "\n";
+  }
+}
+
+std::string to_csv(const std::vector<FlowSpec>& flows) {
+  std::ostringstream out;
+  write_csv(out, flows);
+  return out.str();
+}
+
+std::optional<std::vector<FlowSpec>> read_csv(std::istream& in,
+                                              std::string* error) {
+  std::vector<FlowSpec> flows;
+  std::string line;
+  bool header_seen = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line.rfind("start_ns,", 0) != 0) {
+        set_error(error, "line 1: missing CSV header");
+        return std::nullopt;
+      }
+      header_seen = true;
+      continue;
+    }
+    FlowSpec f;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    std::istringstream ls(line);
+    if (!(ls >> f.start >> c1 >> f.src_server >> c2 >> f.dst_server >> c3 >>
+          f.size) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      set_error(error, "line " + std::to_string(line_no) + ": bad record");
+      return std::nullopt;
+    }
+    if (f.start < 0 || f.src_server < 0 || f.dst_server < 0 || f.size <= 0 ||
+        f.src_server == f.dst_server) {
+      set_error(error,
+                "line " + std::to_string(line_no) + ": invalid field values");
+      return std::nullopt;
+    }
+    flows.push_back(f);
+  }
+  if (!header_seen) {
+    set_error(error, "empty trace (no header)");
+    return std::nullopt;
+  }
+  return flows;
+}
+
+std::optional<std::vector<FlowSpec>> from_csv(const std::string& text,
+                                              std::string* error) {
+  std::istringstream in(text);
+  return read_csv(in, error);
+}
+
+bool save_trace(const std::string& path, const std::vector<FlowSpec>& flows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out, flows);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<FlowSpec>> load_trace(const std::string& path,
+                                                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_csv(in, error);
+}
+
+}  // namespace flexnets::workload

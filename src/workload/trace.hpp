@@ -1,0 +1,32 @@
+// Flow-trace serialization: CSV export/import of generated (or externally
+// supplied) flow lists, so experiments can be replayed byte-identically
+// outside the generator, or traces from other tools can be driven through
+// the simulator.
+//
+// CSV columns: start_ns,src_server,dst_server,size_bytes
+// Lines starting with '#' are comments; the first line is a header.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.hpp"
+
+namespace flexnets::workload {
+
+void write_csv(std::ostream& out, const std::vector<FlowSpec>& flows);
+std::string to_csv(const std::vector<FlowSpec>& flows);
+
+// Parses a trace; nullopt on malformed input (message in `error`).
+std::optional<std::vector<FlowSpec>> read_csv(std::istream& in,
+                                              std::string* error = nullptr);
+std::optional<std::vector<FlowSpec>> from_csv(const std::string& text,
+                                              std::string* error = nullptr);
+
+bool save_trace(const std::string& path, const std::vector<FlowSpec>& flows);
+std::optional<std::vector<FlowSpec>> load_trace(const std::string& path,
+                                                std::string* error = nullptr);
+
+}  // namespace flexnets::workload

@@ -1,0 +1,101 @@
+// Adversarial TM search, random hose TMs, and the Dragonfly generator.
+#include <gtest/gtest.h>
+
+#include "flow/adversary.hpp"
+#include "flow/throughput.hpp"
+#include "flow/tm_generators.hpp"
+#include "graph/algorithms.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/jellyfish.hpp"
+
+namespace flexnets {
+namespace {
+
+TEST(Adversary, NeverWorseThanTheSeedHeuristic) {
+  const auto t = topo::jellyfish(20, 4, 3, 1);
+  const auto active = flow::pick_active_racks(t, 12, 3);
+  const auto r = flow::adversarial_matching_tm(t, active, 15, 0.08, 7);
+  EXPECT_LE(r.throughput, r.initial_throughput + 1e-9);
+  EXPECT_GE(r.improvements, 0);
+  // Still a valid matching TM: every active rack sends its full demand.
+  const auto out = r.tm.out_demand(t.num_switches());
+  for (const auto rack : active) EXPECT_DOUBLE_EQ(out[rack], 3.0);
+}
+
+TEST(Adversary, DeterministicInSeed) {
+  const auto t = topo::jellyfish(16, 4, 2, 2);
+  const auto active = flow::pick_active_racks(t, 8, 3);
+  const auto a = flow::adversarial_matching_tm(t, active, 10, 0.08, 11);
+  const auto b = flow::adversarial_matching_tm(t, active, 10, 0.08, 11);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.improvements, b.improvements);
+}
+
+TEST(RandomHoseTm, SatisfiesHoseConstraintsWithEquality) {
+  const auto t = topo::jellyfish(20, 4, 3, 1);
+  const auto active = flow::pick_active_racks(t, 10, 3);
+  const auto tm = flow::random_hose_tm(t, active, 3, 9);
+  const auto out = tm.out_demand(t.num_switches());
+  const auto in = tm.in_demand(t.num_switches());
+  for (const auto rack : active) {
+    EXPECT_NEAR(out[rack], 3.0, 1e-9);
+    EXPECT_NEAR(in[rack], 3.0, 1e-9);
+  }
+  for (const auto& c : tm.commodities) EXPECT_NE(c.src_tor, c.dst_tor);
+}
+
+TEST(RandomHoseTm, Conjecture23NeverExceedsProportionality) {
+  // Numerical exploration of the paper's Conjecture 2.3 over hose TMs:
+  // throughput at fraction x stays below min(1, t_full/x) (with solver
+  // slack). A counterexample here would be publishable; we assert the
+  // conjecture holds on these instances.
+  const auto t = topo::jellyfish(24, 6, 4, 9);
+  const double t_full = flow::per_server_throughput(
+      t, flow::random_hose_tm(t, t.tors(), 3, 1), {0.05});
+  for (const int m : {8, 16}) {
+    const double x = static_cast<double>(m) / 24.0;
+    const auto active = flow::pick_active_racks(t, m, 5);
+    const double tx = flow::per_server_throughput(
+        t, flow::random_hose_tm(t, active, 3, 1), {0.05});
+    EXPECT_LE(tx, std::min(1.0, t_full / x) * 1.15) << "x=" << x;
+  }
+}
+
+TEST(Dragonfly, CanonicalStructure) {
+  // a=4, h=2: 9 groups of 4 routers = 36 routers, degree (a-1)+h = 5.
+  const auto df = topo::dragonfly(4, 2, 2);
+  EXPECT_EQ(df.num_groups(), 9);
+  EXPECT_EQ(df.topo.num_switches(), 36);
+  for (graph::NodeId s = 0; s < 36; ++s) {
+    EXPECT_EQ(df.topo.g.degree(s), 5) << "router " << s;
+  }
+  EXPECT_TRUE(graph::is_connected(df.topo.g));
+  // Exactly one global link between every group pair: inter-group edge
+  // count = C(9,2) = 36.
+  int inter = 0;
+  for (const auto& e : df.topo.g.edges()) {
+    if (df.group_of(e.a) != df.group_of(e.b)) ++inter;
+  }
+  EXPECT_EQ(inter, 36);
+  // Diameter 3: local - global - local.
+  EXPECT_LE(graph::diameter(df.topo.g), 3);
+}
+
+TEST(Dragonfly, SmallestInstance) {
+  // a=1, h=1: 2 groups of 1 router joined by one link.
+  const auto df = topo::dragonfly(1, 1, 1);
+  EXPECT_EQ(df.topo.num_switches(), 2);
+  EXPECT_EQ(df.topo.num_network_links(), 1);
+}
+
+TEST(Dragonfly, FluidThroughputReasonable) {
+  const auto df = topo::dragonfly(4, 2, 3);
+  const auto active = flow::pick_active_racks(df.topo, 18, 3);
+  const auto tm = flow::longest_matching_tm(df.topo, active);
+  const double tput = flow::per_server_throughput(df.topo, tm, {0.06});
+  EXPECT_GT(tput, 0.15);
+  EXPECT_LE(tput, 1.0);
+}
+
+}  // namespace
+}  // namespace flexnets

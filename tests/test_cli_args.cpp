@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "cli_args.hpp"
+
+namespace flexnets::cli {
+namespace {
+
+std::optional<Args> parse(std::vector<const char*> argv,
+                          std::string* err = nullptr) {
+  return Args::parse(static_cast<int>(argv.size()), argv.data(), err);
+}
+
+TEST(CliArgs, KeyEqualsValue) {
+  const auto a = parse({"--topo=xpander", "--degree=5"});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->get("topo", ""), "xpander");
+  EXPECT_EQ(a->get_int("degree", 0), 5);
+}
+
+TEST(CliArgs, KeySpaceValue) {
+  const auto a = parse({"--topo", "jellyfish", "--eps", "0.05"});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->get("topo", ""), "jellyfish");
+  EXPECT_DOUBLE_EQ(a->get_double("eps", 0.0), 0.05);
+}
+
+TEST(CliArgs, BareFlag) {
+  const auto a = parse({"--stats", "--k=4"});
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(a->has("stats"));
+  EXPECT_FALSE(a->has("missing"));
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto a = parse({});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->get("x", "def"), "def");
+  EXPECT_EQ(a->get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(a->get_double("d", 1.5), 1.5);
+}
+
+TEST(CliArgs, RejectsPositional) {
+  std::string err;
+  EXPECT_FALSE(parse({"positional"}, &err));
+  EXPECT_NE(err.find("positional"), std::string::npos);
+}
+
+TEST(CliArgs, TracksUnusedFlags) {
+  const auto a = parse({"--used=1", "--typo=2"});
+  ASSERT_TRUE(a);
+  (void)a->get("used", "");
+  const auto unused = a->unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace flexnets::cli

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace flexnets {
+namespace {
+
+TEST(Units, SerializationTimeRoundsUp) {
+  EXPECT_EQ(serialization_time(1500, 10 * kGbps), 1200);
+  EXPECT_EQ(serialization_time(1, 10 * kGbps), 1);  // 0.8ns rounds up
+  EXPECT_EQ(serialization_time(64, 1 * kGbps), 512);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_millis(1500000), 1.5);
+  EXPECT_DOUBLE_EQ(to_micros(50 * kMicrosecond), 50.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ChildStreamsIndependentOfParentDraws) {
+  Rng parent(7);
+  Rng c1 = parent.child(1);
+  // Drawing from the parent must not change what child(1) would be.
+  Rng parent2(7);
+  (void)parent2();
+  (void)parent2();
+  Rng c2 = parent2.child(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, ChildTagsDiffer) {
+  Rng parent(7);
+  Rng a = parent.child(1);
+  Rng b = parent.child(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, BoundedDrawInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_u64(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedDrawRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_u64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Hash, StableAndSpread) {
+  EXPECT_EQ(hash_words(1, 2, 3), hash_words(1, 2, 3));
+  EXPECT_NE(hash_words(1, 2, 3), hash_words(1, 2, 4));
+  EXPECT_NE(hash_words(1, 2, 3), hash_words(1, 3, 2));
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, PercentilesNearestRank) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+  s.add(5.0);  // add after a sorted query must still work
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row(std::vector<std::string>{"xxxx", "1"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("a     long-header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx  1"), std::string::npos);
+}
+
+TEST(TextTable, FormatsDoubles) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace flexnets

@@ -1,0 +1,60 @@
+// Cost model: reproduces paper Table 1 and the delta = 1.5 conclusion.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::cost {
+namespace {
+
+TEST(CostModel, Table1StaticPort) {
+  const auto p = static_port();
+  EXPECT_DOUBLE_EQ(p.transceiver, 80.0);
+  EXPECT_DOUBLE_EQ(p.cable, 45.0);
+  EXPECT_DOUBLE_EQ(p.tor_port, 90.0);
+  EXPECT_DOUBLE_EQ(p.total(), 215.0);
+}
+
+TEST(CostModel, Table1FireFly) {
+  EXPECT_DOUBLE_EQ(firefly_port().total(), 370.0);
+}
+
+TEST(CostModel, Table1ProjecToRRange) {
+  EXPECT_DOUBLE_EQ(projector_port_low().total(), 320.0);
+  EXPECT_DOUBLE_EQ(projector_port_high().total(), 420.0);
+}
+
+TEST(CostModel, DeltaLowestEstimateIsAboutOnePointFive) {
+  // Paper section 4: "the lowest estimates imply delta = 1.5".
+  EXPECT_NEAR(delta(projector_port_low()), 1.49, 0.01);
+  EXPECT_GT(delta(firefly_port()), 1.5);
+  EXPECT_GT(delta(projector_port_high()), 1.9);
+}
+
+TEST(CostModel, EqualCostFlexiblePorts) {
+  // A dynamic network affords at most 2/3 the ports of a static one.
+  EXPECT_EQ(equal_cost_flexible_ports(24, 1.5), 16);
+  EXPECT_EQ(equal_cost_flexible_ports(25, 1.5), 16);
+  EXPECT_EQ(equal_cost_flexible_ports(10, 1.0), 10);
+}
+
+TEST(CostModel, NetworkCostCountsNetworkPortsOnly) {
+  const auto ft = topo::fat_tree(4);
+  // k=4: 32 network links -> 64 ports at $215.
+  EXPECT_DOUBLE_EQ(network_cost(ft.topo), 64.0 * 215.0);
+}
+
+TEST(CostModel, XpanderCheaperThanFatTreeAtSameServers) {
+  // Paper section 6.4: Xpander (216 switches, 16 ports, 1080 servers) is
+  // ~33% cheaper in network ports than the full k=16 fat-tree (1024
+  // servers): 216*11 vs 320*16 ports.
+  const auto ft = topo::fat_tree(16);
+  const auto x = topo::xpander(11, 18, 5, 1);
+  const double ratio = network_cost(x.topo) / network_cost(ft.topo);
+  EXPECT_NEAR(ratio, 0.58, 0.02);  // even cheaper than the 2/3 budget
+  EXPECT_GE(x.topo.num_servers(), ft.topo.num_servers());
+}
+
+}  // namespace
+}  // namespace flexnets::cost

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "flow/throughput.hpp"
+#include "flow/tm_generators.hpp"
+#include "graph/algorithms.hpp"
+#include "topo/failures.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::topo {
+namespace {
+
+TEST(Failures, RemovesRequestedFractionAndStaysConnected) {
+  const auto x = xpander(5, 9, 3, 1);
+  const auto degraded = with_failed_links(x.topo, 0.2, 7);
+  EXPECT_EQ(degraded.num_network_links(),
+            x.topo.num_network_links() -
+                static_cast<int>(0.2 * x.topo.num_network_links()));
+  EXPECT_TRUE(graph::is_connected(degraded.g));
+  EXPECT_EQ(degraded.servers_per_switch, x.topo.servers_per_switch);
+  EXPECT_NE(degraded.name.find("failures"), std::string::npos);
+}
+
+TEST(Failures, ZeroFractionIsIdentity) {
+  const auto ft = fat_tree(4);
+  const auto same = with_failed_links(ft.topo, 0.0, 1);
+  EXPECT_EQ(same.num_network_links(), ft.topo.num_network_links());
+}
+
+TEST(Failures, DeterministicInSeed) {
+  const auto x = xpander(4, 6, 2, 1);
+  const auto a = with_failed_links(x.topo, 0.15, 42);
+  const auto b = with_failed_links(x.topo, 0.15, 42);
+  ASSERT_EQ(a.g.num_edges(), b.g.num_edges());
+  for (graph::EdgeId e = 0; e < a.g.num_edges(); ++e) {
+    EXPECT_EQ(a.g.edge(e).a, b.g.edge(e).a);
+    EXPECT_EQ(a.g.edge(e).b, b.g.edge(e).b);
+  }
+  const auto c = with_failed_links(x.topo, 0.15, 43);
+  bool differs = a.g.num_edges() != c.g.num_edges();
+  for (graph::EdgeId e = 0; !differs && e < a.g.num_edges(); ++e) {
+    differs = a.g.edge(e).a != c.g.edge(e).a || a.g.edge(e).b != c.g.edge(e).b;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Failures, KeepsCutEdges) {
+  // A path graph: no edge can be removed without disconnecting.
+  Topology t;
+  t.name = "path";
+  t.g = graph::Graph(5);
+  for (graph::NodeId i = 0; i + 1 < 5; ++i) t.g.add_edge(i, i + 1);
+  t.servers_per_switch.assign(5, 1);
+  const auto degraded = with_failed_links(t, 0.5, 3);
+  EXPECT_EQ(degraded.num_network_links(), 4);
+  EXPECT_TRUE(graph::is_connected(degraded.g));
+}
+
+TEST(Failures, ThroughputDegradesMonotonicallyOnAverage) {
+  const auto x = xpander(5, 9, 3, 1);
+  const auto active = flow::pick_active_racks(x.topo, 20, 3);
+  auto tput_at = [&](double f) {
+    const auto d = with_failed_links(x.topo, f, 7);
+    return flow::per_server_throughput(
+        d, flow::longest_matching_tm(d, active), {0.06});
+  };
+  const double t0 = tput_at(0.0);
+  const double t30 = tput_at(0.3);
+  EXPECT_GT(t0, t30);
+  EXPECT_GT(t30, 0.1);  // graceful, not catastrophic
+}
+
+}  // namespace
+}  // namespace flexnets::topo

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "graph/spectral.hpp"
+
+namespace flexnets::graph {
+namespace {
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g(3);
+  const auto e = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(e).other(0), 1);
+  EXPECT_EQ(g.edge(e).other(1), 0);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  const auto nb = g.neighbors(1);
+  EXPECT_EQ(nb.size(), 2u);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  const auto g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Algorithms, BfsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, DiameterAndMeanDistance) {
+  const auto g = cycle_graph(6);
+  EXPECT_EQ(diameter(g), 3);
+  // Cycle of 6: distances from any node: 1,2,3,2,1 -> mean 9/5.
+  EXPECT_NEAR(mean_distance(g), 9.0 / 5.0, 1e-12);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Algorithms, DiameterDisconnected) {
+  Graph g(2);
+  EXPECT_EQ(diameter(g), -1);
+}
+
+TEST(Algorithms, EcmpNextHopsOnGrid) {
+  // 2x2 grid: 0-1, 0-2, 1-3, 2-3. From 0 toward 3 there are two next hops.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto next = ecmp_next_hops_to(g, 3);
+  EXPECT_EQ(next[0], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(next[1], (std::vector<NodeId>{3}));
+  EXPECT_EQ(next[2], (std::vector<NodeId>{3}));
+  EXPECT_TRUE(next[3].empty());
+}
+
+TEST(Algorithms, EcmpNextHopsAreShortestOnly) {
+  // Triangle plus a pendant: 0-1, 1-2, 0-2, 2-3. Toward 3, node 0 must use
+  // only 2 (distance 2), not 1 (would be distance 3).
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const auto next = ecmp_next_hops_to(g, 3);
+  EXPECT_EQ(next[0], (std::vector<NodeId>{2}));
+}
+
+TEST(Algorithms, DijkstraMatchesBfsOnUnitLengths) {
+  const auto g = cycle_graph(8);
+  std::vector<double> len(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const auto r = dijkstra(g, 0, len);
+  const auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(r.dist[i], d[i]);
+}
+
+TEST(Algorithms, DijkstraPrefersCheapDetour) {
+  // 0-1 expensive, 0-2-1 cheap.
+  Graph g(3);
+  const auto e01 = g.add_edge(0, 1);
+  const auto e02 = g.add_edge(0, 2);
+  const auto e21 = g.add_edge(2, 1);
+  std::vector<double> len(3);
+  len[e01] = 10.0;
+  len[e02] = 1.0;
+  len[e21] = 1.0;
+  const auto r = dijkstra(g, 0, len);
+  EXPECT_DOUBLE_EQ(r.dist[1], 2.0);
+  EXPECT_EQ(r.parent_node[1], 2);
+}
+
+TEST(Matching, PairsHighestWeightsFirst) {
+  // 4 items; weight(0,3)=10, weight(1,2)=8, everything else 1.
+  std::vector<std::vector<double>> w(4, std::vector<double>(4, 1.0));
+  w[0][3] = w[3][0] = 10.0;
+  w[1][2] = w[2][1] = 8.0;
+  const auto m = greedy_max_weight_matching(4, w);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (std::pair<int, int>{0, 3}));
+  EXPECT_EQ(m[1], (std::pair<int, int>{1, 2}));
+}
+
+TEST(Matching, OddCountLeavesOneUnmatched) {
+  std::vector<std::vector<double>> w(5, std::vector<double>(5, 1.0));
+  const auto m = greedy_max_weight_matching(5, w);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Matching, Deterministic) {
+  std::vector<std::vector<double>> w(6, std::vector<double>(6, 1.0));
+  const auto a = greedy_max_weight_matching(6, w);
+  const auto b = greedy_max_weight_matching(6, w);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MooreBound, ToyExampleFromPaper) {
+  // Section 4.1: 9 racks, degree 6 -> mean distance lower bound 1.25, and
+  // the static upper bound 6 / (6 * 1.25) = 0.8.
+  EXPECT_NEAR(moore_bound_mean_distance(9, 6), 1.25, 1e-12);
+}
+
+TEST(MooreBound, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(moore_bound_mean_distance(5, 4), 1.0);
+}
+
+TEST(MooreBound, GrowsWithNodes) {
+  const double d1 = moore_bound_mean_distance(50, 4);
+  const double d2 = moore_bound_mean_distance(500, 4);
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d1, 1.0);
+}
+
+TEST(Spectral, CompleteGraphGap) {
+  // K_n adjacency eigenvalues: n-1 and -1 -> second eigenvalue magnitude 1.
+  const auto g = complete_graph(8);
+  EXPECT_NEAR(second_eigenvalue(g, 400), 1.0, 0.05);
+}
+
+TEST(Spectral, CycleIsPoorExpander) {
+  // Cycle second eigenvalue = 2cos(2pi/n) -> close to 2 (degree d = 2).
+  const auto g = cycle_graph(64);
+  EXPECT_GT(second_eigenvalue(g, 400), 1.9);
+}
+
+TEST(Spectral, RamanujanBound) {
+  EXPECT_DOUBLE_EQ(ramanujan_bound(5), 4.0);
+}
+
+}  // namespace
+}  // namespace flexnets::graph

@@ -1,0 +1,108 @@
+// Yen's k-shortest paths and the KSP routing table.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/ksp.hpp"
+#include "routing/ksp_table.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::graph {
+namespace {
+
+Graph diamond() {
+  // 0-1-3 and 0-2-3 (two 2-hop paths), plus 0-4-5-3 (one 3-hop path).
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  return g;
+}
+
+TEST(Ksp, FindsPathsInAscendingLength) {
+  const auto g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].size(), 3u);
+  EXPECT_EQ(paths[1].size(), 3u);
+  EXPECT_EQ(paths[2].size(), 4u);
+  EXPECT_EQ(paths[2], (std::vector<NodeId>{0, 4, 5, 3}));
+}
+
+TEST(Ksp, PathsAreLooplessAndDistinct) {
+  const auto g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 10);
+  std::set<std::vector<NodeId>> uniq(paths.begin(), paths.end());
+  EXPECT_EQ(uniq.size(), paths.size());
+  for (const auto& p : paths) {
+    std::set<NodeId> nodes(p.begin(), p.end());
+    EXPECT_EQ(nodes.size(), p.size()) << "path has a loop";
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+    // Consecutive nodes are adjacent.
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(p[i], p[i + 1]));
+    }
+  }
+}
+
+TEST(Ksp, StopsWhenGraphExhausted) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const auto paths = k_shortest_paths(g, 0, 1, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Ksp, UnreachableReturnsEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 2, 3).empty());
+}
+
+TEST(Ksp, Deterministic) {
+  const auto x = topo::xpander(4, 4, 1, 3);
+  const auto a = k_shortest_paths(x.topo.g, 0, 17, 6);
+  const auto b = k_shortest_paths(x.topo.g, 0, 17, 6);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ksp, FatTreeCrossPodPathCount) {
+  // k=4 fat-tree: between edge switches in different pods there are 4
+  // shortest 4-hop paths (2 aggs x 2 cores per agg).
+  const auto ft = topo::fat_tree(4);
+  const auto paths = k_shortest_paths(ft.topo.g, 0, 7, 8);
+  ASSERT_GE(paths.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(paths[i].size(), 5u);
+  // 5th-onward paths must be longer.
+  if (paths.size() > 4) EXPECT_GT(paths[4].size(), 5u);
+}
+
+TEST(Ksp, ExpanderProvidesDiversePaths) {
+  const auto x = topo::xpander(5, 9, 1, 1);  // 54 switches, degree 5
+  const auto paths = k_shortest_paths(x.topo.g, 0, 30, 4);
+  ASSERT_EQ(paths.size(), 4u);
+  // Second hops should differ across at least two paths (path diversity).
+  std::set<NodeId> second_nodes;
+  for (const auto& p : paths) second_nodes.insert(p[1]);
+  EXPECT_GE(second_nodes.size(), 2u);
+}
+
+TEST(KspTable, CachesAndReturnsConsistently) {
+  const auto x = topo::xpander(4, 4, 1, 3);
+  routing::KspTable table(x.topo.g, 3);
+  const auto& a = table.paths(0, 10);
+  const auto& b = table.paths(0, 10);
+  EXPECT_EQ(&a, &b);  // same cached object
+  EXPECT_LE(a.size(), 3u);
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_EQ(table.k(), 3);
+}
+
+}  // namespace
+}  // namespace flexnets::graph

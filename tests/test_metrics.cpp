@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "metrics/fct_tracker.hpp"
+#include "workload/flow_size.hpp"
+
+namespace flexnets::metrics {
+namespace {
+
+FlowRecord rec(TimeNs start, TimeNs end, Bytes size) {
+  return {start, end, size};
+}
+
+TEST(FctSummary, SplitsShortAndLongFlows) {
+  std::vector<FlowRecord> flows{
+      rec(0, 1 * kMillisecond, 50 * kKB),     // short: FCT 1ms
+      rec(0, 3 * kMillisecond, 80 * kKB),     // short: FCT 3ms
+      rec(0, 8 * kMillisecond, 10 * kMB),     // long: 10 Gbps
+      rec(0, 16 * kMillisecond, 10 * kMB),    // long: 5 Gbps
+  };
+  const auto s = summarize(flows, 0, kSecond, workload::kShortFlowThreshold);
+  EXPECT_EQ(s.measured_flows, 4);
+  EXPECT_EQ(s.incomplete_flows, 0);
+  EXPECT_DOUBLE_EQ(s.avg_fct_ms, (1 + 3 + 8 + 16) / 4.0);
+  EXPECT_DOUBLE_EQ(s.p99_short_fct_ms, 3.0);
+  EXPECT_NEAR(s.avg_long_tput_gbps, 7.5, 1e-9);
+}
+
+TEST(FctSummary, WindowFiltersOnStartTime) {
+  std::vector<FlowRecord> flows{
+      rec(5, 100, 1000),             // before window
+      rec(10, 200, 1000),            // inside
+      rec(20, 50000, 1000),          // at window end -> excluded
+  };
+  const auto s = summarize(flows, 10, 20, workload::kShortFlowThreshold);
+  EXPECT_EQ(s.measured_flows, 1);
+}
+
+TEST(FctSummary, IncompleteFlowsCountedNotAveraged) {
+  std::vector<FlowRecord> flows{
+      rec(0, 2 * kMillisecond, 1000),
+      {5, -1, 1000},  // never finished
+  };
+  const auto s = summarize(flows, 0, kSecond, workload::kShortFlowThreshold);
+  EXPECT_EQ(s.measured_flows, 1);
+  EXPECT_EQ(s.incomplete_flows, 1);
+  EXPECT_DOUBLE_EQ(s.avg_fct_ms, 2.0);
+}
+
+TEST(FctSummary, EmptyWindowIsZeroes) {
+  const auto s = summarize({}, 0, kSecond, workload::kShortFlowThreshold);
+  EXPECT_EQ(s.measured_flows, 0);
+  EXPECT_DOUBLE_EQ(s.avg_fct_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_short_fct_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_long_tput_gbps, 0.0);
+}
+
+TEST(FctSummary, ExactlyThresholdCountsAsLong) {
+  std::vector<FlowRecord> flows{
+      rec(0, 8 * kMicrosecond, workload::kShortFlowThreshold)};
+  const auto s = summarize(flows, 0, kSecond, workload::kShortFlowThreshold);
+  EXPECT_DOUBLE_EQ(s.p99_short_fct_ms, 0.0);  // no short flows
+  EXPECT_GT(s.avg_long_tput_gbps, 0.0);
+}
+
+TEST(FlowRecord, Accessors) {
+  const auto r = rec(10, 30, 5);
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.fct(), 20);
+  const FlowRecord open{10, -1, 5};
+  EXPECT_FALSE(open.completed());
+}
+
+}  // namespace
+}  // namespace flexnets::metrics

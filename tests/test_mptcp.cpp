@@ -1,0 +1,127 @@
+// The simplified MPTCP-over-KSP baseline: chunked subflow scheduling over
+// pinned k-shortest paths.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/network.hpp"
+#include "topo/xpander.hpp"
+#include "transport/mptcp.hpp"
+#include "workload/arrivals.hpp"
+
+namespace flexnets::transport {
+namespace {
+
+class MptcpTest : public ::testing::Test {
+ protected:
+  MptcpTest() : x_(topo::xpander(4, 4, 2, 3)) {
+    cfg_.routing.mode = routing::RoutingMode::kKsp;
+    cfg_.routing.ksp_k = 4;
+    net_ = std::make_unique<sim::PacketNetwork>(x_.topo, cfg_);
+    MptcpConfig mcfg;
+    mcfg.subflows = 4;
+    mcfg.chunk = 64 * kKB;
+    mptcp_ = std::make_unique<MptcpEngine>(mcfg, net_->engine());
+  }
+
+  // Opens + starts a logical flow between two servers and runs to quiet.
+  std::int32_t run_flow(int src_server, int dst_server, Bytes size) {
+    const auto id = mptcp_->open(
+        net_->host_node(src_server), net_->host_node(dst_server),
+        net_->tor_of_server(src_server), net_->tor_of_server(dst_server),
+        size);
+    mptcp_->start(id);
+    net_->simulator().run();
+    return id;
+  }
+
+  topo::Xpander x_;
+  sim::NetworkConfig cfg_;
+  std::unique_ptr<sim::PacketNetwork> net_;
+  std::unique_ptr<MptcpEngine> mptcp_;
+};
+
+TEST_F(MptcpTest, SmallFlowUsesOneSubflow) {
+  const auto id = run_flow(0, 20, 10 * kKB);
+  const auto& lf = mptcp_->logical(id);
+  EXPECT_EQ(lf.subflows.size(), 1u);
+  EXPECT_TRUE(lf.completed());
+  EXPECT_EQ(lf.unassigned, 0);
+}
+
+TEST_F(MptcpTest, LargeFlowSplitsAcrossSubflows) {
+  const auto id = run_flow(0, 20, 2 * kMB);
+  const auto& lf = mptcp_->logical(id);
+  EXPECT_EQ(lf.subflows.size(), 4u);
+  ASSERT_TRUE(lf.completed());
+  EXPECT_EQ(lf.unassigned, 0);
+  // Every byte was delivered: subflow sizes sum to the logical size.
+  Bytes total = 0;
+  for (const auto sub : lf.subflows) {
+    const auto& f = net_->engine().flow(sub);
+    EXPECT_TRUE(f.completed);
+    EXPECT_TRUE(f.size_final);
+    total += f.size;
+  }
+  EXPECT_EQ(total, 2 * kMB);
+}
+
+TEST_F(MptcpTest, SubflowsArePinnedToDistinctPaths) {
+  const auto id = run_flow(0, 20, 1 * kMB);
+  const auto& lf = mptcp_->logical(id);
+  std::set<int> pins;
+  for (const auto sub : lf.subflows) {
+    pins.insert(net_->engine().flow(sub).route.pinned_ksp);
+  }
+  EXPECT_EQ(pins.size(), lf.subflows.size());
+}
+
+TEST_F(MptcpTest, CompletionTimeIsLastSubflow) {
+  const auto id = run_flow(0, 20, 1 * kMB);
+  const auto& lf = mptcp_->logical(id);
+  TimeNs latest = -1;
+  for (const auto sub : lf.subflows) {
+    latest = std::max(latest, net_->engine().flow(sub).completion_time);
+  }
+  EXPECT_EQ(lf.completion_time, latest);
+}
+
+TEST_F(MptcpTest, ExactChunkMultipleHasNoResidual) {
+  const auto id = run_flow(0, 20, 4 * 64 * kKB);
+  const auto& lf = mptcp_->logical(id);
+  EXPECT_EQ(lf.subflows.size(), 4u);
+  EXPECT_TRUE(lf.completed());
+}
+
+TEST_F(MptcpTest, ManyConcurrentLogicalFlowsComplete) {
+  std::vector<std::int32_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const int src = i % x_.topo.num_servers();
+    const int dst = (i + 11) % x_.topo.num_servers();
+    if (net_->tor_of_server(src) == net_->tor_of_server(dst)) continue;
+    ids.push_back(mptcp_->open(net_->host_node(src), net_->host_node(dst),
+                               net_->tor_of_server(src),
+                               net_->tor_of_server(dst), 300 * kKB + i * 1000));
+  }
+  for (const auto id : ids) mptcp_->start(id);
+  net_->simulator().run();
+  for (const auto id : ids) {
+    EXPECT_TRUE(mptcp_->logical(id).completed()) << "logical flow " << id;
+  }
+}
+
+TEST_F(MptcpTest, AggregatesMorePathCapacityThanSingleFlow) {
+  // Between adjacent racks, a single DCTCP/ECMP flow is limited to the one
+  // direct 10G link; MPTCP over 4 KSP paths can exceed it when the direct
+  // link is busy. Here, simply check MPTCP's goodput for one big flow is at
+  // least in the same ballpark (no pathological scheduler stalls).
+  const auto id = run_flow(0, 20, 8 * kMB);
+  const auto& lf = mptcp_->logical(id);
+  ASSERT_TRUE(lf.completed());
+  const double gbps = static_cast<double>(lf.size) * 8.0 /
+                      static_cast<double>(lf.completion_time - lf.start_time);
+  EXPECT_GT(gbps, 3.0);
+}
+
+}  // namespace
+}  // namespace flexnets::transport

@@ -1,0 +1,77 @@
+// Network-level statistics: utilization accounting and growable-flow
+// (extend_flow) semantics at the DCTCP layer.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::sim {
+namespace {
+
+TEST(Utilization, ReflectsTrafficAndRouting) {
+  const auto x = topo::xpander(4, 4, 2, 3);
+  NetworkConfig cfg;
+  PacketNetwork net(x.topo, cfg);
+  // One inter-rack flow for 10ms of a 20ms horizon: access utilization on
+  // the involved links ~50%, mean small, network max similar.
+  std::vector<workload::FlowSpec> flows{{0, 0, 30, 12 * kMB}};
+  net.run(flows);
+  ASSERT_TRUE(net.engine().flow(0).completed);
+  const TimeNs horizon = net.engine().flow(0).completion_time;
+  const auto u = net.utilization(2 * horizon);
+  EXPECT_GT(u.access_max, 0.3);
+  EXPECT_LE(u.access_max, 0.8);
+  EXPECT_GT(u.network_max, 0.3);
+  EXPECT_LT(u.network_mean, u.network_max);  // one path loaded, rest idle
+  EXPECT_GE(u.network_mean, 0.0);
+}
+
+TEST(Utilization, IdleNetworkIsZero) {
+  const auto x = topo::xpander(3, 3, 1, 1);
+  NetworkConfig cfg;
+  PacketNetwork net(x.topo, cfg);
+  const auto u = net.utilization(kSecond);
+  EXPECT_DOUBLE_EQ(u.network_mean, 0.0);
+  EXPECT_DOUBLE_EQ(u.access_max, 0.0);
+}
+
+TEST(GrowableFlows, ExtendResumesAnIdleSender) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  NetworkConfig cfg;
+  PacketNetwork net(x.topo, cfg);
+  auto& eng = net.engine();
+  const auto id = eng.open_flow(net.host_node(0), net.host_node(10),
+                                net.tor_of_server(0), net.tor_of_server(10),
+                                100 * kKB, /*size_final=*/false);
+  eng.start(id);
+  net.simulator().run();
+  // Not final: all bytes delivered but the flow is not complete.
+  EXPECT_FALSE(eng.flow(id).completed);
+  EXPECT_EQ(eng.flow(id).rcv_nxt, 100 * kKB);
+  EXPECT_FALSE(eng.flow(id).sender_done);
+
+  eng.extend_flow(id, 200 * kKB, /*final=*/true);
+  net.simulator().run();
+  EXPECT_TRUE(eng.flow(id).completed);
+  EXPECT_EQ(eng.flow(id).rcv_nxt, 300 * kKB);
+  EXPECT_TRUE(eng.flow(id).sender_done);
+}
+
+TEST(GrowableFlows, FinalizeWithoutExtraCompletesInPlace) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  NetworkConfig cfg;
+  PacketNetwork net(x.topo, cfg);
+  auto& eng = net.engine();
+  const auto id = eng.open_flow(net.host_node(0), net.host_node(10),
+                                net.tor_of_server(0), net.tor_of_server(10),
+                                50 * kKB, /*size_final=*/false);
+  eng.start(id);
+  net.simulator().run();
+  ASSERT_FALSE(eng.flow(id).completed);
+  eng.extend_flow(id, 0, /*final=*/true);
+  // Receiver already has every byte: completion is immediate.
+  EXPECT_TRUE(eng.flow(id).completed);
+}
+
+}  // namespace
+}  // namespace flexnets::sim

@@ -1,0 +1,70 @@
+// Randomized property tests for the flow-level simulator: on arbitrary
+// expander topologies and workloads, every flow completes, completion
+// times respect capacity floors, and total goodput never exceeds what the
+// NICs could physically carry.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "topo/jellyfish.hpp"
+
+namespace flexnets::flowsim {
+namespace {
+
+class FlowSimProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowSimProperties, InvariantsOnRandomInstances) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int n = 10 + static_cast<int>(rng.next_u64(15));
+  const int deg = 3 + static_cast<int>(rng.next_u64(3));
+  const auto t = topo::jellyfish(n % 2 == 0 || deg % 2 == 0 ? n : n + 1, deg,
+                                 3, seed);
+
+  FlowSimConfig cfg;
+  cfg.seed = seed;
+  cfg.routing = static_cast<FlowRouting>(rng.next_u64(4));
+  FlowLevelSimulator sim(t, cfg);
+
+  const int servers = t.num_servers();
+  std::vector<workload::FlowSpec> flows;
+  const int count = 20 + static_cast<int>(rng.next_u64(60));
+  Bytes total = 0;
+  for (int i = 0; i < count; ++i) {
+    int src;
+    int dst;
+    do {
+      src = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(servers)));
+      dst = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(servers)));
+    } while (src == dst);
+    const Bytes size = 10'000 + static_cast<Bytes>(rng.next_u64(2'000'000));
+    total += size;
+    flows.push_back({static_cast<TimeNs>(rng.next_u64(3 * kMillisecond)),
+                     src, dst, size});
+  }
+
+  const auto recs = sim.run(flows);
+  TimeNs last_end = 0;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    ASSERT_TRUE(recs[i].completed()) << "flow " << i << " seed " << seed;
+    // A flow can never beat its own NIC.
+    EXPECT_GE(recs[i].fct() + 1,
+              serialization_time(recs[i].size, 10 * kGbps))
+        << "flow " << i;
+    last_end = std::max(last_end, recs[i].end);
+  }
+  // Aggregate capacity floor: `total` bytes cannot drain faster than all
+  // server NICs combined running flat out from t=0.
+  EXPECT_GE(static_cast<double>(last_end) + 1.0,
+            static_cast<double>(total) * 8.0 /
+                (static_cast<double>(servers) * 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSimProperties,
+                         ::testing::Values(11, 22, 33, 44, 55, 66),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace flexnets::flowsim

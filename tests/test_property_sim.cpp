@@ -1,0 +1,103 @@
+// Randomized end-to-end property tests: random expander topologies and
+// random workloads through the full packet stack, asserting the invariants
+// that must hold regardless of configuration:
+//   - every flow completes and the receiver holds exactly `size` bytes;
+//   - no out-of-order buffer leaks;
+//   - delivered payload accounts for every byte (retransmissions only add);
+//   - FCT is positive and at least the serialization+propagation floor.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+#include "topo/jellyfish.hpp"
+#include "workload/flow_size.hpp"
+
+namespace flexnets {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  routing::RoutingMode mode;
+};
+
+class PacketStackProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PacketStackProperties, InvariantsHoldOnRandomInstances) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+
+  // Random topology: 12-32 switches, degree 3-6, 2-4 servers each.
+  const int n = 12 + static_cast<int>(rng.next_u64(21));
+  const int deg = 3 + static_cast<int>(rng.next_u64(4));
+  const int srv = 2 + static_cast<int>(rng.next_u64(3));
+  const auto t = topo::jellyfish(
+      n % 2 == 0 || deg % 2 == 0 ? n : n + 1, deg, srv, p.seed);
+
+  sim::NetworkConfig cfg;
+  cfg.routing.mode = p.mode;
+  cfg.routing.ksp_k = 3;
+  cfg.seed = p.seed;
+  sim::PacketNetwork net(t, cfg);
+
+  // Random workload: 30-80 flows of 1 KB .. 1 MB.
+  const int servers = t.num_servers();
+  std::vector<workload::FlowSpec> flows;
+  const int count = 30 + static_cast<int>(rng.next_u64(51));
+  for (int i = 0; i < count; ++i) {
+    int src;
+    int dst;
+    do {
+      src = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(servers)));
+      dst = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(servers)));
+    } while (src == dst);
+    flows.push_back({static_cast<TimeNs>(rng.next_u64(5 * kMillisecond)),
+                     src, dst,
+                     1000 + static_cast<Bytes>(rng.next_u64(1'000'000))});
+  }
+
+  net.run(flows);
+
+  for (std::size_t i = 0; i < net.engine().num_flows(); ++i) {
+    const auto& f = net.engine().flow(static_cast<std::int32_t>(i));
+    ASSERT_TRUE(f.completed) << "flow " << i << " incomplete (seed "
+                             << p.seed << ")";
+    EXPECT_TRUE(f.sender_done);
+    EXPECT_EQ(f.rcv_nxt, f.size);
+    EXPECT_TRUE(f.ooo.empty());
+    EXPECT_GT(f.completion_time, f.start_time);
+    // Data packets sent cover the flow at least once (retransmits only add).
+    const auto min_packets =
+        static_cast<std::uint64_t>((f.size + 1439) / 1440);
+    EXPECT_GE(f.data_packets_sent, min_packets);
+    // FCT floor: size must at least serialize once onto a 10G access link.
+    EXPECT_GE(f.completion_time - f.start_time,
+              serialization_time(f.size, 10 * kGbps));
+  }
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  const routing::RoutingMode modes[] = {
+      routing::RoutingMode::kEcmp, routing::RoutingMode::kVlb,
+      routing::RoutingMode::kHyb, routing::RoutingMode::kHybEcn,
+      routing::RoutingMode::kKsp, routing::RoutingMode::kSpray};
+  std::uint64_t seed = 1000;
+  for (const auto m : modes) {
+    cases.push_back({seed++, m});
+    cases.push_back({seed++, m});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  static const char* const names[] = {"ecmp",   "vlb", "hyb",
+                                      "hybecn", "ksp", "spray"};
+  return std::string(names[static_cast<int>(info.param.mode)]) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PacketStackProperties,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace flexnets

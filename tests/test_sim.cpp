@@ -1,0 +1,162 @@
+// Event queue, simulator clock, and link/queue semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexnets::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  Event a;
+  a.time = 10;
+  a.a = 1;
+  Event b;
+  b.time = 5;
+  b.a = 2;
+  Event c;
+  c.time = 10;
+  c.a = 3;
+  q.push(a);
+  q.push(b);
+  q.push(c);
+  EXPECT_EQ(q.pop().a, 2);
+  EXPECT_EQ(q.pop().a, 1);  // inserted before c at the same time
+  EXPECT_EQ(q.pop().a, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, ClockAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<TimeNs> seen;
+  sim.set_handler([&](const Event& e) { seen.push_back(e.time); });
+  sim.schedule(30, EventType::kFlowStart, 0);
+  sim.schedule(10, EventType::kFlowStart, 1);
+  sim.schedule(20, EventType::kFlowStart, 2);
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<TimeNs>{10, 20, 30}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int count = 0;
+  sim.set_handler([&](const Event&) { ++count; });
+  sim.schedule(10, EventType::kFlowStart, 0);
+  sim.schedule(20, EventType::kFlowStart, 1);
+  sim.run(15);
+  EXPECT_EQ(count, 1);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, HandlerCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.set_handler([&](const Event& e) {
+    ++fired;
+    if (e.a < 3) sim.schedule(sim.now() + 5, EventType::kFlowStart, e.a + 1);
+  });
+  sim.schedule(0, EventType::kFlowStart, 0);
+  sim.run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.now(), 15);
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  LinkTest() {
+    cfg_.rate = 10 * kGbps;
+    cfg_.propagation = 100;
+    cfg_.queue_capacity = 6000;   // 4 x 1500B packets
+    cfg_.ecn_threshold = 3000;    // 2 packets
+    link_ = std::make_unique<Link>(0, 0, 1, cfg_);
+    sim_.set_handler([this](const Event& e) {
+      if (e.type == EventType::kLinkDequeue) {
+        link_->on_dequeue(sim_);
+      } else if (e.type == EventType::kPacketArrive) {
+        arrivals_.push_back({sim_.now(), e.pkt});
+      }
+    });
+  }
+
+  Packet make_packet(Bytes size, int flow = 0) {
+    Packet p;
+    p.flow_id = flow;
+    p.wire_size = size;
+    return p;
+  }
+
+  LinkConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<Link> link_;
+  std::vector<std::pair<TimeNs, Packet>> arrivals_;
+};
+
+TEST_F(LinkTest, SerializationPlusPropagation) {
+  link_->enqueue(sim_, make_packet(1500));
+  sim_.run();
+  ASSERT_EQ(arrivals_.size(), 1u);
+  // 1500B at 10 Gbps = 1200ns + 100ns propagation.
+  EXPECT_EQ(arrivals_[0].first, 1300);
+}
+
+TEST_F(LinkTest, BackToBackPacketsSpacedBySerialization) {
+  link_->enqueue(sim_, make_packet(1500, 1));
+  link_->enqueue(sim_, make_packet(1500, 2));
+  sim_.run();
+  ASSERT_EQ(arrivals_.size(), 2u);
+  EXPECT_EQ(arrivals_[1].first - arrivals_[0].first, 1200);
+}
+
+TEST_F(LinkTest, EcnMarkAtThreshold) {
+  // First packet transmits immediately (not queued). Next two fill the
+  // queue to 3000 bytes; the fourth sees occupancy >= threshold -> marked.
+  for (int i = 0; i < 4; ++i) link_->enqueue(sim_, make_packet(1500, i));
+  sim_.run();
+  ASSERT_EQ(arrivals_.size(), 4u);
+  EXPECT_FALSE(arrivals_[0].second.ecn_ce);
+  EXPECT_FALSE(arrivals_[1].second.ecn_ce);
+  EXPECT_FALSE(arrivals_[2].second.ecn_ce);
+  EXPECT_TRUE(arrivals_[3].second.ecn_ce);
+  EXPECT_EQ(link_->ecn_marks(), 1u);
+}
+
+TEST_F(LinkTest, DropTailWhenFull) {
+  // 1 transmitting + 4 queued (6000B) fits; the 6th packet drops.
+  for (int i = 0; i < 6; ++i) link_->enqueue(sim_, make_packet(1500, i));
+  sim_.run();
+  EXPECT_EQ(arrivals_.size(), 5u);
+  EXPECT_EQ(link_->drops(), 1u);
+}
+
+TEST_F(LinkTest, CountersTrackTraffic) {
+  for (int i = 0; i < 3; ++i) link_->enqueue(sim_, make_packet(1000, i));
+  sim_.run();
+  EXPECT_EQ(link_->packets_sent(), 3u);
+  EXPECT_EQ(link_->bytes_sent(), 3000);
+  EXPECT_EQ(link_->queued_bytes(), 0);
+}
+
+TEST_F(LinkTest, FifoOrderPreserved) {
+  for (int i = 0; i < 5; ++i) link_->enqueue(sim_, make_packet(500, i));
+  sim_.run();
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    EXPECT_EQ(arrivals_[i].second.flow_id, static_cast<int>(i));
+  }
+}
+
+TEST_F(LinkTest, SmallPacketFastSerialization) {
+  link_->enqueue(sim_, make_packet(64));
+  sim_.run();
+  // 64B at 10Gbps = 51.2 -> 52ns (rounded up) + 100 propagation.
+  EXPECT_EQ(arrivals_[0].first, 152);
+}
+
+}  // namespace
+}  // namespace flexnets::sim

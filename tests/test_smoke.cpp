@@ -1,0 +1,10 @@
+// Build smoke test; real suites live in the sibling test files.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+TEST(Smoke, UnitsArithmetic) {
+  using namespace flexnets;
+  EXPECT_EQ(serialization_time(1500, 10 * kGbps), 1200);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "topo/io.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::topo {
+namespace {
+
+TEST(TopoIo, RoundTripPreservesEverything) {
+  const auto t = jellyfish(20, 4, 3, 7);
+  const auto text = to_text(t);
+  std::string err;
+  const auto back = from_text(text, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->name, t.name);
+  EXPECT_EQ(back->servers_per_switch, t.servers_per_switch);
+  ASSERT_EQ(back->g.num_edges(), t.g.num_edges());
+  for (graph::EdgeId e = 0; e < t.g.num_edges(); ++e) {
+    EXPECT_EQ(back->g.edge(e).a, t.g.edge(e).a);
+    EXPECT_EQ(back->g.edge(e).b, t.g.edge(e).b);
+  }
+}
+
+TEST(TopoIo, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(from_text("not-a-topology", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(from_text("flexnets-topology 2\n", &err).has_value());
+  // Link referencing a nonexistent switch.
+  EXPECT_FALSE(from_text("flexnets-topology 1\nname x\nswitches 2\n"
+                         "servers 1 1\nlinks 1\n0 5\n",
+                         &err)
+                   .has_value());
+  // Self-loop.
+  EXPECT_FALSE(from_text("flexnets-topology 1\nname x\nswitches 2\n"
+                         "servers 1 1\nlinks 1\n1 1\n",
+                         &err)
+                   .has_value());
+}
+
+TEST(TopoIo, EmptyTopology) {
+  Topology t;
+  t.name = "empty";
+  const auto back = from_text(to_text(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_switches(), 0);
+}
+
+TEST(TopoIo, DotContainsNodesAndEdges) {
+  const auto x = xpander(3, 2, 2, 1);
+  const auto dot = to_dot(x.topo);
+  EXPECT_NE(dot.find("graph"), std::string::npos);
+  EXPECT_NE(dot.find("s0 [label=\"s0 (+2 srv)\"]"), std::string::npos);
+  EXPECT_NE(dot.find(" -- "), std::string::npos);
+}
+
+TEST(TopoIo, FileSaveLoad) {
+  const auto t = jellyfish(10, 3, 2, 1);
+  const std::string path = ::testing::TempDir() + "/flexnets_topo_test.txt";
+  ASSERT_TRUE(save_topology(path, t));
+  std::string err;
+  const auto back = load_topology(path, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->num_servers(), t.num_servers());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_topology("/nonexistent/dir/x.txt", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace flexnets::topo

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "topo/jellyfish.hpp"
+#include "workload/flow_size.hpp"
+#include "workload/trace.hpp"
+
+namespace flexnets::workload {
+namespace {
+
+std::vector<FlowSpec> sample_flows() {
+  const auto t = topo::jellyfish(10, 3, 4, 1);
+  const auto pairs = all_to_all_pairs(t, t.tors());
+  const auto sizes = pfabric_web_search();
+  return generate_flows(*pairs, *sizes, 5000.0, 100, 42);
+}
+
+TEST(Trace, RoundTrip) {
+  const auto flows = sample_flows();
+  std::string err;
+  const auto back = from_csv(to_csv(flows), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  ASSERT_EQ(back->size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ((*back)[i].start, flows[i].start);
+    EXPECT_EQ((*back)[i].src_server, flows[i].src_server);
+    EXPECT_EQ((*back)[i].dst_server, flows[i].dst_server);
+    EXPECT_EQ((*back)[i].size, flows[i].size);
+  }
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "start_ns,src_server,dst_server,size_bytes\n"
+      "\n"
+      "1000,0,1,5000\n"
+      "# trailing comment\n"
+      "2000,2,3,6000\n";
+  const auto flows = from_csv(text);
+  ASSERT_TRUE(flows.has_value());
+  ASSERT_EQ(flows->size(), 2u);
+  EXPECT_EQ((*flows)[1].size, 6000);
+}
+
+TEST(Trace, RejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(from_csv("", &err).has_value());
+  EXPECT_FALSE(from_csv("nonsense\n", &err).has_value());
+  EXPECT_FALSE(
+      from_csv("start_ns,src_server,dst_server,size_bytes\n1000,0,1\n", &err)
+          .has_value());
+  // Self-pair.
+  EXPECT_FALSE(
+      from_csv("start_ns,src_server,dst_server,size_bytes\n1000,2,2,500\n",
+               &err)
+          .has_value());
+  // Non-positive size.
+  EXPECT_FALSE(
+      from_csv("start_ns,src_server,dst_server,size_bytes\n1000,0,1,0\n",
+               &err)
+          .has_value());
+}
+
+TEST(Trace, FileSaveLoad) {
+  const auto flows = sample_flows();
+  const std::string path = ::testing::TempDir() + "/flexnets_trace_test.csv";
+  ASSERT_TRUE(save_trace(path, flows));
+  std::string err;
+  const auto back = load_trace(path, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->size(), flows.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_trace("/no/such/file.csv", &err).has_value());
+}
+
+}  // namespace
+}  // namespace flexnets::workload

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "topo/jellyfish.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/flow_size.hpp"
+#include "sim/network.hpp"
+#include "workload/pairs.hpp"
+
+namespace flexnets::workload {
+namespace {
+
+TEST(FlowSize, PfabricMeanAndShortFraction) {
+  const auto d = pfabric_web_search();
+  Rng rng(1);
+  double sum = 0.0;
+  int short_flows = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Bytes s = d->sample(rng);
+    ASSERT_GT(s, 0);
+    ASSERT_LE(s, 30 * kMB);
+    sum += static_cast<double>(s);
+    short_flows += (s < kShortFlowThreshold);
+  }
+  const double mean = sum / n;
+  // Paper: mean ~2.4 MB, ~60% of flows short (<100 KB).
+  EXPECT_GT(mean, 2.1e6);
+  EXPECT_LT(mean, 2.7e6);
+  EXPECT_NEAR(static_cast<double>(short_flows) / n, 0.58, 0.05);
+}
+
+TEST(FlowSize, PfabricCdfMonotone) {
+  const auto d = pfabric_web_search();
+  double prev = -1.0;
+  for (Bytes s = 1000; s <= 30 * kMB; s = s * 3 / 2) {
+    const double c = d->cdf(s);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(d->cdf(30 * kMB), 1.0);
+}
+
+TEST(FlowSize, ParetoHullMeanAnd90th) {
+  const auto d = pareto_hull();
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d->sample(rng));
+  // HULL: mean ~100 KB; 90th percentile below ~100 KB (paper section 6.5).
+  EXPECT_GT(sum / n, 70e3);
+  EXPECT_LT(sum / n, 140e3);
+  EXPECT_NEAR(d->cdf(100 * kKB), 0.90, 0.03);
+}
+
+TEST(FlowSize, ParetoSamplesWithinBounds) {
+  const auto d = pareto_hull();
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const Bytes s = d->sample(rng);
+    EXPECT_GE(s, 11 * kKB);
+    EXPECT_LE(s, 1000 * kMB);
+  }
+}
+
+TEST(FlowSize, SamplingMatchesCdf) {
+  // Kolmogorov-style check: empirical fraction below a probe point matches
+  // the analytic CDF for both distributions.
+  for (const auto* which : {"pfabric", "pareto"}) {
+    const auto d = std::string(which) == "pfabric" ? pfabric_web_search()
+                                                   : pareto_hull();
+    Rng rng(4);
+    const int n = 100000;
+    for (const Bytes probe : {50 * kKB, 500 * kKB, 5 * kMB}) {
+      int below = 0;
+      Rng r2 = rng.child(probe);
+      for (int i = 0; i < n; ++i) below += (d->sample(r2) <= probe);
+      EXPECT_NEAR(static_cast<double>(below) / n, d->cdf(probe), 0.02)
+          << which << " at " << probe;
+    }
+  }
+}
+
+TEST(Pairs, A2ACoversActiveRacksOnly) {
+  const auto t = topo::jellyfish(20, 4, 4, 1);
+  const auto active = random_fraction_racks(t, 0.5, 3);
+  const auto dist = all_to_all_pairs(t, active);
+  const std::set<topo::NodeId> active_set(active.begin(), active.end());
+  Rng rng(5);
+  std::set<topo::NodeId> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto [src, dst] = dist->sample(rng);
+    EXPECT_NE(src, dst);
+    const auto sr = t.switch_of_server(src);
+    const auto dr = t.switch_of_server(dst);
+    EXPECT_TRUE(active_set.contains(sr));
+    EXPECT_TRUE(active_set.contains(dr));
+    EXPECT_NE(sr, dr);  // cross-rack only when >= 2 racks active
+    seen.insert(sr);
+    seen.insert(dr);
+  }
+  EXPECT_EQ(seen.size(), active.size());  // every active rack participates
+}
+
+TEST(Pairs, PermutationFixedPartners) {
+  const auto t = topo::jellyfish(20, 4, 4, 1);
+  const auto active = random_fraction_racks(t, 0.6, 3);
+  const auto dist = permutation_pairs(t, active, 7);
+  // Each source rack always maps to the same destination rack.
+  std::map<topo::NodeId, topo::NodeId> partner;
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const auto [src, dst] = dist->sample(rng);
+    const auto sr = t.switch_of_server(src);
+    const auto dr = t.switch_of_server(dst);
+    auto [it, inserted] = partner.try_emplace(sr, dr);
+    EXPECT_EQ(it->second, dr) << "rack " << sr << " has two partners";
+  }
+  EXPECT_EQ(partner.size(), active.size());
+}
+
+TEST(Pairs, SkewConcentratesTraffic) {
+  const auto t = topo::jellyfish(50, 6, 4, 1);
+  const auto dist = skew_pairs(t, 0.04, 0.77, 11);
+  Rng rng(8);
+  std::map<topo::NodeId, int> rack_count;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto [src, dst] = dist->sample(rng);
+    ++rack_count[t.switch_of_server(src)];
+    ++rack_count[t.switch_of_server(dst)];
+  }
+  // 2 hot racks (4% of 50) carry weight 0.385 each. The paper normalizes
+  // the product distribution over pairs with i != j, which removes the
+  // (large) hot-hot self-pair mass; the analytic hot-endpoint fraction is
+  // sum_i[hot] w_i (1 - w_i) / (1 - sum_i w_i^2) = 0.674.
+  std::vector<int> counts;
+  for (const auto& [rack, c] : rack_count) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  const double hot_fraction =
+      static_cast<double>(counts[0] + counts[1]) / (2.0 * n);
+  EXPECT_NEAR(hot_fraction, 0.674, 0.02);
+  // Still overwhelmingly concentrated: 2 of 50 racks carry two-thirds of
+  // all traffic endpoints.
+  EXPECT_GT(hot_fraction, 0.6);
+}
+
+TEST(Pairs, SkewUniformWhenPhiMatchesTheta) {
+  // theta=0.5, phi=0.5 -> all racks equally weighted.
+  const auto t = topo::jellyfish(10, 3, 2, 1);
+  const auto dist = skew_pairs(t, 0.5, 0.5, 3);
+  Rng rng(9);
+  std::map<topo::NodeId, int> rack_count;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto [src, dst] = dist->sample(rng);
+    ++rack_count[t.switch_of_server(src)];
+  }
+  for (const auto& [rack, c] : rack_count) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(Pairs, IncastAllFlowsTargetOneServer) {
+  const auto t = topo::jellyfish(10, 3, 4, 1);
+  const int dst = 17;  // a server on rack 4
+  const auto dist = incast_pairs(t, dst, {0, 1, 2, 4});  // 4 = dst's rack
+  Rng rng(12);
+  std::set<topo::NodeId> src_racks;
+  for (int i = 0; i < 3000; ++i) {
+    const auto [src, d] = dist->sample(rng);
+    EXPECT_EQ(d, dst);
+    EXPECT_NE(src, dst);
+    const auto sr = t.switch_of_server(src);
+    EXPECT_NE(sr, 4);  // destination rack excluded from sources
+    src_racks.insert(sr);
+  }
+  EXPECT_EQ(src_racks, (std::set<topo::NodeId>{0, 1, 2}));
+  // Active racks include the destination's rack (its downlink is loaded).
+  EXPECT_EQ(dist->active_racks().front(), 4);
+}
+
+TEST(Pairs, IncastCongestsTheFanInLink) {
+  // End-to-end sanity: an incast of simultaneous senders completes and the
+  // destination's access downlink is the hot spot.
+  const auto t = topo::jellyfish(8, 3, 4, 2);
+  sim::NetworkConfig cfg;
+  sim::PacketNetwork net(t, cfg);
+  const int dst = 0;  // first server on rack 0
+  std::vector<workload::FlowSpec> flows;
+  for (int rack = 1; rack <= 4; ++rack) {
+    const int src = t.first_server_of_switch(rack);
+    flows.push_back({0, src, dst, 1 * kMB});
+    flows.push_back({0, src + 1, dst, 1 * kMB});
+  }
+  net.run(flows);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_TRUE(net.engine().flow(static_cast<std::int32_t>(i)).completed);
+  }
+  // 8 MB through one 10G downlink >= 6.4 ms; DCTCP keeps it orderly.
+  const auto& last = net.engine().flow(7);
+  EXPECT_GE(last.completion_time, 6 * kMillisecond);
+  EXPECT_GT(net.total_ecn_marks(), 0u);
+}
+
+TEST(Pairs, TwoRackUsesOnlyDesignatedServers) {
+  const auto t = topo::jellyfish(10, 3, 8, 1);
+  const auto dist = two_rack_pairs(t, 2, 5, 5);
+  Rng rng(10);
+  for (int i = 0; i < 5000; ++i) {
+    const auto [src, dst] = dist->sample(rng);
+    const auto sr = t.switch_of_server(src);
+    const auto dr = t.switch_of_server(dst);
+    EXPECT_TRUE((sr == 2 && dr == 5) || (sr == 5 && dr == 2));
+    // Only the first 5 servers of each rack participate.
+    EXPECT_LT(src - t.first_server_of_switch(sr), 5);
+    EXPECT_LT(dst - t.first_server_of_switch(dr), 5);
+  }
+}
+
+TEST(Pairs, FractionHelpers) {
+  const auto t = topo::jellyfish(20, 4, 1, 1);
+  EXPECT_EQ(first_fraction_racks(t, 0.25).size(), 5u);
+  EXPECT_EQ(first_fraction_racks(t, 0.25),
+            (std::vector<topo::NodeId>{0, 1, 2, 3, 4}));
+  const auto r = random_fraction_racks(t, 0.25, 5);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r, random_fraction_racks(t, 0.25, 5));  // deterministic
+}
+
+TEST(Arrivals, PoissonRateAndDeterminism) {
+  const auto t = topo::jellyfish(10, 3, 4, 1);
+  const auto pairs = all_to_all_pairs(t, t.tors());
+  const auto sizes = pfabric_web_search();
+  const auto flows = generate_flows(*pairs, *sizes, 10000.0, 5000, 42);
+  ASSERT_EQ(flows.size(), 5000u);
+  // Arrival times strictly increasing, mean gap ~100 us.
+  double gap_sum = 0.0;
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    ASSERT_GE(flows[i].start, flows[i - 1].start);
+    gap_sum += static_cast<double>(flows[i].start - flows[i - 1].start);
+  }
+  EXPECT_NEAR(gap_sum / static_cast<double>(flows.size() - 1), 100e3, 5e3);
+  // Deterministic in seed.
+  const auto again = generate_flows(*pairs, *sizes, 10000.0, 5000, 42);
+  EXPECT_EQ(flows[123].start, again[123].start);
+  EXPECT_EQ(flows[123].src_server, again[123].src_server);
+  EXPECT_EQ(flows[123].size, again[123].size);
+  const auto other = generate_flows(*pairs, *sizes, 10000.0, 5000, 43);
+  EXPECT_NE(flows[123].start, other[123].start);
+}
+
+}  // namespace
+}  // namespace flexnets::workload

@@ -1,0 +1,58 @@
+#include "cli_args.hpp"
+
+#include <cstdlib>
+
+namespace flexnets::cli {
+
+std::optional<Args> Args::parse(int argc, const char* const* argv,
+                                std::string* error) {
+  Args out;
+  for (int i = 0; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      if (error != nullptr) *error = "expected --flag, got '" + tok + "'";
+      return std::nullopt;
+    }
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      out.kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.kv_[tok] = argv[++i];
+    } else {
+      out.kv_[tok] = "";  // bare flag
+    }
+  }
+  return out;
+}
+
+bool Args::has(const std::string& key) const {
+  used_.insert(key);
+  return kv_.contains(key);
+}
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  used_.insert(key);
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  const auto s = get(key, "");
+  return s.empty() ? def : std::strtoll(s.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto s = get(key, "");
+  return s.empty() ? def : std::strtod(s.c_str(), nullptr);
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (!used_.contains(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace flexnets::cli

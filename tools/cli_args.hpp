@@ -1,0 +1,35 @@
+// Minimal flag parser for the flexnets CLI: --key=value / --key value /
+// bare --flag, with typed accessors and unknown-flag detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flexnets::cli {
+
+class Args {
+ public:
+  // argv after the subcommand. Returns nullopt on malformed input.
+  static std::optional<Args> parse(int argc, const char* const* argv,
+                                   std::string* error);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+
+  // Flags consulted via the getters; anything else is a user typo.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace flexnets::cli

@@ -1,0 +1,28 @@
+// The flexnets CLI subcommands. Each returns a process exit code.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cli_args.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::cli {
+
+// Builds a topology from --topo=<kind> plus kind-specific flags, or loads
+// one from --load=<file>. Shared by all subcommands. Prints an error and
+// returns nullopt on bad flags.
+std::optional<topo::Topology> build_topology(const Args& args);
+
+// flexnets_cli topo  --topo=... [--save=f] [--dot=f] [--stats]
+int cmd_topo(const Args& args);
+// flexnets_cli fluid --topo=... [--fractions=a,b,c] [--tm=...] [--eps=]
+int cmd_fluid(const Args& args);
+// flexnets_cli sim   --topo=... --workload=... --routing=... [--rate=...]
+int cmd_sim(const Args& args);
+// flexnets_cli dyn   --tors=32 --ports=4 --scheduler=rotor|demand-aware
+int cmd_dyn(const Args& args);
+
+void print_usage();
+
+}  // namespace flexnets::cli

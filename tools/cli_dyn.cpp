@@ -1,0 +1,91 @@
+#include <cstdio>
+
+#include "cli_commands.hpp"
+#include "dynnet/dynamic_network.hpp"
+#include "metrics/fct_tracker.hpp"
+#include "topo/jellyfish.hpp"
+#include "workload/flow_size.hpp"
+#include "workload/trace.hpp"
+
+namespace flexnets::cli {
+
+int cmd_dyn(const Args& args) {
+  dynnet::DynNetConfig cfg;
+  cfg.num_tors = static_cast<int>(args.get_int("tors", 32));
+  cfg.servers_per_tor = static_cast<int>(args.get_int("servers", 4));
+  cfg.flex_ports = static_cast<int>(args.get_int("ports", 4));
+  cfg.slot_duration = args.get_int("slot-us", 100) * kMicrosecond;
+  cfg.reconfig_delay = args.get_int("reconfig-us", 10) * kMicrosecond;
+  const auto sched = args.get("scheduler", "rotor");
+  if (sched == "rotor") {
+    cfg.scheduler = dynnet::Scheduler::kRotor;
+  } else if (sched == "demand-aware") {
+    cfg.scheduler = dynnet::Scheduler::kDemandAware;
+  } else {
+    std::fprintf(stderr, "error: --scheduler must be rotor|demand-aware\n");
+    return 1;
+  }
+  if (cfg.num_tors < 2 || cfg.num_tors % 2 != 0 || cfg.flex_ports < 1 ||
+      cfg.flex_ports >= cfg.num_tors || cfg.servers_per_tor < 1 ||
+      cfg.reconfig_delay >= cfg.slot_duration) {
+    std::fprintf(stderr,
+                 "error: need even --tors >= 2, 1 <= --ports < tors, "
+                 "--servers >= 1, --reconfig-us < --slot-us\n");
+    return 1;
+  }
+
+  // Workload: skew or a2a over a same-shape static topology (used only to
+  // draw server pairs; the fabric itself is the dynamic network).
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto shape = topo::jellyfish(
+      cfg.num_tors, std::min(cfg.num_tors - 1, 3), cfg.servers_per_tor, seed);
+  std::unique_ptr<workload::PairDistribution> pairs;
+  const auto wl = args.get("workload", "skew");
+  if (wl == "skew") {
+    pairs = workload::skew_pairs(shape, args.get_double("theta", 0.04),
+                                 args.get_double("phi", 0.77), seed);
+  } else if (wl == "a2a") {
+    pairs = workload::all_to_all_pairs(shape, shape.tors());
+  } else {
+    std::fprintf(stderr, "error: --workload must be skew|a2a\n");
+    return 1;
+  }
+  const auto sizes = workload::pfabric_web_search();
+  const double rate =
+      args.get_double("rate", 20.0) * cfg.num_tors * cfg.servers_per_tor;
+  const auto warmup = args.get_int("warmup-ms", 20) * kMillisecond;
+  const auto window = args.get_int("window-ms", 30) * kMillisecond;
+  const int num_flows =
+      std::max(1, static_cast<int>(rate * to_seconds(warmup + window +
+                                                     window / 2)));
+  const auto flows =
+      workload::generate_flows(*pairs, *sizes, rate, num_flows, seed);
+
+  dynnet::DynamicNetwork net(cfg);
+  const auto recs = net.run(flows);
+  std::vector<metrics::FlowRecord> records;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    records.push_back({recs[i].start, recs[i].end, flows[i].size});
+  }
+  const auto s = metrics::summarize(records, warmup, warmup + window,
+                                    workload::kShortFlowThreshold);
+
+  std::printf(
+      "dynamic fabric: %d ToRs x %d flexible ports, slot %lldus "
+      "(reconfig %lldus), scheduler %s\n",
+      cfg.num_tors, cfg.flex_ports,
+      static_cast<long long>(cfg.slot_duration / kMicrosecond),
+      static_cast<long long>(cfg.reconfig_delay / kMicrosecond),
+      sched.c_str());
+  std::printf("flows measured: %d (incomplete %d)\n", s.measured_flows,
+              s.incomplete_flows);
+  std::printf("avg FCT:            %.3f ms\n", s.avg_fct_ms);
+  std::printf("p99 short-flow FCT: %.3f ms\n", s.p99_short_fct_ms);
+  std::printf("long-flow tput:     %.3f Gbps\n", s.avg_long_tput_gbps);
+  std::printf(
+      "\n(note: flow-level fluid model -- optimistic for the dynamic side;\n"
+      "compare with 'flexnets_cli sim' on a static expander at equal cost)\n");
+  return 0;
+}
+
+}  // namespace flexnets::cli

@@ -1,0 +1,63 @@
+#include <cstdio>
+#include <sstream>
+
+#include "cli_commands.hpp"
+#include "core/fluid_runner.hpp"
+
+namespace flexnets::cli {
+
+int cmd_fluid(const Args& args) {
+  const auto t = build_topology(args);
+  if (!t) return 1;
+
+  core::FluidSweepOptions opts;
+  opts.eps = args.get_double("eps", 0.07);
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (opts.eps <= 0.0 || opts.eps > 0.5) {
+    std::fprintf(stderr, "error: --eps must be in (0, 0.5]\n");
+    return 1;
+  }
+
+  if (args.has("fractions")) {
+    opts.fractions.clear();
+    std::istringstream in(args.get("fractions", ""));
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+      const double x = std::strtod(tok.c_str(), nullptr);
+      if (x <= 0.0 || x > 1.0) {
+        std::fprintf(stderr, "error: fraction '%s' not in (0, 1]\n",
+                     tok.c_str());
+        return 1;
+      }
+      opts.fractions.push_back(x);
+    }
+    if (opts.fractions.empty()) {
+      std::fprintf(stderr, "error: --fractions is empty\n");
+      return 1;
+    }
+  } else {
+    opts.fractions = {0.2, 0.4, 0.6, 0.8, 1.0};
+  }
+
+  const auto tm = args.get("tm", "longest-matching");
+  if (tm == "longest-matching") {
+    opts.family = core::TmFamily::kLongestMatching;
+  } else if (tm == "permutation") {
+    opts.family = core::TmFamily::kRandomPermutation;
+  } else if (tm == "a2a") {
+    opts.family = core::TmFamily::kAllToAll;
+  } else {
+    std::fprintf(stderr, "error: unknown --tm '%s'\n", tm.c_str());
+    return 1;
+  }
+
+  std::printf("topology: %s | TM: %s | eps: %.3f\n", t->name.c_str(),
+              tm.c_str(), opts.eps);
+  std::printf("%-12s %s\n", "fraction", "per_server_throughput");
+  for (const auto& p : core::fluid_sweep(*t, opts)) {
+    std::printf("%-12.3f %.4f\n", p.fraction, p.throughput);
+  }
+  return 0;
+}
+
+}  // namespace flexnets::cli

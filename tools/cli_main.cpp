@@ -1,0 +1,51 @@
+// flexnets_cli: command-line access to the library's three layers --
+// topology generation/inspection, fluid-flow throughput evaluation, and
+// packet-level simulation.
+//
+//   flexnets_cli topo  --topo=xpander --degree=5 --lift=9 --servers=3 --stats
+//   flexnets_cli fluid --topo=jellyfish --switches=50 --degree=7 --servers=6
+//   flexnets_cli sim   --topo=fattree --k=8 --workload=skew --routing=hyb
+//
+// Run with no arguments for the full flag reference.
+#include <cstdio>
+#include <string>
+
+#include "cli_commands.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flexnets::cli;
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::string error;
+  const auto args = Args::parse(argc - 2, argv + 2, &error);
+  if (!args) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  int rc;
+  if (cmd == "topo") {
+    rc = cmd_topo(*args);
+  } else if (cmd == "fluid") {
+    rc = cmd_fluid(*args);
+  } else if (cmd == "sim") {
+    rc = cmd_sim(*args);
+  } else if (cmd == "dyn") {
+    rc = cmd_dyn(*args);
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
+    print_usage();
+    return 2;
+  }
+
+  if (rc == 0) {
+    for (const auto& flag : args->unused()) {
+      std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
+                   flag.c_str());
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,199 @@
+#include <cstdio>
+
+#include "cli_commands.hpp"
+#include "cost/cost_model.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/spectral.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/io.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/long_hop.hpp"
+#include "topo/slim_fly.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::cli {
+
+void print_usage() {
+  std::puts(
+      "flexnets_cli <command> [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  topo    generate/inspect a topology\n"
+      "  fluid   fluid-flow per-server throughput sweep (paper section 5)\n"
+      "  sim     packet/flow-level experiment (paper section 6)\n"
+      "  dyn     time-slotted dynamic fabric experiment (paper section 4)\n"
+      "\n"
+      "topology selection (all commands):\n"
+      "  --topo=fattree   --k=8 [--cores=N]          (stripped fat-tree)\n"
+      "  --topo=xpander   --degree=5 --lift=9 --servers=3\n"
+      "  --topo=jellyfish --switches=50 --degree=7 --servers=6\n"
+      "  --topo=slimfly   --q=5 --servers=6          (q prime, q%4==1)\n"
+      "  --topo=longhop   --dim=6 --extra=1 --servers=6\n"
+      "  --topo=dragonfly --a=4 --h=2 --servers=2\n"
+      "  --load=file.topo                            (saved topology)\n"
+      "  --seed=N         (randomized generators; default 1)\n"
+      "\n"
+      "topo command:\n"
+      "  --stats          print diameter / distances / expansion / cost\n"
+      "  --save=FILE      write the text format\n"
+      "  --dot=FILE       write Graphviz\n"
+      "\n"
+      "fluid command:\n"
+      "  --fractions=0.2,0.5,1.0   active-rack fractions (default 5 steps)\n"
+      "  --tm=longest-matching|permutation|a2a\n"
+      "  --eps=0.07                GK accuracy\n"
+      "\n"
+      "sim command:\n"
+      "  --engine=packet|flow     packet-level DCTCP or flow-level max-min\n"
+      "  --trace-out=FILE         save the generated flow trace (flow engine)\n"
+      "  --workload=a2a|permute|skew|two-rack   (default a2a)\n"
+      "  --fraction=0.5           active-rack fraction (a2a/permute)\n"
+      "  --theta=0.04 --phi=0.77  (skew)\n"
+      "  --sizes=pfabric|pareto   (default pfabric)\n"
+      "  --routing=ecmp|vlb|hyb|hybecn|ksp|spray  (default hyb)\n"
+      "  --policy=hash|leastqueue (switch policy, default hash)\n"
+      "  --rate=100               flow starts/s per active server\n"
+      "  --window-ms=30 --warmup-ms=20\n"
+      "  --seed=N\n"
+      "\n"
+      "dyn command (no --topo; the fabric IS the network):\n"
+      "  --tors=32 --servers=4 --ports=4\n"
+      "  --scheduler=rotor|demand-aware\n"
+      "  --slot-us=100 --reconfig-us=10\n"
+      "  --workload=skew|a2a [--theta --phi] --rate=20\n"
+      "  --window-ms=30 --warmup-ms=20 --seed=N");
+}
+
+std::optional<topo::Topology> build_topology(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("load")) {
+    std::string err;
+    auto t = topo::load_topology(args.get("load", ""), &err);
+    if (!t) std::fprintf(stderr, "error: %s\n", err.c_str());
+    return t;
+  }
+  const auto kind = args.get("topo", "");
+  if (kind == "fattree") {
+    const int k = static_cast<int>(args.get_int("k", 8));
+    if (k < 2 || k % 2 != 0) {
+      std::fprintf(stderr, "error: --k must be even and >= 2\n");
+      return std::nullopt;
+    }
+    const int full_cores = (k / 2) * (k / 2);
+    const int cores =
+        static_cast<int>(args.get_int("cores", full_cores));
+    if (cores < 1 || cores > full_cores) {
+      std::fprintf(stderr, "error: --cores out of range [1, %d]\n",
+                   full_cores);
+      return std::nullopt;
+    }
+    return topo::fat_tree_stripped(k, cores).topo;
+  }
+  if (kind == "xpander") {
+    const int d = static_cast<int>(args.get_int("degree", 5));
+    const int lift = static_cast<int>(args.get_int("lift", 9));
+    const int srv = static_cast<int>(args.get_int("servers", 3));
+    if (d < 1 || lift < 1 || srv < 0) {
+      std::fprintf(stderr, "error: bad xpander parameters\n");
+      return std::nullopt;
+    }
+    return topo::xpander(d, lift, srv, seed).topo;
+  }
+  if (kind == "jellyfish") {
+    const int n = static_cast<int>(args.get_int("switches", 50));
+    const int d = static_cast<int>(args.get_int("degree", 7));
+    const int srv = static_cast<int>(args.get_int("servers", 6));
+    if (n <= d || (static_cast<std::int64_t>(n) * d) % 2 != 0) {
+      std::fprintf(stderr,
+                   "error: need switches > degree and switches*degree even\n");
+      return std::nullopt;
+    }
+    return topo::jellyfish(n, d, srv, seed);
+  }
+  if (kind == "slimfly") {
+    const int q = static_cast<int>(args.get_int("q", 5));
+    const int srv = static_cast<int>(args.get_int("servers", 6));
+    if (!topo::is_prime(q) || q % 4 != 1) {
+      std::fprintf(stderr, "error: --q must be a prime with q%%4==1\n");
+      return std::nullopt;
+    }
+    return topo::slim_fly(q, srv).topo;
+  }
+  if (kind == "dragonfly") {
+    const int a = static_cast<int>(args.get_int("a", 4));
+    const int h = static_cast<int>(args.get_int("h", 2));
+    const int srv = static_cast<int>(args.get_int("servers", 2));
+    if (a < 1 || h < 1 || srv < 0) {
+      std::fprintf(stderr, "error: bad dragonfly parameters\n");
+      return std::nullopt;
+    }
+    return topo::dragonfly(a, h, srv).topo;
+  }
+  if (kind == "longhop") {
+    const int dim = static_cast<int>(args.get_int("dim", 6));
+    const int extra = static_cast<int>(args.get_int("extra", 1));
+    const int srv = static_cast<int>(args.get_int("servers", 6));
+    if (dim < 1 || dim > 20 || extra < 0 || extra > dim) {
+      std::fprintf(stderr, "error: bad longhop parameters\n");
+      return std::nullopt;
+    }
+    return topo::long_hop(dim, extra, srv);
+  }
+  std::fprintf(stderr,
+               "error: missing or unknown --topo (and no --load given)\n");
+  return std::nullopt;
+}
+
+int cmd_topo(const Args& args) {
+  const auto t = build_topology(args);
+  if (!t) return 1;
+
+  std::printf("%s: %d switches, %d servers, %d network links\n",
+              t->name.c_str(), t->num_switches(), t->num_servers(),
+              t->num_network_links());
+
+  if (args.has("stats")) {
+    std::printf("  diameter:         %d\n", graph::diameter(t->g));
+    std::printf("  mean distance:    %.3f\n", graph::mean_distance(t->g));
+    std::printf("  connected:        %s\n",
+                graph::is_connected(t->g) ? "yes" : "no");
+    int min_deg = t->num_switches() ? t->g.degree(0) : 0;
+    int max_deg = min_deg;
+    for (graph::NodeId s = 0; s < t->num_switches(); ++s) {
+      min_deg = std::min(min_deg, t->g.degree(s));
+      max_deg = std::max(max_deg, t->g.degree(s));
+    }
+    std::printf("  network degree:   %d..%d\n", min_deg, max_deg);
+    if (min_deg == max_deg && min_deg > 1) {
+      std::printf("  lambda2:          %.3f (Ramanujan bound %.3f)\n",
+                  graph::second_eigenvalue(t->g, 300, 7),
+                  graph::ramanujan_bound(min_deg));
+    }
+    std::printf("  network cost:     $%.0f (static ports, Table 1)\n",
+                cost::network_cost(*t));
+  }
+  if (args.has("save")) {
+    const auto path = args.get("save", "");
+    if (!topo::save_topology(path, *t)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", path.c_str());
+  }
+  if (args.has("dot")) {
+    const auto path = args.get("dot", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const auto dot = topo::to_dot(*t);
+    std::fwrite(dot.data(), 1, dot.size(), f);
+    std::fclose(f);
+    std::printf("dot written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace flexnets::cli
