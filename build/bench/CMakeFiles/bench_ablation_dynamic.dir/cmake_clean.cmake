@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamic.dir/bench_ablation_dynamic.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic.dir/bench_ablation_dynamic.cpp.o.d"
+  "CMakeFiles/bench_ablation_dynamic.dir/util.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic.dir/util.cpp.o.d"
+  "bench_ablation_dynamic"
+  "bench_ablation_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

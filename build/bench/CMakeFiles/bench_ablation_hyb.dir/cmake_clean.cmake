@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hyb.dir/bench_ablation_hyb.cpp.o"
+  "CMakeFiles/bench_ablation_hyb.dir/bench_ablation_hyb.cpp.o.d"
+  "CMakeFiles/bench_ablation_hyb.dir/util.cpp.o"
+  "CMakeFiles/bench_ablation_hyb.dir/util.cpp.o.d"
+  "bench_ablation_hyb"
+  "bench_ablation_hyb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hyb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

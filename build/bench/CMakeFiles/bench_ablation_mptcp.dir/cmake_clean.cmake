@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mptcp.dir/bench_ablation_mptcp.cpp.o"
+  "CMakeFiles/bench_ablation_mptcp.dir/bench_ablation_mptcp.cpp.o.d"
+  "CMakeFiles/bench_ablation_mptcp.dir/util.cpp.o"
+  "CMakeFiles/bench_ablation_mptcp.dir/util.cpp.o.d"
+  "bench_ablation_mptcp"
+  "bench_ablation_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bounds.cpp" "bench/CMakeFiles/bench_bounds.dir/bench_bounds.cpp.o" "gcc" "bench/CMakeFiles/bench_bounds.dir/bench_bounds.cpp.o.d"
+  "/root/repo/bench/util.cpp" "bench/CMakeFiles/bench_bounds.dir/util.cpp.o" "gcc" "bench/CMakeFiles/bench_bounds.dir/util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flexnets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

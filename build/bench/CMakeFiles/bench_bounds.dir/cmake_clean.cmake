@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounds.dir/bench_bounds.cpp.o"
+  "CMakeFiles/bench_bounds.dir/bench_bounds.cpp.o.d"
+  "CMakeFiles/bench_bounds.dir/util.cpp.o"
+  "CMakeFiles/bench_bounds.dir/util.cpp.o.d"
+  "bench_bounds"
+  "bench_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

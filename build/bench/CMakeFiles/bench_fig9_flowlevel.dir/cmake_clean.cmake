@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_flowlevel.dir/bench_fig9_flowlevel.cpp.o"
+  "CMakeFiles/bench_fig9_flowlevel.dir/bench_fig9_flowlevel.cpp.o.d"
+  "CMakeFiles/bench_fig9_flowlevel.dir/util.cpp.o"
+  "CMakeFiles/bench_fig9_flowlevel.dir/util.cpp.o.d"
+  "bench_fig9_flowlevel"
+  "bench_fig9_flowlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_flowlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

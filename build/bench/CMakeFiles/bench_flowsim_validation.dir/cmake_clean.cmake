@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flowsim_validation.dir/bench_flowsim_validation.cpp.o"
+  "CMakeFiles/bench_flowsim_validation.dir/bench_flowsim_validation.cpp.o.d"
+  "CMakeFiles/bench_flowsim_validation.dir/util.cpp.o"
+  "CMakeFiles/bench_flowsim_validation.dir/util.cpp.o.d"
+  "bench_flowsim_validation"
+  "bench_flowsim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flowsim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_flowsim.dir/micro_flowsim.cpp.o"
+  "CMakeFiles/bench_micro_flowsim.dir/micro_flowsim.cpp.o.d"
+  "bench_micro_flowsim"
+  "bench_micro_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

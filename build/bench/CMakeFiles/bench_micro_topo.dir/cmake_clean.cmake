@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_topo.dir/micro_topo.cpp.o"
+  "CMakeFiles/bench_micro_topo.dir/micro_topo.cpp.o.d"
+  "bench_micro_topo"
+  "bench_micro_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs1.dir/bench_obs1.cpp.o"
+  "CMakeFiles/bench_obs1.dir/bench_obs1.cpp.o.d"
+  "CMakeFiles/bench_obs1.dir/util.cpp.o"
+  "CMakeFiles/bench_obs1.dir/util.cpp.o.d"
+  "bench_obs1"
+  "bench_obs1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

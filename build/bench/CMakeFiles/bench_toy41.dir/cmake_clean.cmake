@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toy41.dir/bench_toy41.cpp.o"
+  "CMakeFiles/bench_toy41.dir/bench_toy41.cpp.o.d"
+  "CMakeFiles/bench_toy41.dir/util.cpp.o"
+  "CMakeFiles/bench_toy41.dir/util.cpp.o.d"
+  "bench_toy41"
+  "bench_toy41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toy41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_routing.dir/custom_routing.cpp.o"
+  "CMakeFiles/example_custom_routing.dir/custom_routing.cpp.o.d"
+  "example_custom_routing"
+  "example_custom_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skewed_traffic.dir/skewed_traffic.cpp.o"
+  "CMakeFiles/example_skewed_traffic.dir/skewed_traffic.cpp.o.d"
+  "example_skewed_traffic"
+  "example_skewed_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skewed_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

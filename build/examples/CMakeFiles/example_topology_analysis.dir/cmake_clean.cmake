@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topology_analysis.dir/topology_analysis.cpp.o"
+  "CMakeFiles/example_topology_analysis.dir/topology_analysis.cpp.o.d"
+  "example_topology_analysis"
+  "example_topology_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topology_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

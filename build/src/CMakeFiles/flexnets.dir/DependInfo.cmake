@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/flexnets.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/flexnets.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/flexnets.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/flexnets.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/fluid_runner.cpp" "src/CMakeFiles/flexnets.dir/core/fluid_runner.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/core/fluid_runner.cpp.o.d"
+  "/root/repo/src/core/packet_runner.cpp" "src/CMakeFiles/flexnets.dir/core/packet_runner.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/core/packet_runner.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/flexnets.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/dynnet/dynamic_network.cpp" "src/CMakeFiles/flexnets.dir/dynnet/dynamic_network.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/dynnet/dynamic_network.cpp.o.d"
+  "/root/repo/src/flow/adversary.cpp" "src/CMakeFiles/flexnets.dir/flow/adversary.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/adversary.cpp.o.d"
+  "/root/repo/src/flow/bounds.cpp" "src/CMakeFiles/flexnets.dir/flow/bounds.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/bounds.cpp.o.d"
+  "/root/repo/src/flow/dynamic_models.cpp" "src/CMakeFiles/flexnets.dir/flow/dynamic_models.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/dynamic_models.cpp.o.d"
+  "/root/repo/src/flow/fat_tree_model.cpp" "src/CMakeFiles/flexnets.dir/flow/fat_tree_model.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/fat_tree_model.cpp.o.d"
+  "/root/repo/src/flow/mcf.cpp" "src/CMakeFiles/flexnets.dir/flow/mcf.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/mcf.cpp.o.d"
+  "/root/repo/src/flow/throughput.cpp" "src/CMakeFiles/flexnets.dir/flow/throughput.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/throughput.cpp.o.d"
+  "/root/repo/src/flow/tm_generators.cpp" "src/CMakeFiles/flexnets.dir/flow/tm_generators.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/tm_generators.cpp.o.d"
+  "/root/repo/src/flow/traffic_matrix.cpp" "src/CMakeFiles/flexnets.dir/flow/traffic_matrix.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flow/traffic_matrix.cpp.o.d"
+  "/root/repo/src/flowsim/flow_sim.cpp" "src/CMakeFiles/flexnets.dir/flowsim/flow_sim.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/flowsim/flow_sim.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/flexnets.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/flexnets.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/ksp.cpp" "src/CMakeFiles/flexnets.dir/graph/ksp.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/graph/ksp.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/CMakeFiles/flexnets.dir/graph/matching.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/graph/matching.cpp.o.d"
+  "/root/repo/src/graph/spectral.cpp" "src/CMakeFiles/flexnets.dir/graph/spectral.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/graph/spectral.cpp.o.d"
+  "/root/repo/src/metrics/fct_tracker.cpp" "src/CMakeFiles/flexnets.dir/metrics/fct_tracker.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/metrics/fct_tracker.cpp.o.d"
+  "/root/repo/src/routing/ksp_table.cpp" "src/CMakeFiles/flexnets.dir/routing/ksp_table.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/routing/ksp_table.cpp.o.d"
+  "/root/repo/src/routing/routing_table.cpp" "src/CMakeFiles/flexnets.dir/routing/routing_table.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/routing/routing_table.cpp.o.d"
+  "/root/repo/src/routing/strategy.cpp" "src/CMakeFiles/flexnets.dir/routing/strategy.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/routing/strategy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/flexnets.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/flexnets.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/flexnets.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/flexnets.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/topo/dragonfly.cpp" "src/CMakeFiles/flexnets.dir/topo/dragonfly.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/dragonfly.cpp.o.d"
+  "/root/repo/src/topo/failures.cpp" "src/CMakeFiles/flexnets.dir/topo/failures.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/failures.cpp.o.d"
+  "/root/repo/src/topo/fat_tree.cpp" "src/CMakeFiles/flexnets.dir/topo/fat_tree.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/io.cpp" "src/CMakeFiles/flexnets.dir/topo/io.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/io.cpp.o.d"
+  "/root/repo/src/topo/jellyfish.cpp" "src/CMakeFiles/flexnets.dir/topo/jellyfish.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/jellyfish.cpp.o.d"
+  "/root/repo/src/topo/long_hop.cpp" "src/CMakeFiles/flexnets.dir/topo/long_hop.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/long_hop.cpp.o.d"
+  "/root/repo/src/topo/slim_fly.cpp" "src/CMakeFiles/flexnets.dir/topo/slim_fly.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/slim_fly.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/flexnets.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/toy.cpp" "src/CMakeFiles/flexnets.dir/topo/toy.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/toy.cpp.o.d"
+  "/root/repo/src/topo/xpander.cpp" "src/CMakeFiles/flexnets.dir/topo/xpander.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/topo/xpander.cpp.o.d"
+  "/root/repo/src/transport/dctcp.cpp" "src/CMakeFiles/flexnets.dir/transport/dctcp.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/transport/dctcp.cpp.o.d"
+  "/root/repo/src/transport/mptcp.cpp" "src/CMakeFiles/flexnets.dir/transport/mptcp.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/transport/mptcp.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/flexnets.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/flow_size.cpp" "src/CMakeFiles/flexnets.dir/workload/flow_size.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/workload/flow_size.cpp.o.d"
+  "/root/repo/src/workload/pairs.cpp" "src/CMakeFiles/flexnets.dir/workload/pairs.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/workload/pairs.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/flexnets.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/flexnets.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cli_args.cpp" "tests/CMakeFiles/flexnets_tests.dir/__/tools/cli_args.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/__/tools/cli_args.cpp.o.d"
+  "/root/repo/tests/test_adversary.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_adversary.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_adversary.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_cli_args.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_cli_args.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_cli_args.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_cost.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_cost.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_cost.cpp.o.d"
+  "/root/repo/tests/test_dynnet.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_dynnet.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_dynnet.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_failures.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_flowsim.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_flowsim.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_flowsim.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ksp.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_ksp.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_ksp.cpp.o.d"
+  "/root/repo/tests/test_mcf.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_mcf.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_mcf.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mptcp.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_mptcp.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_mptcp.cpp.o.d"
+  "/root/repo/tests/test_network_stats.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_network_stats.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_network_stats.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_property_flowsim.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_property_flowsim.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_property_flowsim.cpp.o.d"
+  "/root/repo/tests/test_property_sim.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_property_sim.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_property_sim.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_routing_modes.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_routing_modes.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_routing_modes.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_topo_io.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_topo_io.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_topo_io.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_transport.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/flexnets_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/flexnets_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flexnets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

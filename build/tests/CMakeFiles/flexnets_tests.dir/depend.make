@@ -1,0 +1,2 @@
+# Empty dependencies file for flexnets_tests.
+# This may be replaced when dependencies are built.

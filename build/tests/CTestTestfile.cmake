@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/flexnets_tests[1]_include.cmake")
+add_test(cli_usage "/root/repo/build/tools/flexnets_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_topo_stats "/root/repo/build/tools/flexnets_cli" "topo" "--topo=fattree" "--k=4" "--stats")
+set_tests_properties(cli_topo_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_topo_save_load "sh" "-c" "/root/repo/build/tools/flexnets_cli topo --topo=xpander --degree=3 --lift=4 --servers=2 --save=cli_test.topo && /root/repo/build/tools/flexnets_cli topo --load=cli_test.topo --stats && rm cli_test.topo")
+set_tests_properties(cli_topo_save_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_fluid "/root/repo/build/tools/flexnets_cli" "fluid" "--topo=jellyfish" "--switches=16" "--degree=3" "--servers=2" "--fractions=0.5,1.0" "--eps=0.1")
+set_tests_properties(cli_fluid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;20;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_sim_packet "/root/repo/build/tools/flexnets_cli" "sim" "--topo=fattree" "--k=4" "--workload=a2a" "--routing=ecmp" "--rate=30" "--window-ms=5" "--warmup-ms=2")
+set_tests_properties(cli_sim_packet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;23;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_sim_flow "/root/repo/build/tools/flexnets_cli" "sim" "--topo=xpander" "--degree=3" "--lift=4" "--servers=2" "--engine=flow" "--routing=hyb" "--rate=50" "--window-ms=10" "--warmup-ms=5")
+set_tests_properties(cli_sim_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_dyn "/root/repo/build/tools/flexnets_cli" "dyn" "--tors=8" "--servers=2" "--ports=2" "--scheduler=rotor" "--rate=10" "--window-ms=10" "--warmup-ms=5")
+set_tests_properties(cli_dyn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_flags "/root/repo/build/tools/flexnets_cli" "topo" "--topo=slimfly" "--q=4")
+set_tests_properties(cli_bad_flags PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")

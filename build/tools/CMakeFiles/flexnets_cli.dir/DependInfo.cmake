@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cli_args.cpp" "tools/CMakeFiles/flexnets_cli.dir/cli_args.cpp.o" "gcc" "tools/CMakeFiles/flexnets_cli.dir/cli_args.cpp.o.d"
+  "/root/repo/tools/cli_dyn.cpp" "tools/CMakeFiles/flexnets_cli.dir/cli_dyn.cpp.o" "gcc" "tools/CMakeFiles/flexnets_cli.dir/cli_dyn.cpp.o.d"
+  "/root/repo/tools/cli_fluid.cpp" "tools/CMakeFiles/flexnets_cli.dir/cli_fluid.cpp.o" "gcc" "tools/CMakeFiles/flexnets_cli.dir/cli_fluid.cpp.o.d"
+  "/root/repo/tools/cli_main.cpp" "tools/CMakeFiles/flexnets_cli.dir/cli_main.cpp.o" "gcc" "tools/CMakeFiles/flexnets_cli.dir/cli_main.cpp.o.d"
+  "/root/repo/tools/cli_sim.cpp" "tools/CMakeFiles/flexnets_cli.dir/cli_sim.cpp.o" "gcc" "tools/CMakeFiles/flexnets_cli.dir/cli_sim.cpp.o.d"
+  "/root/repo/tools/cli_topo.cpp" "tools/CMakeFiles/flexnets_cli.dir/cli_topo.cpp.o" "gcc" "tools/CMakeFiles/flexnets_cli.dir/cli_topo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flexnets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

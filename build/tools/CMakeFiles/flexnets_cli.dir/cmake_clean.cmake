@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexnets_cli.dir/cli_args.cpp.o"
+  "CMakeFiles/flexnets_cli.dir/cli_args.cpp.o.d"
+  "CMakeFiles/flexnets_cli.dir/cli_dyn.cpp.o"
+  "CMakeFiles/flexnets_cli.dir/cli_dyn.cpp.o.d"
+  "CMakeFiles/flexnets_cli.dir/cli_fluid.cpp.o"
+  "CMakeFiles/flexnets_cli.dir/cli_fluid.cpp.o.d"
+  "CMakeFiles/flexnets_cli.dir/cli_main.cpp.o"
+  "CMakeFiles/flexnets_cli.dir/cli_main.cpp.o.d"
+  "CMakeFiles/flexnets_cli.dir/cli_sim.cpp.o"
+  "CMakeFiles/flexnets_cli.dir/cli_sim.cpp.o.d"
+  "CMakeFiles/flexnets_cli.dir/cli_topo.cpp.o"
+  "CMakeFiles/flexnets_cli.dir/cli_topo.cpp.o.d"
+  "flexnets_cli"
+  "flexnets_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexnets_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
