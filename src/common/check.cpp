@@ -1,0 +1,69 @@
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace flexnets {
+
+namespace {
+
+std::atomic<CheckPolicy> g_policy{CheckPolicy::kAbort};
+
+// -1 = not yet read from the environment, else 0/1.
+std::atomic<int> g_audit{-1};
+
+int audit_from_env() {
+  const char* v = std::getenv("FLEXNETS_AUDIT");
+  if (v == nullptr) return 0;
+  return (v[0] != '\0' && v[0] != '0') ? 1 : 0;
+}
+
+}  // namespace
+
+CheckPolicy check_policy() noexcept {
+  return g_policy.load(std::memory_order_relaxed);
+}
+
+void set_check_policy(CheckPolicy p) noexcept {
+  g_policy.store(p, std::memory_order_relaxed);
+}
+
+bool audit_enabled() noexcept {
+  int v = g_audit.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = audit_from_env();
+    g_audit.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_audit_enabled(bool on) noexcept {
+  g_audit.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::string full = "FLEXNETS_CHECK failed: ";
+  full += expr;
+  if (!message.empty()) {
+    full += ' ';
+    full += message;
+  }
+  full += " [";
+  full += file;
+  full += ':';
+  full += std::to_string(line);
+  full += ']';
+  if (check_policy() == CheckPolicy::kThrow) {
+    throw CheckFailure(full);
+  }
+  std::fprintf(stderr, "%s\n", full.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace flexnets

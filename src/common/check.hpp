@@ -1,0 +1,140 @@
+// Invariant checking for the simulation engines.
+//
+// Three layers, from always-on to opt-in:
+//
+//  - FLEXNETS_CHECK(cond, ...)   -- always compiled, aborts (default) or
+//    throws flexnets::CheckFailure depending on the process-wide policy.
+//    Use for invariants whose violation would silently corrupt results.
+//  - FLEXNETS_DCHECK(cond, ...)  -- compiled only in debug / audit builds
+//    (no NDEBUG, or -DFLEXNETS_FORCE_DCHECK). Use on hot paths.
+//  - audit_enabled()             -- runtime flag (env FLEXNETS_AUDIT=1 or
+//    set_audit_enabled) gating the *audit passes*: O(state)-cost sweeps
+//    such as MCF capacity/conservation audits, routing-table validation,
+//    and the simulator determinism digest. Engines consult it explicitly.
+//
+// Extra message arguments are streamed: FLEXNETS_CHECK(a < b, "a=", a).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flexnets {
+
+// What a failed FLEXNETS_CHECK does. kAbort prints to stderr and aborts
+// (the right default for standalone binaries: the stack is intact for a
+// debugger or sanitizer report). kThrow raises CheckFailure, which keeps
+// death out of unit tests and lets callers surface engine bugs as errors.
+enum class CheckPolicy { kAbort, kThrow };
+
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+CheckPolicy check_policy() noexcept;
+void set_check_policy(CheckPolicy p) noexcept;
+
+// Runtime switch for the engines' audit passes. Reads FLEXNETS_AUDIT from
+// the environment once on first query; set_audit_enabled overrides.
+bool audit_enabled() noexcept;
+void set_audit_enabled(bool on) noexcept;
+
+// RAII helpers for tests: restore the previous state on scope exit.
+class AuditScope {
+ public:
+  explicit AuditScope(bool on) : prev_(audit_enabled()) {
+    set_audit_enabled(on);
+  }
+  ~AuditScope() { set_audit_enabled(prev_); }
+  AuditScope(const AuditScope&) = delete;
+  AuditScope& operator=(const AuditScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class CheckPolicyScope {
+ public:
+  explicit CheckPolicyScope(CheckPolicy p) : prev_(check_policy()) {
+    set_check_policy(p);
+  }
+  ~CheckPolicyScope() { set_check_policy(prev_); }
+  CheckPolicyScope(const CheckPolicyScope&) = delete;
+  CheckPolicyScope& operator=(const CheckPolicyScope&) = delete;
+
+ private:
+  CheckPolicy prev_;
+};
+
+namespace detail {
+
+// Applies the current policy: throws CheckFailure or prints and aborts.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+template <typename... Ts>
+std::string format_parts(const Ts&... parts) {
+  if constexpr (sizeof...(parts) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace flexnets
+
+#define FLEXNETS_CHECK(cond, ...)                                     \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::flexnets::detail::check_failed(                               \
+          #cond, __FILE__, __LINE__,                                  \
+          ::flexnets::detail::format_parts(__VA_ARGS__));             \
+    }                                                                 \
+  } while (false)
+
+// Binary comparison forms that include both operand values in the report.
+#define FLEXNETS_CHECK_OP(op, a, b, ...)                              \
+  do {                                                                \
+    const auto& flexnets_check_a_ = (a);                              \
+    const auto& flexnets_check_b_ = (b);                              \
+    if (!(flexnets_check_a_ op flexnets_check_b_)) [[unlikely]] {     \
+      ::flexnets::detail::check_failed(                               \
+          #a " " #op " " #b, __FILE__, __LINE__,                      \
+          ::flexnets::detail::format_parts(                           \
+              "(", flexnets_check_a_, " vs ", flexnets_check_b_,      \
+              ")" __VA_OPT__(, " ", __VA_ARGS__)));                   \
+    }                                                                 \
+  } while (false)
+
+#define FLEXNETS_CHECK_EQ(a, b, ...) FLEXNETS_CHECK_OP(==, a, b, __VA_ARGS__)
+#define FLEXNETS_CHECK_NE(a, b, ...) FLEXNETS_CHECK_OP(!=, a, b, __VA_ARGS__)
+#define FLEXNETS_CHECK_LE(a, b, ...) FLEXNETS_CHECK_OP(<=, a, b, __VA_ARGS__)
+#define FLEXNETS_CHECK_LT(a, b, ...) FLEXNETS_CHECK_OP(<, a, b, __VA_ARGS__)
+#define FLEXNETS_CHECK_GE(a, b, ...) FLEXNETS_CHECK_OP(>=, a, b, __VA_ARGS__)
+#define FLEXNETS_CHECK_GT(a, b, ...) FLEXNETS_CHECK_OP(>, a, b, __VA_ARGS__)
+
+#if !defined(NDEBUG) || defined(FLEXNETS_FORCE_DCHECK)
+#define FLEXNETS_DCHECK_IS_ON 1
+#define FLEXNETS_DCHECK(cond, ...) FLEXNETS_CHECK(cond, __VA_ARGS__)
+#define FLEXNETS_DCHECK_EQ(a, b, ...) FLEXNETS_CHECK_EQ(a, b, __VA_ARGS__)
+#define FLEXNETS_DCHECK_GE(a, b, ...) FLEXNETS_CHECK_GE(a, b, __VA_ARGS__)
+#define FLEXNETS_DCHECK_LE(a, b, ...) FLEXNETS_CHECK_LE(a, b, __VA_ARGS__)
+#else
+#define FLEXNETS_DCHECK_IS_ON 0
+// Discards the condition without evaluating it (no side effects, no cost),
+// while still type-checking it so debug-only breakage cannot hide.
+#define FLEXNETS_DCHECK(cond, ...) \
+  do {                             \
+    if (false) {                   \
+      static_cast<void>(cond);     \
+    }                              \
+  } while (false)
+#define FLEXNETS_DCHECK_EQ(a, b, ...) FLEXNETS_DCHECK((a) == (b))
+#define FLEXNETS_DCHECK_GE(a, b, ...) FLEXNETS_DCHECK((a) >= (b))
+#define FLEXNETS_DCHECK_LE(a, b, ...) FLEXNETS_DCHECK((a) <= (b))
+#endif

@@ -1,0 +1,38 @@
+// Order-sensitive 64-bit digest for determinism audits: both simulation
+// engines fold their externally visible event streams into one of these
+// when auditing is on (common/check.hpp), so two same-seed runs can be
+// compared with a single integer equality. Chained splitmix64 -- not
+// cryptographic, but any reordering, dropped event, or value drift flips
+// the digest with overwhelming probability.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace flexnets {
+
+class Digest {
+ public:
+  void mix(std::uint64_t v) noexcept { h_ = splitmix64(h_ ^ v); }
+
+  void mix_time(TimeNs t) noexcept { mix(static_cast<std::uint64_t>(t)); }
+
+  void mix_double(double d) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+
+  void reset() noexcept { h_ = kSeed; }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  static constexpr std::uint64_t kSeed = 0xcbf29ce484222325ULL;
+  std::uint64_t h_ = kSeed;
+};
+
+}  // namespace flexnets

@@ -7,6 +7,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace flexnets::flow {
 
 namespace {
@@ -104,6 +106,22 @@ McfResult max_concurrent_flow(int num_nodes,
   };
   std::vector<CachedPath> cache(commodities.size());
 
+  // Audit state (common/check.hpp): raw flow per edge, per-commodity node
+  // imbalance (out minus in), and per-commodity total routed -- enough to
+  // mechanically verify capacity feasibility and flow conservation of the
+  // solution GK implicitly constructs.
+  const bool audit = audit_enabled();
+  std::vector<double> edge_flow;
+  std::vector<std::vector<double>> imbalance;
+  std::vector<double> routed;
+  if (audit) {
+    edge_flow.assign(m, 0.0);
+    imbalance.assign(commodities.size(),
+                     std::vector<double>(static_cast<std::size_t>(num_nodes),
+                                         0.0));
+    routed.assign(commodities.size(), 0.0);
+  }
+
   auto path_length = [&](const std::vector<int>& p) {
     double s = 0.0;
     for (int e : p) s += length[e];
@@ -141,6 +159,14 @@ McfResult max_concurrent_flow(int num_nodes,
           length[e] += grow;
           dual += grow * edges[e].capacity;
         }
+        if (audit) {
+          routed[ci] += f;
+          for (int e : cp.edges) {
+            edge_flow[static_cast<std::size_t>(e)] += f;
+            imbalance[ci][static_cast<std::size_t>(edges[e].from)] += f;
+            imbalance[ci][static_cast<std::size_t>(edges[e].to)] -= f;
+          }
+        }
         remaining -= f;
       }
       if (dual >= 1.0) break;
@@ -153,6 +179,35 @@ McfResult max_concurrent_flow(int num_nodes,
   // all edge loads within capacity * log_{1+eps}(1/delta).
   const double scale = std::log((1.0 + eps) / delta) / std::log(1.0 + eps);
   result.lambda = static_cast<double>(completed_phases) / scale;
+
+  if (audit) {
+    // Capacity feasibility: GK's length invariant bounds the raw flow on
+    // every edge by capacity * scale, so flow/scale is feasible. A breach
+    // means the length updates (and hence lambda) are wrong.
+    for (std::size_t e = 0; e < m; ++e) {
+      FLEXNETS_CHECK_LE(
+          edge_flow[e], edges[e].capacity * scale * (1.0 + 1e-9) + 1e-12,
+          "GK routed past the capacity*scale bound on edge ", e);
+    }
+    // Flow conservation: per commodity, net outflow is +routed at the
+    // source, -routed at the destination, ~0 elsewhere.
+    for (std::size_t ci = 0; ci < commodities.size(); ++ci) {
+      const auto& cmd = commodities[ci];
+      if (cmd.src == cmd.dst) continue;
+      const double tol = 1e-9 * std::max(1.0, routed[ci]);
+      for (int v = 0; v < num_nodes; ++v) {
+        double expected = 0.0;
+        if (v == cmd.src) expected = routed[ci];
+        if (v == cmd.dst) expected = -routed[ci];
+        FLEXNETS_CHECK(
+            std::abs(imbalance[ci][static_cast<std::size_t>(v)] - expected) <=
+                tol,
+            "flow conservation violated: commodity ", ci, " node ", v,
+            " imbalance=", imbalance[ci][static_cast<std::size_t>(v)],
+            " expected=", expected);
+      }
+    }
+  }
   return result;
 }
 

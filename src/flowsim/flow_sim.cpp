@@ -6,6 +6,8 @@
 #include <limits>
 #include <map>
 
+#include "common/check.hpp"
+#include "common/digest.hpp"
 #include "common/rng.hpp"
 #include "graph/algorithms.hpp"
 
@@ -156,12 +158,18 @@ std::vector<FlowLevelSimulator::RouteShare> FlowLevelSimulator::route_for(
 
 std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     const std::vector<workload::FlowSpec>& flows) {
+  // `remaining` is kept in fractional bits: quantizing the drain to whole
+  // bytes (as an earlier version did) systematically rounds up, which lets
+  // a flow finish ahead of its own NIC's serialization floor by a few ns.
   struct Active {
     int id;
-    Bytes remaining;
+    double remaining;   // bits
     double rate = 0.0;  // bits per second
     std::vector<RouteShare> route;
   };
+  // Retirement threshold for drained flows: far below one byte, far above
+  // the accumulated double rounding error of any realistic instance.
+  constexpr double kResidualBits = 1e-3;
 
   std::vector<metrics::FlowRecord> records;
   records.reserve(flows.size());
@@ -179,6 +187,8 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
   std::vector<Active> active;
   std::size_t next_arrival = 0;
   double now_sec = 0.0;
+  const bool audit = audit_enabled();
+  Digest digest;
 
   // Max-min fair rates by progressive filling. Only links actually carrying
   // unfrozen flows are scanned each round (the capacity vector covers every
@@ -238,6 +248,24 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     }
   };
 
+  // Audit pass: the max-min allocation must be capacity-feasible -- on
+  // every link the allocated rates (weighted by route share) may not
+  // exceed capacity, and every active flow must have a positive rate.
+  auto audit_rates = [&]() {
+    std::vector<double> load(capacity_.size(), 0.0);
+    for (const auto& a : active) {
+      FLEXNETS_CHECK_GT(a.rate, 0.0, "flow ", a.id,
+                        " active with nonpositive rate");
+      for (const auto& rs : a.route) {
+        load[static_cast<std::size_t>(rs.link)] += a.rate * rs.share;
+      }
+    }
+    for (std::size_t l = 0; l < load.size(); ++l) {
+      FLEXNETS_CHECK_LE(load[l], capacity_[l] * (1.0 + 1e-6),
+                        "link ", l, " oversubscribed by max-min allocation");
+    }
+  };
+
   while (next_arrival < flows.size() || !active.empty()) {
     // Next event: earliest of (next arrival, earliest completion).
     double next_event = kInf;
@@ -252,8 +280,7 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     for (std::size_t i = 0; i < active.size(); ++i) {
       const auto& a = active[i];
       assert(a.rate > 0.0);
-      const double done_at =
-          now_sec + static_cast<double>(a.remaining) * 8.0 / a.rate;
+      const double done_at = now_sec + a.remaining / a.rate;
       if (done_at < next_event - 1e-15) {
         next_event = done_at;
         completing = static_cast<int>(i);
@@ -262,12 +289,10 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     }
     assert(next_event < kInf);
 
-    // Drain bytes until the event.
+    // Drain bits until the event.
     const double dt = std::max(0.0, next_event - now_sec);
     for (auto& a : active) {
-      const auto served = static_cast<Bytes>(
-          std::llround(a.rate * dt / 8.0));
-      a.remaining = std::max<Bytes>(0, a.remaining - served);
+      a.remaining = std::max(0.0, a.remaining - a.rate * dt);
     }
     now_sec = next_event;
 
@@ -276,27 +301,36 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
       const auto& spec = flows[static_cast<std::size_t>(id)];
       Active a;
       a.id = id;
-      a.remaining = spec.size;
+      a.remaining = static_cast<double>(spec.size) * 8.0;
       a.route = route_for(spec.src_server, spec.dst_server, spec.size);
       active.push_back(std::move(a));
     } else {
-      // The completing flow (and any that rounded to zero) retire. Clear
-      // its remaining explicitly: byte rounding in the drain above must not
-      // leave a 1-byte tail that would stall the event loop.
-      active[completing].remaining = 0;
-      records[static_cast<std::size_t>(active[completing].id)].end =
-          static_cast<TimeNs>(std::llround(now_sec * 1e9));
+      // The completing flow retires, along with any other flow whose
+      // residual is below the retirement threshold (a simultaneous
+      // completion up to double rounding).
+      const auto end_ns = static_cast<TimeNs>(std::llround(now_sec * 1e9));
+      active[completing].remaining = 0.0;
+      records[static_cast<std::size_t>(active[completing].id)].end = end_ns;
+      if (audit) {
+        digest.mix(static_cast<std::uint64_t>(active[completing].id));
+        digest.mix_time(end_ns);
+      }
       active.erase(active.begin() + completing);
       for (std::size_t i = active.size(); i-- > 0;) {
-        if (active[i].remaining == 0) {
-          records[static_cast<std::size_t>(active[i].id)].end =
-              static_cast<TimeNs>(std::llround(now_sec * 1e9));
+        if (active[i].remaining <= kResidualBits) {
+          records[static_cast<std::size_t>(active[i].id)].end = end_ns;
+          if (audit) {
+            digest.mix(static_cast<std::uint64_t>(active[i].id));
+            digest.mix_time(end_ns);
+          }
           active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
         }
       }
     }
     recompute_rates();
+    if (audit) audit_rates();
   }
+  digest_ = digest.value();
   return records;
 }
 

@@ -46,6 +46,11 @@ class FlowLevelSimulator {
   std::vector<metrics::FlowRecord> run(
       const std::vector<workload::FlowSpec>& flows);
 
+  // Determinism digest over the last run's completion stream (flow id,
+  // end time), accumulated only while audit_enabled(). Two same-seed runs
+  // must produce identical values.
+  [[nodiscard]] std::uint64_t last_run_digest() const { return digest_; }
+
  private:
   // A flow's fluid route: (link id, fraction of the flow's rate crossing
   // that link). Fractions are 1.0 except under kEcmpSplit.
@@ -73,6 +78,7 @@ class FlowLevelSimulator {
   [[nodiscard]] std::int32_t link_id(topo::NodeId from, topo::NodeId to) const;
   std::vector<std::vector<std::pair<topo::NodeId, std::int32_t>>> out_link_;
   std::uint64_t flow_counter_ = 0;  // per-flow routing salt source
+  std::uint64_t digest_ = 0;        // see last_run_digest()
 };
 
 }  // namespace flexnets::flowsim

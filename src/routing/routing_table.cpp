@@ -1,10 +1,37 @@
 #include "routing/routing_table.hpp"
 
-#include <cassert>
-
+#include "common/check.hpp"
 #include "graph/algorithms.hpp"
 
 namespace flexnets::routing {
+
+namespace {
+
+// Audit pass: every table entry must be a real neighbor lying on a
+// shortest path (one hop closer to dst), and a hop set may be empty only
+// at the destination itself or on a disconnected node. Catches stale or
+// corrupted tables before they misroute packets.
+void audit_next_hops(const graph::Graph& g, NodeId dst,
+                     const std::vector<std::vector<NodeId>>& next) {
+  const auto dist = graph::bfs_distances(g, dst);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u == dst || dist[u] == graph::kUnreachable) {
+      FLEXNETS_CHECK(next[u].empty(), "next hops present at dst=", dst,
+                     " for terminal/unreachable node ", u);
+      continue;
+    }
+    FLEXNETS_CHECK(!next[u].empty(), "no next hop from node ", u,
+                   " toward reachable dst ", dst);
+    for (const NodeId h : next[u]) {
+      FLEXNETS_CHECK(h >= 0 && h < g.num_nodes(),
+                     "next hop out of range: ", h);
+      FLEXNETS_CHECK_EQ(dist[h], dist[u] - 1, "next hop ", h, " from ", u,
+                        " does not advance toward dst ", dst);
+    }
+  }
+}
+
+}  // namespace
 
 EcmpTable EcmpTable::build(const graph::Graph& g,
                            const std::vector<NodeId>& dsts) {
@@ -12,9 +39,11 @@ EcmpTable EcmpTable::build(const graph::Graph& g,
   t.slot_of_dst_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
   t.slots_.reserve(dsts.size());
   for (const NodeId dst : dsts) {
-    assert(dst >= 0 && dst < g.num_nodes());
+    FLEXNETS_CHECK(dst >= 0 && dst < g.num_nodes(),
+                   "ECMP destination out of range: ", dst);
     if (t.slot_of_dst_[dst] >= 0) continue;  // duplicate destination
     const auto next = graph::ecmp_next_hops_to(g, dst);
+    if (audit_enabled()) audit_next_hops(g, dst, next);
     PerDst slot;
     slot.offset.resize(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
     std::size_t total = 0;
@@ -32,7 +61,7 @@ EcmpTable EcmpTable::build(const graph::Graph& g,
 }
 
 std::span<const NodeId> EcmpTable::next_hops(NodeId dst, NodeId at) const {
-  assert(has_dst(dst));
+  FLEXNETS_DCHECK(has_dst(dst), "next_hops for unknown dst ", dst);
   const PerDst& slot = slots_[static_cast<std::size_t>(slot_of_dst_[dst])];
   const auto lo = static_cast<std::size_t>(slot.offset[at]);
   const auto hi = static_cast<std::size_t>(slot.offset[at + 1]);

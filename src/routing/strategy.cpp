@@ -1,7 +1,8 @@
 #include "routing/strategy.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace flexnets::routing {
 
@@ -12,13 +13,13 @@ SourceRouter::SourceRouter(SourceRouteConfig cfg,
       via_candidates_(std::move(via_candidates)),
       rng_(splitmix64(seed ^ 0x50a7e2ULL)),
       ksp_(ksp) {
-  assert((cfg_.mode != RoutingMode::kKsp || ksp_ != nullptr) &&
-         "KSP mode requires a KspTable");
+  FLEXNETS_CHECK(cfg_.mode != RoutingMode::kKsp || ksp_ != nullptr,
+                 "KSP mode requires a KspTable");
 }
 
 NodeId SourceRouter::pick_via(const FlowRouteState& st) {
-  assert(via_candidates_.size() >= 3 &&
-         "VLB needs at least one ToR besides src and dst");
+  FLEXNETS_CHECK(via_candidates_.size() >= 3,
+                 "VLB needs at least one ToR besides src and dst");
   for (;;) {
     const NodeId v = via_candidates_[rng_.next_u64(via_candidates_.size())];
     if (v != st.src_tor && v != st.dst_tor) return v;
@@ -29,7 +30,8 @@ void SourceRouter::stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
                                    bool new_flowlet) {
   if (st.src_tor == st.dst_tor) return;  // intra-rack: no network hops
   const auto& paths = ksp_->paths(st.src_tor, st.dst_tor);
-  assert(!paths.empty() && "no path between ToRs");
+  FLEXNETS_CHECK(!paths.empty(), "no KSP path between ToRs ", st.src_tor,
+                 " and ", st.dst_tor);
   if (st.pinned_ksp >= 0) {
     st.ksp_choice = std::min(st.pinned_ksp,
                              static_cast<int>(paths.size()) - 1);
@@ -86,7 +88,8 @@ std::span<const NodeId> SwitchForwarder::candidates(NodeId at,
   // Source-routed packets follow their stamped path verbatim.
   if (pkt.src_route_len > 0) {
     if (at == pkt.dst_tor) return {};
-    assert(pkt.src_route_pos < pkt.src_route_len && "source route exhausted");
+    FLEXNETS_DCHECK(pkt.src_route_pos < pkt.src_route_len,
+                    "source route exhausted at switch ", at);
     const auto pos = pkt.src_route_pos++;
     return {&pkt.src_route[static_cast<std::size_t>(pos)], 1};
   }
@@ -95,7 +98,8 @@ std::span<const NodeId> SwitchForwarder::candidates(NodeId at,
       pkt.via_tor != graph::kInvalidNode ? pkt.via_tor : pkt.dst_tor;
   if (at == target) return {};  // deliver to host port
   const auto hops = table_.next_hops(target, at);
-  assert(!hops.empty() && "no route toward target");
+  FLEXNETS_DCHECK(!hops.empty(), "no route from switch ", at, " toward ",
+                  target);
   return hops;
 }
 

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace flexnets::sim {
 
@@ -9,10 +9,28 @@ void EventQueue::push(Event e) {
   heap_.push(std::move(e));
 }
 
+const Event& EventQueue::top() const {
+  FLEXNETS_CHECK(!heap_.empty(), "top on empty event queue");
+  return heap_.top();
+}
+
 Event EventQueue::pop() {
-  assert(!heap_.empty());
+  FLEXNETS_CHECK(!heap_.empty(), "pop on empty event queue");
   Event e = heap_.top();
   heap_.pop();
+  // Audit: the pop stream must be totally ordered by (time, seq). A
+  // violation means heap corruption or a comparator bug -- either would
+  // silently reorder the simulation.
+  if (audit_enabled()) {
+    FLEXNETS_CHECK(
+        e.time > last_pop_time_ ||
+            (e.time == last_pop_time_ && e.seq > last_pop_seq_) ||
+            last_pop_seq_ == kNoPop,
+        "event queue popped out of order: time=", e.time, " seq=", e.seq,
+        " after time=", last_pop_time_, " seq=", last_pop_seq_);
+    last_pop_time_ = e.time;
+    last_pop_seq_ = e.seq;
+  }
   return e;
 }
 

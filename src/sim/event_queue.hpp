@@ -33,7 +33,9 @@ class EventQueue {
   void push(Event e);
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  // Reference valid only until the next push/pop; popping and then reading
+  // a stale top() is the classic use-after-pop this guards against.
+  [[nodiscard]] const Event& top() const;
   Event pop();
 
  private:
@@ -44,8 +46,13 @@ class EventQueue {
     }
   };
 
+  static constexpr std::uint64_t kNoPop = ~std::uint64_t{0};
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  // Audit state: the (time, seq) of the last popped event.
+  TimeNs last_pop_time_ = 0;
+  std::uint64_t last_pop_seq_ = kNoPop;
 };
 
 }  // namespace flexnets::sim

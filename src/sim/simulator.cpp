@@ -1,12 +1,13 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace flexnets::sim {
 
 void Simulator::schedule(TimeNs at, EventType type, std::int32_t a,
                          std::uint64_t b) {
-  assert(at >= now_ && "cannot schedule into the past");
+  FLEXNETS_DCHECK(at >= now_, "cannot schedule into the past: at=", at,
+                  " now=", now_);
   Event e;
   e.time = at;
   e.type = type;
@@ -16,7 +17,8 @@ void Simulator::schedule(TimeNs at, EventType type, std::int32_t a,
 }
 
 void Simulator::schedule_packet(TimeNs at, std::int32_t node, Packet pkt) {
-  assert(at >= now_ && "cannot schedule into the past");
+  FLEXNETS_DCHECK(at >= now_, "cannot schedule into the past: at=", at,
+                  " now=", now_);
   Event e;
   e.time = at;
   e.type = EventType::kPacketArrive;
@@ -26,12 +28,24 @@ void Simulator::schedule_packet(TimeNs at, std::int32_t node, Packet pkt) {
 }
 
 std::uint64_t Simulator::run(TimeNs until) {
-  assert(handler_ && "no event handler installed");
+  FLEXNETS_CHECK(handler_, "no event handler installed");
+  const bool audit = audit_enabled();
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.top().time <= until) {
     Event e = queue_.pop();
-    assert(e.time >= now_);
+    // Clock monotonicity: time never goes backward. Always-on -- a
+    // violation poisons every downstream FCT measurement.
+    FLEXNETS_CHECK(e.time >= now_, "clock went backward: event time=",
+                   e.time, " now=", now_);
     now_ = e.time;
+    if (audit) {
+      // Determinism digest: fold the full dispatch stream so two same-seed
+      // runs can be compared with one integer (see common/digest.hpp).
+      digest_.mix_time(e.time);
+      digest_.mix(static_cast<std::uint64_t>(e.type));
+      digest_.mix(static_cast<std::uint64_t>(e.a));
+      digest_.mix(e.b);
+    }
     handler_(e);
     ++n;
   }

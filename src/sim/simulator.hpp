@@ -5,6 +5,7 @@
 
 #include <functional>
 
+#include "common/digest.hpp"
 #include "sim/event_queue.hpp"
 
 namespace flexnets::sim {
@@ -26,6 +27,11 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  // Determinism digest over every dispatched event's (time, type, a, b),
+  // accumulated only while audit_enabled() (common/check.hpp). Two runs of
+  // the same seeded configuration must produce identical values.
+  [[nodiscard]] std::uint64_t event_digest() const { return digest_.value(); }
+
   static constexpr TimeNs kMaxTime = INT64_MAX;
 
  private:
@@ -33,6 +39,7 @@ class Simulator {
   TimeNs now_ = 0;
   std::uint64_t processed_ = 0;
   Handler handler_;
+  Digest digest_;
 };
 
 }  // namespace flexnets::sim

@@ -169,7 +169,12 @@ void DctcpEngine::handle_ack(std::int32_t id, Flow& f,
       f.in_recovery = false;
       f.cwnd = f.ssthresh;
     }
-    if (!f.in_recovery) {
+    // RFC 3168-style CWR: no cwnd growth in a window that saw ECN marks.
+    // Without this, additive increase outruns the per-window DCTCP cut
+    // (cwnd * alpha/2) while alpha is still small, and persistent marking
+    // never actually throttles the flow.
+    const bool cwr = pkt.ecn_echo || f.marked_in_window > 0;
+    if (!f.in_recovery && !cwr) {
       if (f.cwnd < f.ssthresh) {
         f.cwnd += static_cast<double>(newly);  // slow start
       } else {

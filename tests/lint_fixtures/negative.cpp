@@ -1,0 +1,75 @@
+// Seeded negative fixture for tools/lint_flexnets.py --self-test.
+//
+// This file is NOT compiled (the tests/ glob is non-recursive); it exists
+// so the lint rules are themselves tested: every hazardous line below is
+// annotated with the rule(s) that must fire on it, and the self-test fails
+// if a rule goes quiet (or a new rule fires where nothing is annotated).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace flexnets::lint_fixture {
+
+double to_seconds(long t);
+
+int pick_port() {
+  return rand() % 64;  // EXPECT-LINT: raw-rng
+}
+
+void seed_it() {
+  srand(42);  // EXPECT-LINT: raw-rng
+  std::srand(43);  // EXPECT-LINT: raw-rng
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // EXPECT-LINT: raw-rng
+  return rd();
+}
+
+long wall_now() {
+  auto t = std::chrono::system_clock::now();  // EXPECT-LINT: wall-clock
+  auto s = std::chrono::steady_clock::now();  // EXPECT-LINT: wall-clock
+  (void)t;
+  (void)s;
+  return time(nullptr);  // EXPECT-LINT: wall-clock
+}
+
+long cpu_ticks() {
+  return clock();  // EXPECT-LINT: wall-clock
+}
+
+bool deadline_hit(long now_ns, long deadline_ns) {
+  // Float equality on derived simulated-time values.
+  return to_seconds(now_ns) == to_seconds(deadline_ns);  // EXPECT-LINT: time-float-eq
+}
+
+bool window_closed(double window_end_sec, double now_sec) {
+  return window_end_sec != now_sec;  // EXPECT-LINT: time-float-eq
+}
+
+int sum_table() {
+  std::unordered_map<int, int> load;
+  int total = 0;
+  for (const auto& [k, v] : load) {  // EXPECT-LINT: unordered-iter
+    total += v;
+  }
+  return total;
+}
+
+int first_member() {
+  std::unordered_set<int> members;
+  return members.begin() == members.end() ? -1 : *members.begin();  // EXPECT-LINT: unordered-iter
+}
+
+// A keyed lookup must NOT fire unordered-iter:
+int keyed_ok(std::unordered_map<int, int>& m) { return m.at(3); }
+
+// Suppressed on purpose; must not fire.
+int suppressed() {
+  return rand();  // flexnets-lint: allow(raw-rng) -- fixture: suppression works
+}
+
+}  // namespace flexnets::lint_fixture

@@ -1,0 +1,216 @@
+// The invariant-check framework (common/check.hpp): macro semantics,
+// throw-vs-abort policy, the runtime audit switch, and the audit passes it
+// gates inside the engines -- including the same-seed determinism digest
+// of both simulators.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "common/digest.hpp"
+#include "flow/throughput.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets {
+namespace {
+
+class CheckTest : public ::testing::Test {
+ protected:
+  // Tests observe failures as exceptions; the scope restores the default.
+  CheckPolicyScope policy_{CheckPolicy::kThrow};
+};
+
+TEST_F(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(FLEXNETS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FLEXNETS_CHECK(true, "never formatted: ", 42));
+  EXPECT_NO_THROW(FLEXNETS_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(FLEXNETS_CHECK_LT(2, 3, "ordered"));
+}
+
+TEST_F(CheckTest, FailingCheckThrowsWithExpressionAndMessage) {
+  try {
+    const int x = 7;
+    FLEXNETS_CHECK(x < 5, "x=", x, " limit=", 5);
+    FAIL() << "FLEXNETS_CHECK did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x < 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("x=7 limit=5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CheckTest, ComparisonFormsReportBothOperands) {
+  try {
+    FLEXNETS_CHECK_EQ(2 + 2, 5, "arithmetic still works");
+    FAIL() << "FLEXNETS_CHECK_EQ did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(4 vs 5)"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic still works"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CheckTest, CheckFailureIsALogicError) {
+  EXPECT_THROW(FLEXNETS_CHECK(false), std::logic_error);
+}
+
+TEST_F(CheckTest, PolicyScopeRestoresPrevious) {
+  ASSERT_EQ(check_policy(), CheckPolicy::kThrow);
+  {
+    CheckPolicyScope inner(CheckPolicy::kAbort);
+    EXPECT_EQ(check_policy(), CheckPolicy::kAbort);
+  }
+  EXPECT_EQ(check_policy(), CheckPolicy::kThrow);
+}
+
+TEST(CheckDeathTest, AbortPolicyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        set_check_policy(CheckPolicy::kAbort);
+        FLEXNETS_CHECK(false, "fatal by policy");
+      },
+      "FLEXNETS_CHECK failed: false fatal by policy");
+}
+
+TEST_F(CheckTest, DcheckMatchesBuildMode) {
+#if FLEXNETS_DCHECK_IS_ON
+  EXPECT_THROW(FLEXNETS_DCHECK(false, "dchecks are live"), CheckFailure);
+#else
+  // Compiled out: must not evaluate its condition at all.
+  int evaluations = 0;
+  FLEXNETS_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST_F(CheckTest, AuditScopeTogglesAndRestores) {
+  const bool before = audit_enabled();
+  {
+    AuditScope on(true);
+    EXPECT_TRUE(audit_enabled());
+    {
+      AuditScope off(false);
+      EXPECT_FALSE(audit_enabled());
+    }
+    EXPECT_TRUE(audit_enabled());
+  }
+  EXPECT_EQ(audit_enabled(), before);
+}
+
+TEST(DigestTest, OrderSensitiveAndDeterministic) {
+  Digest a;
+  Digest b;
+  a.mix(1);
+  a.mix(2);
+  b.mix(2);
+  b.mix(1);
+  EXPECT_NE(a.value(), b.value());  // order matters
+  Digest c;
+  c.mix(1);
+  c.mix(2);
+  EXPECT_EQ(a.value(), c.value());  // replay matches
+  c.reset();
+  c.mix_double(0.5);
+  EXPECT_NE(c.value(), a.value());
+}
+
+// ---------------------------------------------------------------------------
+// Audit passes wired into the engines: the existing integration paths must
+// run clean with auditing on, and the determinism digests must be identical
+// across two same-seed runs.
+
+class AuditedEnginesTest : public ::testing::Test {
+ protected:
+  AuditedEnginesTest() : x_(topo::xpander(3, 3, 2, 1)) {}
+
+  CheckPolicyScope policy_{CheckPolicy::kThrow};
+  AuditScope audit_{true};
+  topo::Xpander x_;
+};
+
+TEST_F(AuditedEnginesTest, PacketSimDigestIdenticalAcrossSameSeedRuns) {
+  auto run_once = [&]() {
+    sim::NetworkConfig cfg;
+    cfg.routing.mode = routing::RoutingMode::kHyb;
+    cfg.seed = 7;
+    sim::PacketNetwork net(x_.topo, cfg);
+    std::vector<workload::FlowSpec> flows{
+        {0, 0, 23, 2 * kMB}, {1000, 2, 21, 500 * kKB}, {2000, 5, 18, 50 * kKB}};
+    net.run(flows);
+    EXPECT_GT(net.simulator().events_processed(), 0u);
+    return net.simulator().event_digest();
+  };
+  const auto d1 = run_once();
+  const auto d2 = run_once();
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, Digest{}.value());  // something was actually digested
+}
+
+TEST_F(AuditedEnginesTest, PacketSimDigestSeparatesDifferentSeeds) {
+  auto run_once = [&](std::uint64_t seed) {
+    sim::NetworkConfig cfg;
+    cfg.routing.mode = routing::RoutingMode::kVlb;
+    cfg.seed = seed;
+    sim::PacketNetwork net(x_.topo, cfg);
+    std::vector<workload::FlowSpec> flows{{0, 0, 23, 1 * kMB},
+                                          {500, 3, 20, 1 * kMB}};
+    net.run(flows);
+    return net.simulator().event_digest();
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+TEST_F(AuditedEnginesTest, FlowSimDigestIdenticalAcrossSameSeedRuns) {
+  auto run_once = [&]() {
+    flowsim::FlowSimConfig cfg;
+    cfg.routing = flowsim::FlowRouting::kHyb;
+    cfg.seed = 5;
+    flowsim::FlowLevelSimulator sim(x_.topo, cfg);
+    std::vector<workload::FlowSpec> flows;
+    for (int i = 0; i < 30; ++i) {
+      flows.push_back({i * kMicrosecond, i % 10, 12 + i % 10, 500 * kKB});
+    }
+    const auto recs = sim.run(flows);
+    for (const auto& r : recs) EXPECT_TRUE(r.completed());
+    return sim.last_run_digest();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(AuditedEnginesTest, McfAuditAcceptsThroughputComputation) {
+  // per_server_throughput drives the GK solver; with auditing on, the
+  // capacity-feasibility and flow-conservation passes run on the result.
+  flow::TrafficMatrix tm;
+  const auto& tors = x_.topo.tors();
+  for (std::size_t i = 0; i + 1 < tors.size(); i += 2) {
+    tm.commodities.push_back({tors[i], tors[i + 1], 1.0});
+    tm.commodities.push_back({tors[i + 1], tors[i], 1.0});
+  }
+  const double lambda = flow::per_server_throughput(x_.topo, tm);
+  EXPECT_GT(lambda, 0.0);
+  EXPECT_LE(lambda, 1.0);
+}
+
+TEST_F(AuditedEnginesTest, RoutingTableAuditAcceptsEcmpBuild) {
+  const auto table =
+      routing::EcmpTable::build(x_.topo.g, x_.topo.tors());
+  EXPECT_TRUE(table.has_dst(x_.topo.tors().front()));
+}
+
+TEST_F(AuditedEnginesTest, EventQueueRejectsPopOnEmpty) {
+  sim::EventQueue q;
+  EXPECT_THROW(q.pop(), CheckFailure);
+  EXPECT_THROW(static_cast<void>(q.top()), CheckFailure);
+}
+
+}  // namespace
+}  // namespace flexnets

@@ -80,7 +80,9 @@ TEST(Ksp, FatTreeCrossPodPathCount) {
   ASSERT_GE(paths.size(), 4u);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(paths[i].size(), 5u);
   // 5th-onward paths must be longer.
-  if (paths.size() > 4) EXPECT_GT(paths[4].size(), 5u);
+  if (paths.size() > 4) {
+    EXPECT_GT(paths[4].size(), 5u);
+  }
 }
 
 TEST(Ksp, ExpanderProvidesDiversePaths) {

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""flexnets-specific lint pass: bans determinism and correctness hazards
+that generic tooling does not know about.
+
+Rules (see docs/ARCHITECTURE.md, "Correctness tooling"):
+
+  raw-rng        rand()/srand()/std::random_device/std::random_shuffle in
+                 simulation code. Every stochastic draw must come from the
+                 seeded splittable RNG (src/common/rng.hpp) so whole
+                 experiments replay from one integer.
+  wall-clock     Wall-clock reads (std::chrono clocks, time(), clock(),
+                 gettimeofday, ...) inside the engines. Simulated time is
+                 integer TimeNs; wall time silently breaks replay.
+  time-float-eq  == / != on floating-point simulated-time values
+                 (to_seconds()/to_millis()/to_micros() results, *_sec
+                 variables). Exact comparison of derived doubles is a
+                 rounding bug waiting to happen; compare integer TimeNs or
+                 use an epsilon.
+  unordered-iter Iteration over std::unordered_{map,set,...}. Iteration
+                 order is implementation-defined, so anything it feeds
+                 (routing tables, event schedules, output rows) loses
+                 determinism. Keyed lookup is fine; iterate a sorted
+                 container instead.
+
+Suppression: append  // flexnets-lint: allow(<rule>)  to the offending
+line. Use sparingly and say why.
+
+Usage:
+  lint_flexnets.py [paths...]          lint .cpp/.hpp files (default: src/)
+  lint_flexnets.py --self-test         run against the seeded negative
+                                       fixture and verify every expected
+                                       finding fires (and nothing else)
+
+Exit status: 0 clean, 1 findings (or failed self-test), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATHS = [os.path.join(REPO_ROOT, "src")]
+FIXTURE = os.path.join(REPO_ROOT, "tests", "lint_fixtures", "negative.cpp")
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
+
+ALLOW_RE = re.compile(r"flexnets-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+EXPECT_RE = re.compile(r"EXPECT-LINT:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+# ---------------------------------------------------------------------------
+# Comment / string stripping (keeps line structure so line numbers survive).
+
+def strip_comments_and_strings(text: str) -> str:
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each is (rule id, [regexes], message). Matching happens on
+# comment/string-stripped lines.
+
+RAW_RNG = [
+    re.compile(r"\bstd::s?rand\b"),
+    re.compile(r"(?<![\w:.])rand\s*\("),
+    re.compile(r"(?<![\w:.])srand\s*\("),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\bstd::random_shuffle\b"),
+    re.compile(r"\bdrand48\b|\blrand48\b|\bmrand48\b"),
+]
+
+WALL_CLOCK = [
+    re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
+    re.compile(r"\bgettimeofday\s*\("),
+    re.compile(r"\bclock_gettime\s*\("),
+    re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
+    re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+    re.compile(r"\blocaltime\s*\(|\bgmtime\s*\("),
+]
+
+_TIME_CALL = r"(?:to_seconds|to_millis|to_micros)\s*\([^()]*\)"
+_TIME_NAME = r"(?:[A-Za-z_]\w*_sec(?:s|onds?)?|now_sec|done_at|next_event)"
+TIME_FLOAT_EQ = [
+    re.compile(_TIME_CALL + r"\s*[=!]="),
+    re.compile(r"[=!]=\s*" + _TIME_CALL),
+    re.compile(r"\b" + _TIME_NAME + r"\b\s*(?:==|!=)"),
+    re.compile(r"(?:==|!=)\s*\b" + _TIME_NAME + r"\b"),
+]
+
+UNORDERED_RANGE_FOR = re.compile(r"for\s*\([^;)]*:\s*[^);]*unordered")
+UNORDERED_DECL = re.compile(r"\bstd::unordered_\w+\s*<[^;{}]*?>\s+(\w+)\s*[;({=]")
+
+MESSAGES = {
+    "raw-rng": "raw libc/std randomness; use the seeded splittable Rng "
+               "(src/common/rng.hpp) so runs replay from one seed",
+    "wall-clock": "wall-clock read inside simulation code; use simulated "
+                  "TimeNs (src/common/units.hpp)",
+    "time-float-eq": "exact ==/!= on floating-point simulated time; compare "
+                     "integer TimeNs or use an epsilon",
+    "unordered-iter": "iteration over an unordered container feeds "
+                      "implementation-defined order into deterministic "
+                      "output; iterate a sorted container instead",
+}
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        original = f.read()
+    stripped = strip_comments_and_strings(original)
+    original_lines = original.splitlines()
+    stripped_lines = stripped.splitlines()
+
+    # Names of locally declared unordered containers (whole-file scan).
+    unordered_names = set()
+    for line in stripped_lines:
+        for m in UNORDERED_DECL.finditer(line):
+            unordered_names.add(m.group(1))
+    unordered_use = (
+        re.compile(
+            r"(?:for\s*\([^;)]*:\s*(?:" + "|".join(map(re.escape, sorted(unordered_names))) + r")\b"
+            r"|\b(?:" + "|".join(map(re.escape, sorted(unordered_names))) + r")\s*\.\s*begin\s*\(\))"
+        )
+        if unordered_names
+        else None
+    )
+
+    findings: list[Finding] = []
+    for lineno, line in enumerate(stripped_lines, start=1):
+        orig = original_lines[lineno - 1] if lineno <= len(original_lines) else ""
+        allowed = set()
+        m = ALLOW_RE.search(orig)
+        if m:
+            allowed = {r.strip() for r in m.group(1).split(",")}
+
+        def emit(rule: str) -> None:
+            if rule not in allowed:
+                findings.append(Finding(path, lineno, rule, MESSAGES[rule]))
+
+        if any(r.search(line) for r in RAW_RNG):
+            emit("raw-rng")
+        if any(r.search(line) for r in WALL_CLOCK):
+            emit("wall-clock")
+        if any(r.search(line) for r in TIME_FLOAT_EQ):
+            emit("time-float-eq")
+        if UNORDERED_RANGE_FOR.search(line) or (
+            unordered_use and unordered_use.search(line)
+        ):
+            emit("unordered-iter")
+    return findings
+
+
+def collect_sources(paths: list[str]) -> list[str]:
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"lint_flexnets: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(files)
+
+
+def self_test() -> int:
+    """The negative fixture must trip exactly its annotated findings."""
+    if not os.path.isfile(FIXTURE):
+        print(f"lint_flexnets: missing fixture {FIXTURE}", file=sys.stderr)
+        return 1
+    expected = set()
+    with open(FIXTURE, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in m.group(1).split(","):
+                    expected.add((lineno, rule.strip()))
+    got = {(f.line, f.rule) for f in lint_file(FIXTURE)}
+    ok = True
+    for miss in sorted(expected - got):
+        print(f"self-test: expected finding did not fire: "
+              f"{FIXTURE}:{miss[0]} [{miss[1]}]")
+        ok = False
+    for extra in sorted(got - expected):
+        print(f"self-test: unexpected finding: "
+              f"{FIXTURE}:{extra[0]} [{extra[1]}]")
+        ok = False
+    if ok:
+        print(f"self-test OK: {len(expected)} expected findings fired on "
+              f"{os.path.relpath(FIXTURE, REPO_ROOT)}")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the rules against the seeded negative fixture")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    paths = args.paths or DEFAULT_PATHS
+    findings: list[Finding] = []
+    for path in collect_sources(paths):
+        findings.extend(lint_file(path))
+    for f in findings:
+        rel = os.path.relpath(f.path, REPO_ROOT)
+        print(f"{rel}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"lint_flexnets: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
