@@ -1,0 +1,181 @@
+// Live fault injection: fail links (and, where the topology has spine
+// switches, a switch) DURING a packet simulation, let the control plane
+// repair routing after a fixed delay, and plot delivered throughput over
+// time. The curve should dip at each failure and reconverge after the
+// repair; once reconverged there must be no blackhole drops, and the
+// whole faulted run must stay bit-deterministic across same-seed repeats.
+//
+// All three topologies (fat-tree, Xpander, Jellyfish) see a fault plan
+// drawn from the same distribution (same options, same seed). The
+// expanders host servers on every switch, so their plans contain only
+// link failures; the fat-tree also loses an aggregation/core switch.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "fault/fault_plan.hpp"
+#include "metrics/degradation.hpp"
+#include "sim/network.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/xpander.hpp"
+#include "util.hpp"
+#include "workload/arrivals.hpp"
+
+using namespace flexnets;
+
+namespace {
+
+struct LiveRun {
+  std::vector<metrics::ThroughputTimeline::Bin> series;
+  sim::PacketNetwork::FaultStats stats;
+  std::uint64_t digest = 0;
+};
+
+// Saturating long flows: each server sends to three servers spread across
+// the network (cross-rack at these scales). Enough multiplexing that ECMP
+// loads most links, so the baseline is capacity-limited and flat -- which
+// makes the failure dip and the reconvergence visible in 1ms bins.
+std::vector<workload::FlowSpec> long_flows(const topo::Topology& t) {
+  const int n = t.num_servers();
+  std::vector<workload::FlowSpec> flows;
+  for (int s = 0; s < n; ++s) {
+    for (const int offset : {n / 2, n / 3, n / 5}) {
+      flows.push_back({s * kMicrosecond, s, (s + offset) % n, 1000 * kMB});
+    }
+  }
+  return flows;
+}
+
+LiveRun run_live(const topo::Topology& t, const fault::FaultPlan& plan,
+                 TimeNs delay, TimeNs horizon) {
+  sim::NetworkConfig cfg;
+  cfg.faults = &plan;
+  cfg.control_plane_delay = delay;
+  cfg.seed = 12;
+  metrics::ThroughputTimeline timeline(1 * kMillisecond);
+  sim::PacketNetwork net(t, cfg);
+  net.set_timeline(&timeline);
+  net.run(long_flows(t), horizon);
+  return {timeline.series(horizon), net.fault_stats(),
+          net.simulator().event_digest()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Live failures",
+                "delivered throughput vs time under in-simulation faults");
+  const bool full = core::repro_full();
+
+  // Failure schedule: every victim goes down somewhere in the window and
+  // comes back `repair_after` later; routing repairs `delay` after every
+  // transition. Chosen so the scaled run still has clean pre-fault,
+  // faulted, and post-recovery phases in a ~30ms horizon.
+  // At paper scale the topologies have enough spare paths that two lost
+  // links vanish into measurement noise; fail more so the dip is visible.
+  fault::RandomFaultOptions opt;
+  opt.link_failures = full ? 10 : 2;
+  opt.switch_failures = 1;
+  opt.window_begin = 8 * kMillisecond;
+  opt.window_end = (full ? 16 : 12) * kMillisecond;
+  opt.repair_after = 10 * kMillisecond;
+  const TimeNs delay = 1 * kMillisecond;
+  const TimeNs horizon = (full ? 36 : 30) * kMillisecond;
+
+  const auto ft = topo::fat_tree(full ? 6 : 4);
+  // Full scale bumps the degree too: the degree-3 lift-9 instance of seed 1
+  // happens to be disconnected (random lifts are only usually connected).
+  const auto xp = full ? topo::xpander(5, 9, 2, 1) : topo::xpander(3, 4, 2, 1);
+  const auto jf = topo::jellyfish(full ? 36 : 16, 3, 2, 1);
+  struct Entry {
+    std::string label;
+    const topo::Topology* topo;
+  };
+  const std::vector<Entry> entries = {
+      {"fat_tree", &ft.topo}, {"xpander", &xp.topo}, {"jellyfish", &jf}};
+
+  // Audit mode: engines accumulate their event digests and the repaired
+  // tables are mechanically checked to never cross a dead link or switch.
+  AuditScope audit(true);
+
+  std::vector<fault::FaultPlan> plans;
+  std::vector<LiveRun> runs;
+  bool ok = true;
+  for (const auto& e : entries) {
+    plans.push_back(fault::FaultPlan::random(*e.topo, opt, 99));
+    const auto& plan = plans.back();
+    runs.push_back(run_live(*e.topo, plan, delay, horizon));
+    const auto repeat = run_live(*e.topo, plan, delay, horizon);
+    if (repeat.digest != runs.back().digest) {
+      std::printf("FAIL: %s same-seed faulted runs diverged\n",
+                  e.label.c_str());
+      ok = false;
+    }
+  }
+
+  TextTable curve({"t_ms", entries[0].label + "_gbps",
+                   entries[1].label + "_gbps", entries[2].label + "_gbps"});
+  const auto bins = runs[0].series.size();
+  for (std::size_t b = 0; b < bins; ++b) {
+    curve.add_row({std::to_string(runs[0].series[b].begin / kMillisecond),
+                   TextTable::fmt(runs[0].series[b].gbps, 2),
+                   TextTable::fmt(runs[1].series[b].gbps, 2),
+                   TextTable::fmt(runs[2].series[b].gbps, 2)});
+  }
+  curve.print();
+
+  std::printf("\n");
+  TextTable sum({"topology", "faults", "repairs", "pre_gbps", "dip_gbps",
+                 "post_gbps", "blackholes", "post_repair_bh", "expelled"});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& plan = plans[i];
+    const auto& r = runs[i];
+    // Phases: [2ms, first fault), [first fault, last repair), and
+    // [last repair + settle, horizon). The last transition repairs at
+    // plan.last_time() + delay; one extra bin lets DCTCP ramp back up.
+    const TimeNs settle = plan.last_time() + delay + 2 * kMillisecond;
+    const double pre = metrics::mean_gbps(r.series, 2 * kMillisecond,
+                                          plan.first_time());
+    const double dip = metrics::min_gbps(r.series, plan.first_time(),
+                                         plan.last_time() + delay);
+    const double post = metrics::mean_gbps(r.series, settle, horizon);
+    sum.add_row({entries[i].label,
+                 std::to_string(plan.events().size() / 2),
+                 std::to_string(r.stats.repairs), TextTable::fmt(pre, 2),
+                 TextTable::fmt(dip, 2), TextTable::fmt(post, 2),
+                 std::to_string(r.stats.blackhole_drops),
+                 std::to_string(r.stats.post_repair_blackholes),
+                 std::to_string(r.stats.expelled_packets)});
+    if (!(dip < pre)) {
+      std::printf("FAIL: %s shows no throughput dip during faults\n",
+                  entries[i].label.c_str());
+      ok = false;
+    }
+    if (!(post > dip) || post < 0.8 * pre) {
+      std::printf("FAIL: %s did not reconverge (pre=%.2f dip=%.2f post=%.2f)\n",
+                  entries[i].label.c_str(), pre, dip, post);
+      ok = false;
+    }
+    if (r.stats.post_repair_blackholes != 0) {
+      std::printf("FAIL: %s dropped %llu packets as blackholes after repair\n",
+                  entries[i].label.c_str(),
+                  static_cast<unsigned long long>(
+                      r.stats.post_repair_blackholes));
+      ok = false;
+    }
+  }
+  sum.print();
+
+  std::printf(
+      "\nExpected: throughput dips at each failure, reconverges within the\n"
+      "1ms control-plane delay (plus DCTCP ramp-up) of the repair, and\n"
+      "returns to the pre-fault level once every victim recovers. Losses\n"
+      "during the outage are expelled/transient-blackhole packets; after\n"
+      "the final repair the audit proves zero blackholes remain.\n");
+  std::printf("%s\n", ok ? "PASS: all live-failure acceptance checks hold"
+                         : "FAIL: see messages above");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#include "fault/audit.hpp"
+
+#include "common/check.hpp"
+#include "graph/algorithms.hpp"
+
+namespace flexnets::fault {
+
+namespace {
+
+// Is there a live link directly joining `a` and `b`?
+bool live_edge_between(const topo::Topology& t, const LiveState& live,
+                       graph::NodeId a, graph::NodeId b) {
+  for (const auto e : t.g.incident(a)) {
+    if (t.g.edge(e).other(a) == b && live.edge_live(e)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
+                           const routing::EcmpTable& table,
+                           const std::vector<graph::NodeId>& dsts) {
+  const graph::Graph surviving = live.surviving_graph();
+  for (const auto dst : dsts) {
+    FLEXNETS_CHECK(live.switch_up(dst),
+                   "fault audit: routing table built toward dead switch ", dst);
+    const auto dist = graph::bfs_distances(surviving, dst);
+    for (graph::NodeId at = 0; at < t.num_switches(); ++at) {
+      if (!live.switch_up(at)) continue;
+      const auto hops = table.next_hops(dst, at);
+      if (at == dst || dist[at] == graph::kUnreachable) {
+        FLEXNETS_CHECK(hops.empty(), "fault audit: switch ", at,
+                       " has next hops toward ", at == dst ? "itself" : "an unreachable dst ",
+                       dst);
+        continue;
+      }
+      FLEXNETS_CHECK(!hops.empty(), "fault audit: switch ", at,
+                     " has no next hop toward live reachable dst ", dst);
+      for (const auto h : hops) {
+        FLEXNETS_CHECK(live.switch_up(h), "fault audit: entry ", at, " -> ",
+                       dst, " routes through dead switch ", h);
+        FLEXNETS_CHECK(live_edge_between(t, live, at, h),
+                       "fault audit: entry ", at, " -> ", dst,
+                       " crosses a down link to ", h);
+      }
+    }
+  }
+}
+
+}  // namespace flexnets::fault

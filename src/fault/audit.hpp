@@ -1,0 +1,20 @@
+// FLEXNETS_AUDIT pass for routing repair: after tables are rebuilt on the
+// surviving graph, no entry may point across a down link or through a down
+// switch, and every live switch must have a next hop toward every live,
+// reachable destination. Engines call this after each repair when
+// common::audit_enabled() (cheap no-op otherwise).
+#pragma once
+
+#include <vector>
+
+#include "fault/live_state.hpp"
+#include "routing/routing_table.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::fault {
+
+void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
+                           const routing::EcmpTable& table,
+                           const std::vector<graph::NodeId>& dsts);
+
+}  // namespace flexnets::fault

@@ -1,0 +1,219 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/algorithms.hpp"
+
+namespace flexnets::fault {
+
+namespace {
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kSwitchDown:
+      return "switch-down";
+    case FaultKind::kSwitchUp:
+      return "switch-up";
+  }
+  return "?";
+}
+
+FaultKind kind_from_name(const std::string& s) {
+  if (s == "link-down") return FaultKind::kLinkDown;
+  if (s == "link-up") return FaultKind::kLinkUp;
+  if (s == "switch-down") return FaultKind::kSwitchDown;
+  if (s == "switch-up") return FaultKind::kSwitchUp;
+  FLEXNETS_CHECK(false, "FaultPlan::parse: unknown event kind '", s, "'");
+  return FaultKind::kLinkDown;
+}
+
+// True if the switch graph minus `dead_edges` / `dead_switches` still
+// connects every live switch (isolated dead switches are ignored).
+bool survivors_connected(const graph::Graph& g,
+                         const std::vector<char>& dead_edge,
+                         const std::vector<char>& dead_switch) {
+  graph::Graph live(g.num_nodes());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!dead_edge[e] && !dead_switch[ed.a] && !dead_switch[ed.b]) {
+      live.add_edge(ed.a, ed.b);
+    }
+  }
+  graph::NodeId root = graph::kInvalidNode;
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!dead_switch[n]) {
+      root = n;
+      break;
+    }
+  }
+  if (root == graph::kInvalidNode) return true;  // nothing left to connect
+  const auto dist = graph::bfs_distances(live, root);
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!dead_switch[n] && dist[n] == graph::kUnreachable) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_link_kind(FaultKind k) {
+  return k == FaultKind::kLinkDown || k == FaultKind::kLinkUp;
+}
+
+bool is_down_kind(FaultKind k) {
+  return k == FaultKind::kLinkDown || k == FaultKind::kSwitchDown;
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+void FaultPlan::add(FaultEvent e) {
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), e,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  events_.insert(it, e);
+}
+
+TimeNs FaultPlan::first_time() const {
+  return events_.empty() ? -1 : events_.front().time;
+}
+
+TimeNs FaultPlan::last_time() const {
+  return events_.empty() ? -1 : events_.back().time;
+}
+
+FaultPlan FaultPlan::random(const topo::Topology& t,
+                            const RandomFaultOptions& opt,
+                            std::uint64_t seed) {
+  FLEXNETS_CHECK(opt.window_end >= opt.window_begin && opt.window_begin >= 0,
+                 "FaultPlan::random: bad failure window [", opt.window_begin,
+                 ", ", opt.window_end, "]");
+  Rng rng(splitmix64(seed ^ 0xfa017b1aULL));
+  std::vector<char> dead_edge(static_cast<std::size_t>(t.g.num_edges()), 0);
+  std::vector<char> dead_switch(static_cast<std::size_t>(t.num_switches()), 0);
+
+  FaultPlan plan;
+  auto schedule = [&](FaultKind down, FaultKind up, std::int32_t id) {
+    const TimeNs at = rng.uniform_int(opt.window_begin, opt.window_end);
+    plan.add({at, down, id});
+    if (opt.repair_after >= 0) plan.add({at + opt.repair_after, up, id});
+  };
+
+  // Switch victims first: a dead switch takes all its links with it, so
+  // link victims are then drawn connectivity-aware on what remains.
+  std::vector<graph::NodeId> switches(
+      static_cast<std::size_t>(t.num_switches()));
+  for (graph::NodeId n = 0; n < t.num_switches(); ++n) {
+    switches[static_cast<std::size_t>(n)] = n;
+  }
+  rng.shuffle(switches);
+  int switch_budget = opt.switch_failures;
+  for (const auto n : switches) {
+    if (switch_budget == 0) break;
+    if (!opt.allow_tor_failures && t.servers_per_switch[n] > 0) continue;
+    dead_switch[n] = 1;
+    if (opt.preserve_connectivity &&
+        !survivors_connected(t.g, dead_edge, dead_switch)) {
+      dead_switch[n] = 0;  // would partition the survivors; skip
+      continue;
+    }
+    schedule(FaultKind::kSwitchDown, FaultKind::kSwitchUp, n);
+    --switch_budget;
+  }
+
+  std::vector<graph::EdgeId> edges(static_cast<std::size_t>(t.g.num_edges()));
+  for (graph::EdgeId e = 0; e < t.g.num_edges(); ++e) {
+    edges[static_cast<std::size_t>(e)] = e;
+  }
+  rng.shuffle(edges);
+  int link_budget = opt.link_failures;
+  for (const auto e : edges) {
+    if (link_budget == 0) break;
+    const auto& ed = t.g.edge(e);
+    if (dead_switch[ed.a] || dead_switch[ed.b]) continue;  // already down
+    dead_edge[e] = 1;
+    if (opt.preserve_connectivity &&
+        !survivors_connected(t.g, dead_edge, dead_switch)) {
+      dead_edge[e] = 0;  // cut link; keep it
+      continue;
+    }
+    schedule(FaultKind::kLinkDown, FaultKind::kLinkUp, e);
+    --link_budget;
+  }
+  return plan;
+}
+
+void FaultPlan::validate(const topo::Topology& t) const {
+  std::vector<char> edge_down(static_cast<std::size_t>(t.g.num_edges()), 0);
+  std::vector<char> switch_down(static_cast<std::size_t>(t.num_switches()), 0);
+  TimeNs prev = 0;
+  for (const auto& e : events_) {
+    FLEXNETS_CHECK(e.time >= 0, "FaultPlan: negative event time ", e.time);
+    FLEXNETS_CHECK(e.time >= prev, "FaultPlan: events out of order at ",
+                   e.time, " after ", prev);
+    prev = e.time;
+    if (is_link_kind(e.kind)) {
+      FLEXNETS_CHECK(e.id >= 0 && e.id < t.g.num_edges(),
+                     "FaultPlan: link id ", e.id, " out of range");
+      auto& down = edge_down[static_cast<std::size_t>(e.id)];
+      FLEXNETS_CHECK(is_down_kind(e.kind) != static_cast<bool>(down),
+                     "FaultPlan: ", kind_name(e.kind), " of link ", e.id,
+                     " while it is ", down ? "already down" : "up");
+      down = is_down_kind(e.kind) ? 1 : 0;
+    } else {
+      FLEXNETS_CHECK(e.id >= 0 && e.id < t.num_switches(),
+                     "FaultPlan: switch id ", e.id, " out of range");
+      auto& down = switch_down[static_cast<std::size_t>(e.id)];
+      FLEXNETS_CHECK(is_down_kind(e.kind) != static_cast<bool>(down),
+                     "FaultPlan: ", kind_name(e.kind), " of switch ", e.id,
+                     " while it is ", down ? "already down" : "up");
+      down = is_down_kind(e.kind) ? 1 : 0;
+    }
+  }
+}
+
+std::string FaultPlan::serialize() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.time << ' ' << kind_name(e.kind) << ' ' << e.id << '\n';
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    FaultEvent e;
+    std::string kind;
+    ls >> e.time >> kind >> e.id;
+    FLEXNETS_CHECK(!ls.fail(), "FaultPlan::parse: malformed line ", line_no,
+                   ": '", line, "'");
+    e.kind = kind_from_name(kind);
+    plan.events_.push_back(e);
+  }
+  FLEXNETS_CHECK(std::is_sorted(plan.events_.begin(), plan.events_.end(),
+                                [](const FaultEvent& a, const FaultEvent& b) {
+                                  return a.time < b.time;
+                                }),
+                 "FaultPlan::parse: events not time-sorted");
+  return plan;
+}
+
+}  // namespace flexnets::fault

@@ -1,0 +1,100 @@
+// Live fault injection: a seeded, serializable schedule of link and switch
+// failures (and recoveries) applied *while* the engines run, as opposed to
+// the static pre-run degradation of topo/failures.
+//
+// Both simulation engines consume the same FaultPlan: the packet engine
+// turns each event into a simulator event (downed links expel their queued
+// packets, the control plane repairs routing tables after a configurable
+// delay), the flow-level simulator turns each event into a re-route /
+// re-allocation epoch. Plans are deterministic in their seed and round-trip
+// through a text form so a failing run can be reproduced exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "graph/graph.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,    // id = EdgeId of the failing network link
+  kLinkUp,      // id = EdgeId of a previously failed link coming back
+  kSwitchDown,  // id = NodeId of the failing switch (all its links die)
+  kSwitchUp,    // id = NodeId of a previously failed switch coming back
+};
+
+[[nodiscard]] bool is_link_kind(FaultKind k);
+[[nodiscard]] bool is_down_kind(FaultKind k);
+
+struct FaultEvent {
+  TimeNs time = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::int32_t id = -1;  // EdgeId for link events, NodeId for switch events
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+// Parameters for FaultPlan::random.
+struct RandomFaultOptions {
+  int link_failures = 0;    // distinct network links to fail
+  int switch_failures = 0;  // distinct switches to fail
+  // Failure instants are drawn uniformly in [window_begin, window_end].
+  TimeNs window_begin = 0;
+  TimeNs window_end = 0;
+  // < 0: failures are permanent; otherwise each failed element recovers
+  // this long after it went down.
+  TimeNs repair_after = -1;
+  // When true (default), link victims are chosen so that the switch graph
+  // stays connected with every drawn link simultaneously down, and switch
+  // victims so that the surviving switches stay mutually connected --
+  // mirroring topo/failures' connectivity-preserving contract. Sparse
+  // graphs may then yield fewer victims than requested.
+  bool preserve_connectivity = true;
+  // When false (default), only switches hosting no servers (e.g. fat-tree
+  // aggregation/core stages) may fail; set to true for flat topologies
+  // where every switch is a ToR.
+  bool allow_tor_failures = false;
+};
+
+// An immutable, time-sorted schedule of fault events. Events at equal times
+// keep their insertion order (the engines apply them in sequence).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  void add(FaultEvent e);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] TimeNs first_time() const;  // -1 when empty
+  [[nodiscard]] TimeNs last_time() const;   // -1 when empty
+
+  // Draws a random plan over `t`, deterministic in `seed`. Victims are
+  // distinct per class; see RandomFaultOptions for the knobs.
+  static FaultPlan random(const topo::Topology& t,
+                          const RandomFaultOptions& opt, std::uint64_t seed);
+
+  // FLEXNETS_CHECKs structural sanity against `t`: ids in range, times
+  // non-decreasing and non-negative, and every recovery matching an earlier
+  // failure of the same element (no double-down / double-up).
+  void validate(const topo::Topology& t) const;
+
+  // Text round-trip: one "<time_ns> <kind> <id>" line per event, where
+  // <kind> is link-down | link-up | switch-down | switch-up.
+  [[nodiscard]] std::string serialize() const;
+  static FaultPlan parse(const std::string& text);  // FLEXNETS_CHECKs syntax
+
+  bool operator==(const FaultPlan&) const = default;
+
+ private:
+  std::vector<FaultEvent> events_;  // stably sorted by time
+};
+
+}  // namespace flexnets::fault

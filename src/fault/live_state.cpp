@@ -1,0 +1,51 @@
+#include "fault/live_state.hpp"
+
+#include "common/check.hpp"
+
+namespace flexnets::fault {
+
+LiveState::LiveState(const topo::Topology& t)
+    : topo_(&t),
+      edge_down_(static_cast<std::size_t>(t.g.num_edges()), 0),
+      switch_down_(static_cast<std::size_t>(t.num_switches()), 0) {}
+
+void LiveState::apply(const FaultEvent& e) {
+  FLEXNETS_CHECK(topo_ != nullptr, "LiveState used before initialization");
+  auto& flag = is_link_kind(e.kind)
+                   ? edge_down_[static_cast<std::size_t>(e.id)]
+                   : switch_down_[static_cast<std::size_t>(e.id)];
+  const char want = is_down_kind(e.kind) ? 1 : 0;
+  FLEXNETS_CHECK(flag != want, "LiveState: redundant fault event for ",
+                 is_link_kind(e.kind) ? "link " : "switch ", e.id);
+  flag = want;
+  down_count_ += want ? 1 : -1;
+}
+
+bool LiveState::edge_live(graph::EdgeId e) const {
+  if (edge_down_[static_cast<std::size_t>(e)]) return false;
+  const auto& ed = topo_->g.edge(e);
+  return switch_up(ed.a) && switch_up(ed.b);
+}
+
+graph::Graph LiveState::surviving_graph() const {
+  FLEXNETS_CHECK(topo_ != nullptr, "LiveState used before initialization");
+  graph::Graph live(topo_->g.num_nodes());
+  for (graph::EdgeId e = 0; e < topo_->g.num_edges(); ++e) {
+    if (edge_live(e)) {
+      const auto& ed = topo_->g.edge(e);
+      live.add_edge(ed.a, ed.b);
+    }
+  }
+  return live;
+}
+
+std::vector<graph::NodeId> LiveState::live_tors(
+    const topo::Topology& t) const {
+  std::vector<graph::NodeId> out;
+  for (const auto tor : t.tors()) {
+    if (switch_up(tor)) out.push_back(tor);
+  }
+  return out;
+}
+
+}  // namespace flexnets::fault

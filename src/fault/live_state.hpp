@@ -1,0 +1,50 @@
+// Tracks which links and switches are currently up as a FaultPlan unfolds,
+// and derives the surviving graph that routing repair rebuilds tables on.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "graph/graph.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::fault {
+
+class LiveState {
+ public:
+  LiveState() = default;
+  explicit LiveState(const topo::Topology& t);
+
+  // Applies one fault event (down/up of a link or switch). A switch event
+  // does NOT toggle its incident links' own flags: edge_live() already
+  // accounts for endpoint switches, so an independently failed link stays
+  // down when its switch recovers.
+  void apply(const FaultEvent& e);
+
+  [[nodiscard]] bool edge_failed(graph::EdgeId e) const {
+    return edge_down_[static_cast<std::size_t>(e)] != 0;
+  }
+  [[nodiscard]] bool switch_up(graph::NodeId n) const {
+    return switch_down_[static_cast<std::size_t>(n)] == 0;
+  }
+  // A link carries traffic iff the link itself and both endpoints are up.
+  [[nodiscard]] bool edge_live(graph::EdgeId e) const;
+
+  [[nodiscard]] bool any_fault() const { return down_count_ > 0; }
+
+  // The switch graph restricted to live links (same node ids; fresh edge
+  // ids). Routing tables are rebuilt against this.
+  [[nodiscard]] graph::Graph surviving_graph() const;
+
+  // ToRs of `t` whose switch is currently up.
+  [[nodiscard]] std::vector<graph::NodeId> live_tors(
+      const topo::Topology& t) const;
+
+ private:
+  const topo::Topology* topo_ = nullptr;
+  std::vector<char> edge_down_;
+  std::vector<char> switch_down_;
+  int down_count_ = 0;  // elements (links + switches) currently down
+};
+
+}  // namespace flexnets::fault

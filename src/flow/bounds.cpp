@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/spectral.hpp"
 
@@ -29,7 +30,9 @@ double path_length_upper_bound(const topo::Topology& t,
       dist = graph::bfs_distances(t.g, c.src_tor);
       last_src = c.src_tor;
     }
-    assert(dist[c.dst_tor] != graph::kUnreachable);
+    FLEXNETS_CHECK(dist[c.dst_tor] != graph::kUnreachable,
+                   "path-length bound: ToR ", c.dst_tor,
+                   " unreachable from ", c.src_tor);
     consumption += c.demand * static_cast<double>(dist[c.dst_tor]);
   }
   if (consumption <= 0.0) return 1.0;

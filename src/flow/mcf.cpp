@@ -139,8 +139,10 @@ McfResult max_concurrent_flow(int num_nodes,
           ++result.dijkstra_calls;
           const bool found = shortest_path(adj, length, cmd.src, cmd.dst,
                                            parent_edge, dist, touched);
-          assert(found && "commodity destination unreachable");
-          if (!found) return result;
+          // A silent partial result here would report near-zero throughput
+          // for a disconnected instance instead of failing loudly.
+          FLEXNETS_CHECK(found, "MCF commodity ", ci, " destination ",
+                         cmd.dst, " unreachable from ", cmd.src);
           cp.edges.clear();
           for (int v = cmd.dst; v != cmd.src;) {
             const int e = parent_edge[v];

@@ -34,13 +34,22 @@ TrafficMatrix longest_matching_tm(const topo::Topology& t,
                                      std::vector<double>(m, 0.0));
   for (int i = 0; i < m; ++i) {
     const auto dist = graph::bfs_distances(t.g, active[i]);
-    for (int j = 0; j < m; ++j) w[i][j] = static_cast<double>(dist[active[j]]);
+    for (int j = 0; j < m; ++j) {
+      // Weight 0 keeps unreachable pairs out of the matching instead of
+      // feeding -1 "distances" into the weights.
+      w[i][j] = dist[active[j]] == graph::kUnreachable
+                    ? 0.0
+                    : static_cast<double>(dist[active[j]]);
+    }
   }
   const auto pairs = graph::greedy_max_weight_matching(m, w);
 
   TrafficMatrix tm;
   tm.commodities.reserve(pairs.size() * 2);
   for (const auto& [i, j] : pairs) {
+    if (w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] <= 0.0) {
+      continue;  // unreachable (or same-rack) pair matched as filler
+    }
     tm.commodities.push_back({active[i], active[j], rack_demand(t, active[i])});
     tm.commodities.push_back({active[j], active[i], rack_demand(t, active[j])});
   }

@@ -46,12 +46,51 @@ FlowLevelSimulator::FlowLevelSimulator(const topo::Topology& topo,
     }
   }
 
+  if (cfg_.faults != nullptr) {
+    cfg_.faults->validate(topo_);
+    live_ = fault::LiveState(topo_);
+  }
+  rebuild_tables(topo_.g);
+}
+
+void FlowLevelSimulator::rebuild_tables(const graph::Graph& g) {
+  const int s = topo_.num_switches();
   next_hops_.resize(static_cast<std::size_t>(s));
   dist_.resize(static_cast<std::size_t>(s));
   for (topo::NodeId dst = 0; dst < s; ++dst) {
-    next_hops_[dst] = graph::ecmp_next_hops_to(topo_.g, dst);
-    dist_[dst] = graph::bfs_distances(topo_.g, dst);
+    next_hops_[dst] = graph::ecmp_next_hops_to(g, dst);
+    dist_[dst] = graph::bfs_distances(g, dst);
   }
+  via_tors_.clear();
+  for (const auto tor : topo_.tors()) {
+    if (cfg_.faults == nullptr || live_.switch_up(tor)) {
+      via_tors_.push_back(tor);
+    }
+  }
+}
+
+bool FlowLevelSimulator::routable(int src_server, int dst_server) const {
+  const auto src_tor = tor_of_server_[src_server];
+  const auto dst_tor = tor_of_server_[dst_server];
+  if (cfg_.faults != nullptr &&
+      (!live_.switch_up(src_tor) || !live_.switch_up(dst_tor))) {
+    return false;
+  }
+  return src_tor == dst_tor ||
+         dist_[dst_tor][src_tor] != graph::kUnreachable;
+}
+
+bool FlowLevelSimulator::route_blocked(
+    const std::vector<RouteShare>& route) const {
+  for (const auto& rs : route) {
+    if (rs.link < num_network_links_) {
+      if (!live_.edge_live(rs.link / 2)) return true;
+    } else {
+      const int server = (rs.link - num_network_links_) / 2;
+      if (!live_.switch_up(tor_of_server_[server])) return true;
+    }
+  }
+  return false;
 }
 
 std::int32_t FlowLevelSimulator::link_id(topo::NodeId from,
@@ -79,7 +118,8 @@ void FlowLevelSimulator::append_ecmp_leg(std::vector<RouteShare>& out,
           continue;
         }
         const auto& hops = next_hops_[to][node];
-        assert(!hops.empty());
+        FLEXNETS_CHECK(!hops.empty(), "flowsim: no next hop from switch ",
+                       node, " toward unreachable ToR ", to);
         const double each = m / static_cast<double>(hops.size());
         for (const auto h : hops) {
           out.push_back({link_id(node, h), each});
@@ -93,7 +133,8 @@ void FlowLevelSimulator::append_ecmp_leg(std::vector<RouteShare>& out,
     int hop = 0;
     while (at != to) {
       const auto& hops = next_hops_[to][at];
-      assert(!hops.empty());
+      FLEXNETS_CHECK(!hops.empty(), "flowsim: no next hop from switch ", at,
+                     " toward unreachable ToR ", to);
       const auto h = hops[hash_words(salt, static_cast<std::uint64_t>(at),
                                      static_cast<std::uint64_t>(hop)) %
                           hops.size()];
@@ -124,19 +165,28 @@ std::vector<FlowLevelSimulator::RouteShare> FlowLevelSimulator::route_for(
       (cfg_.routing == FlowRouting::kHyb && size >= cfg_.hyb_threshold);
   if (vlb) {
     // Spread over several random vias (the fluid analogue of per-flowlet
-    // via re-selection), each carrying an equal share of the flow.
+    // via re-selection), each carrying an equal share of the flow. Vias
+    // come from the live ToR pool and must have a path from src and to dst
+    // on the current tables (always true before any failure).
     Rng rng(salt);
-    const auto& tors = topo_.tors();
     const int k = std::max(1, cfg_.vlb_via_samples);
     std::vector<topo::NodeId> vias;
     int guard = 100 * k;
     while (static_cast<int>(vias.size()) < k && guard-- > 0) {
-      const auto via = tors[rng.next_u64(tors.size())];
+      const auto via = via_tors_[rng.next_u64(via_tors_.size())];
       if (via == src_tor || via == dst_tor) continue;
+      if (dist_[via][src_tor] == graph::kUnreachable ||
+          dist_[dst_tor][via] == graph::kUnreachable) {
+        continue;
+      }
       if (std::find(vias.begin(), vias.end(), via) != vias.end()) continue;
       vias.push_back(via);
     }
-    assert(!vias.empty());
+    if (vias.empty()) {
+      // No usable bounce point survives: route the flow directly.
+      append_ecmp_leg(route, src_tor, dst_tor, /*split=*/false, salt ^ 3);
+      return route;
+    }
     const double share = 1.0 / static_cast<double>(vias.size());
     for (std::size_t v = 0; v < vias.size(); ++v) {
       std::vector<RouteShare> leg;
@@ -165,6 +215,7 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     int id;
     double remaining;   // bits
     double rate = 0.0;  // bits per second
+    bool stalled = false;  // no usable route; waits for a repair epoch
     std::vector<RouteShare> route;
   };
   // Retirement threshold for drained flows: far below one byte, far above
@@ -208,6 +259,13 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     }
     std::vector<char> frozen(active.size(), 0);
     std::size_t remaining = active.size();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].stalled) {
+        active[i].rate = 0.0;
+        frozen[i] = 1;
+        --remaining;
+      }
+    }
     while (remaining > 0) {
       // Bottleneck link: minimal residual / weight.
       double best = kInf;
@@ -254,6 +312,7 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
   auto audit_rates = [&]() {
     std::vector<double> load(capacity_.size(), 0.0);
     for (const auto& a : active) {
+      if (a.stalled) continue;  // rate 0 by construction
       FLEXNETS_CHECK_GT(a.rate, 0.0, "flow ", a.id,
                         " active with nonpositive rate");
       for (const auto& rs : a.route) {
@@ -266,43 +325,117 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
     }
   };
 
+  // Fault and repair epochs, time-sorted (plan events are already sorted;
+  // the constant repair offset preserves the interleaving per kind).
+  struct Epoch {
+    TimeNs time;
+    bool repair;        // false: the fault itself; true: tables rebuilt
+    std::size_t index;  // into the plan's events
+  };
+  std::vector<Epoch> epochs;
+  if (cfg_.faults != nullptr) {
+    const auto& ev = cfg_.faults->events();
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      epochs.push_back({ev[i].time, false, i});
+      epochs.push_back({ev[i].time + cfg_.control_plane_delay, true, i});
+    }
+    std::stable_sort(
+        epochs.begin(), epochs.end(),
+        [](const Epoch& a, const Epoch& b) { return a.time < b.time; });
+  }
+  std::size_t next_epoch = 0;
+
+  enum class Kind { kNone, kArrival, kCompletion, kEpoch };
   while (next_arrival < flows.size() || !active.empty()) {
-    // Next event: earliest of (next arrival, earliest completion).
+    // Next event: earliest of (epoch, next arrival, earliest completion).
     double next_event = kInf;
-    bool is_arrival = false;
+    Kind kind = Kind::kNone;
+    if (next_epoch < epochs.size()) {
+      next_event = to_seconds(epochs[next_epoch].time);
+      kind = Kind::kEpoch;
+    }
     if (next_arrival < flows.size()) {
-      next_event =
-          to_seconds(flows[static_cast<std::size_t>(
-                               arrival_order[next_arrival])].start);
-      is_arrival = true;
+      const double t = to_seconds(flows[static_cast<std::size_t>(
+                                            arrival_order[next_arrival])]
+                                      .start);
+      if (t < next_event) {
+        next_event = t;
+        kind = Kind::kArrival;
+      }
     }
     int completing = -1;
     for (std::size_t i = 0; i < active.size(); ++i) {
       const auto& a = active[i];
+      if (a.stalled) continue;
       assert(a.rate > 0.0);
       const double done_at = now_sec + a.remaining / a.rate;
       if (done_at < next_event - 1e-15) {
         next_event = done_at;
         completing = static_cast<int>(i);
-        is_arrival = false;
+        kind = Kind::kCompletion;
       }
     }
-    assert(next_event < kInf);
+    // Only permanently stalled flows remain: they never complete (their
+    // records keep end = -1).
+    if (kind == Kind::kNone) break;
 
     // Drain bits until the event.
     const double dt = std::max(0.0, next_event - now_sec);
+    if (timeline_ != nullptr && dt > 0.0) {
+      double total_rate = 0.0;
+      for (const auto& a : active) total_rate += a.rate;
+      timeline_->record_rate(
+          static_cast<TimeNs>(std::llround(now_sec * 1e9)),
+          static_cast<TimeNs>(std::llround(next_event * 1e9)), total_rate);
+    }
     for (auto& a : active) {
       a.remaining = std::max(0.0, a.remaining - a.rate * dt);
     }
     now_sec = next_event;
 
-    if (is_arrival) {
+    if (kind == Kind::kEpoch) {
+      const auto& ep = epochs[next_epoch++];
+      const auto& fe = cfg_.faults->events()[ep.index];
+      if (!ep.repair) {
+        live_.apply(fe);
+        // Flows crossing a dead element stall until the control plane
+        // reconverges (the fluid analogue of packets draining into a
+        // blackhole and the transport backing off).
+        for (auto& a : active) {
+          if (!a.stalled && route_blocked(a.route)) {
+            a.stalled = true;
+            a.rate = 0.0;
+            a.route.clear();
+          }
+        }
+      } else {
+        rebuild_tables(live_.surviving_graph());
+        for (auto& a : active) {
+          if (!a.stalled) continue;
+          const auto& spec = flows[static_cast<std::size_t>(a.id)];
+          if (!routable(spec.src_server, spec.dst_server)) continue;
+          a.route = route_for(spec.src_server, spec.dst_server, spec.size);
+          a.stalled = false;
+        }
+      }
+    } else if (kind == Kind::kArrival) {
       const int id = arrival_order[next_arrival++];
       const auto& spec = flows[static_cast<std::size_t>(id)];
       Active a;
       a.id = id;
       a.remaining = static_cast<double>(spec.size) * 8.0;
-      a.route = route_for(spec.src_server, spec.dst_server, spec.size);
+      if (cfg_.faults != nullptr &&
+          !routable(spec.src_server, spec.dst_server)) {
+        a.stalled = true;
+      } else {
+        a.route = route_for(spec.src_server, spec.dst_server, spec.size);
+        // Pre-repair arrivals route on stale tables and may land on a dead
+        // element, exactly like packets would.
+        if (cfg_.faults != nullptr && route_blocked(a.route)) {
+          a.stalled = true;
+          a.route.clear();
+        }
+      }
       active.push_back(std::move(a));
     } else {
       // The completing flow retires, along with any other flow whose

@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/live_state.hpp"
+#include "metrics/degradation.hpp"
 #include "metrics/fct_tracker.hpp"
 #include "topo/topology.hpp"
 #include "workload/arrivals.hpp"
@@ -36,6 +39,15 @@ struct FlowSimConfig {
   // fluid equivalent splits each flow evenly over this many sampled vias.
   int vlb_via_samples = 4;
   std::uint64_t seed = 1;
+
+  // Live fault injection: when non-null, each plan event becomes an epoch.
+  // At a failure epoch, flows whose route crosses a dead element stall
+  // (rate 0); control_plane_delay later, tables are rebuilt on the
+  // surviving graph and stalled flows re-route (flows whose endpoints are
+  // partitioned stay stalled and finish with end = -1). The plan must
+  // outlive the simulator.
+  const fault::FaultPlan* faults = nullptr;
+  TimeNs control_plane_delay = 500 * kMicrosecond;
 };
 
 class FlowLevelSimulator {
@@ -51,6 +63,10 @@ class FlowLevelSimulator {
   // must produce identical values.
   [[nodiscard]] std::uint64_t last_run_digest() const { return digest_; }
 
+  // When set, the aggregate allocated rate is integrated into the timeline
+  // between events (delivered-throughput curve). Must outlive run().
+  void set_timeline(metrics::ThroughputTimeline* t) { timeline_ = t; }
+
  private:
   // A flow's fluid route: (link id, fraction of the flow's rate crossing
   // that link). Fractions are 1.0 except under kEcmpSplit.
@@ -63,6 +79,13 @@ class FlowLevelSimulator {
                                     Bytes size);
   void append_ecmp_leg(std::vector<RouteShare>& out, topo::NodeId from,
                        topo::NodeId to, bool split, std::uint64_t salt);
+  // (Re)derives next_hops_/dist_/via_tors_ from `g` (the original topology
+  // at construction; the surviving graph at each repair epoch).
+  void rebuild_tables(const graph::Graph& g);
+  // Can src and dst servers currently talk, per the last-built tables?
+  [[nodiscard]] bool routable(int src_server, int dst_server) const;
+  // Does this route cross a dead link, dead switch, or dead access link?
+  [[nodiscard]] bool route_blocked(const std::vector<RouteShare>& route) const;
 
   const topo::Topology& topo_;
   FlowSimConfig cfg_;
@@ -79,6 +102,11 @@ class FlowLevelSimulator {
   std::vector<std::vector<std::pair<topo::NodeId, std::int32_t>>> out_link_;
   std::uint64_t flow_counter_ = 0;  // per-flow routing salt source
   std::uint64_t digest_ = 0;        // see last_run_digest()
+
+  // Fault-injection state (engaged iff cfg_.faults != nullptr).
+  fault::LiveState live_;
+  std::vector<topo::NodeId> via_tors_;  // VLB bounce-point pool
+  metrics::ThroughputTimeline* timeline_ = nullptr;
 };
 
 }  // namespace flexnets::flowsim

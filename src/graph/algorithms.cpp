@@ -40,6 +40,30 @@ bool is_connected(const Graph& g) {
                       [](int d) { return d == kUnreachable; });
 }
 
+Components connected_components(const Graph& g) {
+  Components c;
+  c.id.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (c.id[root] != -1) continue;
+    const int label = c.count++;
+    std::queue<NodeId> q;
+    c.id[root] = label;
+    q.push(root);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (EdgeId e : g.incident(u)) {
+        const NodeId v = g.edge(e).other(u);
+        if (c.id[v] == -1) {
+          c.id[v] = label;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return c;
+}
+
 int diameter(const Graph& g) {
   if (g.num_nodes() == 0) return -1;
   int diam = 0;

@@ -19,6 +19,14 @@ std::vector<std::vector<int>> all_pairs_distances(const Graph& g);
 
 bool is_connected(const Graph& g);
 
+// Connected-component labels: id[u] in [0, count), numbered in order of the
+// lowest node id they contain. Two nodes share a label iff connected.
+struct Components {
+  std::vector<int> id;
+  int count = 0;
+};
+Components connected_components(const Graph& g);
+
 // Diameter (max finite pairwise distance); -1 for empty/disconnected graphs.
 int diameter(const Graph& g);
 

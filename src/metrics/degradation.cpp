@@ -1,0 +1,76 @@
+#include "metrics/degradation.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace flexnets::metrics {
+
+ThroughputTimeline::ThroughputTimeline(TimeNs bin) : bin_(bin) {
+  FLEXNETS_CHECK_GT(bin_, 0, "ThroughputTimeline bin width must be positive");
+}
+
+void ThroughputTimeline::record(TimeNs at, Bytes payload) {
+  FLEXNETS_DCHECK(at >= 0, "ThroughputTimeline: negative time ", at);
+  const auto idx = static_cast<std::size_t>(at / bin_);
+  if (idx >= bits_.size()) bits_.resize(idx + 1, 0.0);
+  bits_[idx] += static_cast<double>(payload) * 8.0;
+}
+
+void ThroughputTimeline::record_rate(TimeNs from, TimeNs to, double rate_bps) {
+  FLEXNETS_DCHECK(from >= 0 && to >= from,
+                  "ThroughputTimeline: bad interval [", from, ", ", to, ")");
+  if (to == from || rate_bps <= 0.0) return;
+  const auto last = static_cast<std::size_t>((to - 1) / bin_);
+  if (last >= bits_.size()) bits_.resize(last + 1, 0.0);
+  for (TimeNs t = from; t < to;) {
+    const TimeNs bin_end = (t / bin_ + 1) * bin_;
+    const TimeNs slice = std::min(to, bin_end) - t;
+    bits_[static_cast<std::size_t>(t / bin_)] += rate_bps * to_seconds(slice);
+    t += slice;
+  }
+}
+
+std::vector<ThroughputTimeline::Bin> ThroughputTimeline::series(
+    TimeNs horizon) const {
+  FLEXNETS_CHECK_GT(horizon, 0, "ThroughputTimeline horizon must be positive");
+  const auto n = static_cast<std::size_t>((horizon + bin_ - 1) / bin_);
+  std::vector<Bin> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].begin = static_cast<TimeNs>(i) * bin_;
+    const double bits = i < bits_.size() ? bits_[i] : 0.0;
+    out[i].gbps = bits / to_seconds(bin_) / 1e9;
+  }
+  return out;
+}
+
+double mean_gbps(const std::vector<ThroughputTimeline::Bin>& series,
+                 TimeNs begin, TimeNs end) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& b : series) {
+    if (b.begin >= begin && b.begin < end) {
+      sum += b.gbps;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double min_gbps(const std::vector<ThroughputTimeline::Bin>& series,
+                TimeNs begin, TimeNs end) {
+  double best = -1.0;
+  for (const auto& b : series) {
+    if (b.begin >= begin && b.begin < end) {
+      best = best < 0.0 ? b.gbps : std::min(best, b.gbps);
+    }
+  }
+  return std::max(best, 0.0);
+}
+
+double fct_inflation(const FctSummary& baseline, const FctSummary& faulted) {
+  if (baseline.avg_fct_ms <= 0.0) return 0.0;
+  return faulted.avg_fct_ms / baseline.avg_fct_ms;
+}
+
+}  // namespace flexnets::metrics

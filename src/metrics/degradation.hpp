@@ -1,0 +1,50 @@
+// Graceful-degradation metrics for live fault injection: the delivered-
+// throughput timeline that shows capacity dipping at each failure and
+// reconverging after the control-plane delay, plus small helpers for FCT
+// inflation and time-to-reconverge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "metrics/fct_tracker.hpp"
+
+namespace flexnets::metrics {
+
+// Accumulates delivered payload bytes into fixed-width time bins. The
+// packet engine records every data packet handed to a host NIC; flowsim
+// integrates its allocated aggregate rate between epochs.
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(TimeNs bin = kMillisecond);
+
+  void record(TimeNs at, Bytes payload);
+  // Spreads `rate_bps` uniformly over [from, to) across the bins it covers.
+  void record_rate(TimeNs from, TimeNs to, double rate_bps);
+
+  struct Bin {
+    TimeNs begin = 0;  // bin start time
+    double gbps = 0.0;
+  };
+  // Zero-filled series covering [0, horizon).
+  [[nodiscard]] std::vector<Bin> series(TimeNs horizon) const;
+
+  [[nodiscard]] TimeNs bin_width() const { return bin_; }
+
+ private:
+  TimeNs bin_;
+  std::vector<double> bits_;  // per bin index
+};
+
+// Mean delivered rate over bins whose start lies in [begin, end).
+double mean_gbps(const std::vector<ThroughputTimeline::Bin>& series,
+                 TimeNs begin, TimeNs end);
+// Minimum bin rate in [begin, end) (the depth of the failure dip).
+double min_gbps(const std::vector<ThroughputTimeline::Bin>& series,
+                TimeNs begin, TimeNs end);
+
+// Ratio of average FCTs (faulted / baseline); 0 when the baseline is empty.
+double fct_inflation(const FctSummary& baseline, const FctSummary& faulted);
+
+}  // namespace flexnets::metrics

@@ -97,10 +97,9 @@ std::span<const NodeId> SwitchForwarder::candidates(NodeId at,
   const NodeId target =
       pkt.via_tor != graph::kInvalidNode ? pkt.via_tor : pkt.dst_tor;
   if (at == target) return {};  // deliver to host port
-  const auto hops = table_.next_hops(target, at);
-  FLEXNETS_DCHECK(!hops.empty(), "no route from switch ", at, " toward ",
-                  target);
-  return hops;
+  // May be empty when `target` is unreachable on a repaired (post-failure)
+  // table; the caller decides what a routeless packet means.
+  return table_.next_hops(target, at);
 }
 
 NodeId SwitchForwarder::choose_by_hash(NodeId at, const sim::Packet& pkt,

@@ -74,6 +74,14 @@ class SourceRouter {
 
   [[nodiscard]] const SourceRouteConfig& config() const { return cfg_; }
 
+  // Routing repair (fault injection): replaces the VLB bounce-point pool
+  // (e.g. with the currently-live ToRs) / the KSP table (rebuilt on the
+  // surviving graph) after a failure or recovery.
+  void set_via_candidates(std::vector<NodeId> vias) {
+    via_candidates_ = std::move(vias);
+  }
+  void set_ksp(KspTable* ksp) { ksp_ = ksp; }
+
  private:
   [[nodiscard]] NodeId pick_via(const FlowRouteState& st);
   void stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
@@ -88,8 +96,10 @@ class SourceRouter {
 // Switch-side forwarding, in two steps so the network can apply the
 // configured SwitchPolicy:
 //   candidates() returns the admissible next hops (empty = deliver to the
-//   local host port), resolving source routes and clearing the packet's
-//   via_tor once the bounce point is reached;
+//   local host port when at the destination ToR, otherwise the routing
+//   table has no path -- the network classifies the drop), resolving
+//   source routes and clearing the packet's via_tor once the bounce point
+//   is reached;
 //   choose_by_hash() picks deterministically among them.
 class SwitchForwarder {
  public:

@@ -17,6 +17,8 @@ enum class EventType : std::uint8_t {
   kPacketArrive,  // a = node id: packet reached the node after propagation
   kTransportTimer,  // a = flow id, b = timer generation
   kFlowStart,     // a = index into the experiment's flow list
+  kFault,         // a = index into the network's FaultPlan events
+  kRepair,        // b = fault version; control plane reconverged
 };
 
 struct Event {

@@ -11,6 +11,10 @@ Link::Link(std::int32_t id, std::int32_t from_node, std::int32_t to_node,
 }
 
 void Link::enqueue(Simulator& sim, Packet pkt) {
+  if (!up_) {
+    ++dead_drops_;
+    return;
+  }
   if (!busy_) {
     start_transmission(sim, std::move(pkt));
     return;
@@ -37,6 +41,13 @@ void Link::start_transmission(Simulator& sim, Packet pkt) {
   // by later events); the dequeue event frees the transmitter.
   sim.schedule_packet(tx_done + cfg_.propagation, to_, std::move(pkt));
   sim.schedule(tx_done, EventType::kLinkDequeue, id_);
+}
+
+void Link::take_down() {
+  up_ = false;
+  expelled_ += queue_.size();
+  queue_.clear();
+  queued_bytes_ = 0;
 }
 
 void Link::on_dequeue(Simulator& sim) {

@@ -32,6 +32,16 @@ class Link {
   // kLinkDequeue handler: head packet finished serializing.
   void on_dequeue(Simulator& sim);
 
+  // Fault injection. A downed link expels its queued packets (counted in
+  // expelled()) and drops every subsequent enqueue (dead_drops()) until
+  // brought back up. A packet mid-serialization when the link fails is
+  // already committed to the wire and still arrives.
+  void take_down();
+  void bring_up() { up_ = true; }
+  [[nodiscard]] bool is_up() const { return up_; }
+  [[nodiscard]] std::uint64_t expelled() const { return expelled_; }
+  [[nodiscard]] std::uint64_t dead_drops() const { return dead_drops_; }
+
   [[nodiscard]] std::int32_t id() const { return id_; }
   [[nodiscard]] std::int32_t from_node() const { return from_; }
   [[nodiscard]] std::int32_t to_node() const { return to_; }
@@ -53,8 +63,11 @@ class Link {
   std::deque<Packet> queue_;
   Bytes queued_bytes_ = 0;
   bool busy_ = false;
+  bool up_ = true;
 
   std::uint64_t drops_ = 0;
+  std::uint64_t expelled_ = 0;
+  std::uint64_t dead_drops_ = 0;
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t packets_sent_ = 0;
   Bytes bytes_sent_ = 0;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.hpp"
+#include "fault/audit.hpp"
+#include "graph/algorithms.hpp"
+
 namespace flexnets::sim {
 
 PacketNetwork::PacketNetwork(const topo::Topology& topo,
@@ -49,6 +53,12 @@ PacketNetwork::PacketNetwork(const topo::Topology& topo,
   engine_ = std::make_unique<transport::DctcpEngine>(cfg_.transport, *this,
                                                      *router_);
 
+  if (cfg_.faults != nullptr) {
+    cfg_.faults->validate(topo_);
+    live_ = fault::LiveState(topo_);
+    comp_ = graph::connected_components(topo_.g).id;
+  }
+
   sim_.set_handler([this](const Event& e) { handle(e); });
 }
 
@@ -57,6 +67,14 @@ Link& PacketNetwork::out_link(std::int32_t from_node, std::int32_t to_node) {
   const auto it = std::lower_bound(
       v.begin(), v.end(), std::pair<std::int32_t, std::int32_t>{to_node, -1});
   assert(it != v.end() && it->first == to_node && "no such link");
+  if (cfg_.faults != nullptr) {
+    // Prefer a live link among parallels to the same neighbor; fall back to
+    // the first (down) one, whose enqueue counts the packet as lost.
+    for (auto jt = it; jt != v.end() && jt->first == to_node; ++jt) {
+      Link& l = *links_[static_cast<std::size_t>(jt->second)];
+      if (l.is_up()) return l;
+    }
+  }
   return *links_[static_cast<std::size_t>(it->second)];
 }
 
@@ -82,9 +100,20 @@ void PacketNetwork::flow_completed(std::int32_t, TimeNs) {
 }
 
 void PacketNetwork::forward_at_switch(graph::NodeId sw, Packet pkt) {
-  const auto hops = forwarder_->candidates(sw, pkt);
+  auto hops = forwarder_->candidates(sw, pkt);
+  if (hops.empty() && sw != pkt.dst_tor &&
+      pkt.via_tor != graph::kInvalidNode) {
+    // The bounce point became unreachable after a repair; route the rest of
+    // the way directly toward the destination.
+    pkt.via_tor = graph::kInvalidNode;
+    hops = forwarder_->candidates(sw, pkt);
+  }
   if (hops.empty()) {
-    out_link(sw, pkt.dst_host).enqueue(sim_, std::move(pkt));
+    if (sw == pkt.dst_tor) {
+      out_link(sw, pkt.dst_host).enqueue(sim_, std::move(pkt));
+    } else {
+      drop_unroutable(sw, pkt);
+    }
     return;
   }
   graph::NodeId nh;
@@ -114,8 +143,15 @@ void PacketNetwork::handle(const Event& e) {
       break;
     case EventType::kPacketArrive:
       if (e.a < num_switches_) {
+        if (cfg_.faults != nullptr && !live_.switch_up(e.a)) {
+          ++stats_.expelled_packets;  // in-flight arrival at a dead switch
+          break;
+        }
         forward_at_switch(e.a, e.pkt);
       } else {
+        if (timeline_ != nullptr && !e.pkt.is_ack) {
+          timeline_->record(sim_.now(), e.pkt.payload);
+        }
         engine_->on_packet(e.pkt);
       }
       break;
@@ -133,9 +169,25 @@ void PacketNetwork::handle(const Event& e) {
           host_node(spec.src_server), host_node(spec.dst_server),
           tor_of_server_[spec.src_server], tor_of_server_[spec.dst_server],
           spec.size);
+      if (cfg_.faults != nullptr &&
+          !pair_connected(tor_of_server_[spec.src_server],
+                          tor_of_server_[spec.dst_server])) {
+        // Still opened (flow indices stay aligned with the spec list), but
+        // the endpoints cannot currently talk: abandon immediately.
+        engine_->abort_flow(id);
+        ++stats_.aborted_flows;
+        break;
+      }
       engine_->start(id);
       break;
     }
+    case EventType::kFault:
+      apply_fault(cfg_.faults->events()[static_cast<std::size_t>(e.a)]);
+      break;
+    case EventType::kRepair:
+      // Coalesced: only the repair scheduled by the latest fault rebuilds.
+      if (e.b == fault_version_) repair_routing();
+      break;
   }
 }
 
@@ -146,8 +198,119 @@ void PacketNetwork::run(const std::vector<workload::FlowSpec>& flows,
     sim_.schedule(flows[i].start, EventType::kFlowStart,
                   static_cast<std::int32_t>(i));
   }
+  if (cfg_.faults != nullptr) {
+    const auto& ev = cfg_.faults->events();
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      sim_.schedule(ev[i].time, EventType::kFault,
+                    static_cast<std::int32_t>(i));
+    }
+  }
   sim_.run(until);
   pending_flows_ = nullptr;
+}
+
+void PacketNetwork::apply_fault(const fault::FaultEvent& fe) {
+  live_.apply(fe);
+  if (fault::is_link_kind(fe.kind)) {
+    sync_links_of_edge(fe.id);
+  } else {
+    sync_links_of_switch(fe.id);
+  }
+  comp_ = graph::connected_components(live_.surviving_graph()).id;
+  ++fault_version_;
+  stats_.last_fault_time = sim_.now();
+  // Recovery events repair too: restored capacity re-enters the tables.
+  sim_.schedule(sim_.now() + cfg_.control_plane_delay, EventType::kRepair, 0,
+                fault_version_);
+}
+
+void PacketNetwork::sync_links_of_edge(graph::EdgeId e) {
+  const bool up = live_.edge_live(e);
+  for (const auto id : {2 * e, 2 * e + 1}) {
+    Link& l = *links_[static_cast<std::size_t>(id)];
+    if (up && !l.is_up()) {
+      l.bring_up();
+    } else if (!up && l.is_up()) {
+      l.take_down();
+    }
+  }
+}
+
+void PacketNetwork::sync_links_of_switch(graph::NodeId sw) {
+  for (const auto e : topo_.g.incident(sw)) sync_links_of_edge(e);
+  const bool up = live_.switch_up(sw);
+  const std::int32_t base = 2 * topo_.g.num_edges();
+  const int first = topo_.first_server_of_switch(sw);
+  for (int s = first; s < first + topo_.servers_per_switch[sw]; ++s) {
+    for (const auto id : {base + 2 * s, base + 2 * s + 1}) {
+      Link& l = *links_[static_cast<std::size_t>(id)];
+      if (up && !l.is_up()) {
+        l.bring_up();
+      } else if (!up && l.is_up()) {
+        l.take_down();
+      }
+    }
+  }
+}
+
+void PacketNetwork::repair_routing() {
+  live_graph_ = live_.surviving_graph();
+  // Rebuild toward every ToR: a dead ToR is isolated in the surviving
+  // graph, so its entries are empty everywhere and in-flight packets
+  // toward it drop as expelled rather than dangling on stale routes.
+  ecmp_ = routing::EcmpTable::build(live_graph_, topo_.tors());
+  if (ksp_ != nullptr) {
+    ksp_ = std::make_unique<routing::KspTable>(live_graph_,
+                                               cfg_.routing.ksp_k);
+    router_->set_ksp(ksp_.get());
+  }
+  const auto live_tors = live_.live_tors(topo_);
+  router_->set_via_candidates(live_tors);
+  ++stats_.repairs;
+  stats_.last_repair_time = sim_.now();
+  if (audit_enabled()) {
+    fault::audit_repaired_tables(topo_, live_, ecmp_, live_tors);
+  }
+  abort_doomed_flows();
+}
+
+bool PacketNetwork::pair_connected(graph::NodeId a, graph::NodeId b) const {
+  return live_.switch_up(a) && live_.switch_up(b) &&
+         comp_[static_cast<std::size_t>(a)] ==
+             comp_[static_cast<std::size_t>(b)];
+}
+
+void PacketNetwork::abort_doomed_flows() {
+  const auto n = static_cast<std::int32_t>(engine_->num_flows());
+  for (std::int32_t id = 0; id < n; ++id) {
+    const auto& f = engine_->flow(id);
+    if (f.completed || f.aborted) continue;
+    if (!pair_connected(f.route.src_tor, f.route.dst_tor)) {
+      engine_->abort_flow(id);
+      ++stats_.aborted_flows;
+    }
+  }
+}
+
+void PacketNetwork::drop_unroutable(graph::NodeId sw, const Packet& pkt) {
+  FLEXNETS_CHECK(cfg_.faults != nullptr, "no route from switch ", sw,
+                 " toward ToR ", pkt.dst_tor, " on a fault-free network");
+  if (pair_connected(sw, pkt.dst_tor)) {
+    ++stats_.blackhole_drops;  // dst is live and reachable: routing's fault
+    if (stats_.last_repair_time > stats_.last_fault_time) {
+      ++stats_.post_repair_blackholes;
+    }
+  } else {
+    ++stats_.expelled_packets;  // dst dead or partitioned away
+  }
+}
+
+PacketNetwork::FaultStats PacketNetwork::fault_stats() const {
+  FaultStats s = stats_;
+  for (const auto& l : links_) {
+    s.expelled_packets += l->expelled() + l->dead_drops();
+  }
+  return s;
 }
 
 std::uint64_t PacketNetwork::total_drops() const {

@@ -7,6 +7,9 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/live_state.hpp"
+#include "metrics/degradation.hpp"
 #include "routing/routing_table.hpp"
 #include "routing/strategy.hpp"
 #include "sim/link.hpp"
@@ -25,6 +28,13 @@ struct NetworkConfig {
   transport::DctcpConfig transport;
   routing::SourceRouteConfig routing;
   std::uint64_t seed = 1;
+
+  // Live fault injection: when non-null, the plan's events fire during
+  // run(); each one triggers a routing repair (ECMP/KSP rebuild on the
+  // surviving graph, VLB via re-selection over live ToRs)
+  // control_plane_delay later. The plan must outlive the network.
+  const fault::FaultPlan* faults = nullptr;
+  TimeNs control_plane_delay = 500 * kMicrosecond;
 };
 
 class PacketNetwork final : public transport::TransportEnv {
@@ -79,10 +89,42 @@ class PacketNetwork final : public transport::TransportEnv {
     return tor_of_server_[server];
   }
 
+  // Graceful-degradation accounting (meaningful when cfg.faults != null).
+  // "Blackhole" drops are the bad kind: a packet discarded for lack of a
+  // route even though its destination is live and reachable -- after the
+  // control plane reconverges there must be none. "Expelled" covers
+  // packets lost to the failure itself: flushed queues, enqueues onto a
+  // down link, arrivals at a dead switch, and drops toward destinations
+  // that are dead or partitioned away.
+  struct FaultStats {
+    std::uint64_t blackhole_drops = 0;
+    // Blackholes while the control plane was reconverged (every fault
+    // already repaired). The repair audit proves this stays 0.
+    std::uint64_t post_repair_blackholes = 0;
+    std::uint64_t expelled_packets = 0;
+    std::uint64_t aborted_flows = 0;  // endpoints mutually unreachable
+    std::uint64_t repairs = 0;
+    TimeNs last_fault_time = -1;
+    TimeNs last_repair_time = -1;
+  };
+  [[nodiscard]] FaultStats fault_stats() const;
+  [[nodiscard]] const fault::LiveState& live_state() const { return live_; }
+
+  // When set, every data packet delivered to a host NIC is recorded
+  // (delivered-throughput timeline). Must outlive run().
+  void set_timeline(metrics::ThroughputTimeline* t) { timeline_ = t; }
+
  private:
   void handle(const Event& e);
   Link& out_link(std::int32_t from_node, std::int32_t to_node);
   void forward_at_switch(graph::NodeId sw, Packet pkt);
+  void apply_fault(const fault::FaultEvent& fe);
+  void repair_routing();
+  void sync_links_of_edge(graph::EdgeId e);
+  void sync_links_of_switch(graph::NodeId sw);
+  void drop_unroutable(graph::NodeId sw, const Packet& pkt);
+  void abort_doomed_flows();
+  [[nodiscard]] bool pair_connected(graph::NodeId a, graph::NodeId b) const;
 
   const topo::Topology& topo_;
   NetworkConfig cfg_;
@@ -103,6 +145,14 @@ class PacketNetwork final : public transport::TransportEnv {
   const std::vector<workload::FlowSpec>* pending_flows_ = nullptr;
   std::vector<graph::NodeId> tor_of_server_;
   FlowOpener flow_opener_;
+
+  // Fault-injection state (engaged iff cfg_.faults != nullptr).
+  fault::LiveState live_;
+  graph::Graph live_graph_;  // owns the graph rebuilt tables reference
+  std::vector<int> comp_;    // component id per switch, tracks live_
+  std::uint64_t fault_version_ = 0;
+  FaultStats stats_;
+  metrics::ThroughputTimeline* timeline_ = nullptr;
 };
 
 }  // namespace flexnets::sim

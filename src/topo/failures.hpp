@@ -12,11 +12,34 @@
 
 namespace flexnets::topo {
 
+struct FailureOptions {
+  // When true (default), victims whose removal would disconnect the
+  // surviving switches are skipped, so fewer elements than requested may
+  // fail on sparse graphs. Opting out permits partitions -- downstream
+  // code must then handle unreachable pairs explicitly.
+  bool preserve_connectivity = true;
+  // with_failed_switches only: when false (default), switches hosting
+  // servers (ToRs) never fail.
+  bool allow_tor_failures = false;
+};
+
 // Returns a copy of `t` with up to floor(fraction * links) network links
 // removed, chosen uniformly at random but skipping any link whose removal
 // would disconnect the switch graph. Deterministic in `seed`. The actual
 // number removed can be lower on sparse graphs; check num_network_links().
 Topology with_failed_links(const Topology& t, double fraction,
                            std::uint64_t seed);
+// As above, honoring `opt` (e.g. a non-connectivity-preserving draw).
+Topology with_failed_links(const Topology& t, double fraction,
+                           std::uint64_t seed, const FailureOptions& opt);
+
+// Returns a copy of `t` with up to `count` switches failed. A failed
+// switch keeps its node id but loses every incident link and all of its
+// servers (it becomes an isolated, serverless node), so downstream code
+// indexed by switch id keeps working. With opt.preserve_connectivity the
+// surviving switches stay mutually connected. Deterministic in `seed`.
+Topology with_failed_switches(const Topology& t, int count,
+                              std::uint64_t seed,
+                              const FailureOptions& opt = {});
 
 }  // namespace flexnets::topo

@@ -86,7 +86,7 @@ void DctcpEngine::handle_data(std::int32_t id, Flow& f,
   ack.dst_host = f.src_host;
   env_.inject(f.dst_host, std::move(ack));
 
-  if (!f.completed && f.size_final && f.rcv_nxt >= f.size) {
+  if (!f.completed && !f.aborted && f.size_final && f.rcv_nxt >= f.size) {
     f.completed = true;
     f.completion_time = env_.now();
     env_.flow_completed(id, env_.now());
@@ -113,6 +113,15 @@ void DctcpEngine::extend_flow(std::int32_t flow_id, Bytes extra, bool final) {
     return;
   }
   try_send(flow_id, f);
+}
+
+void DctcpEngine::abort_flow(std::int32_t flow_id) {
+  Flow& f = flows_[flow_id];
+  if (f.completed || f.aborted) return;
+  f.aborted = true;
+  f.sender_done = true;
+  ++f.timer_gen;  // cancels the outstanding RTO
+  if (f.snd_nxt == 0) f.start_time = env_.now();
 }
 
 void DctcpEngine::enter_window_update(Flow& f) {

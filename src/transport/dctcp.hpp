@@ -94,6 +94,7 @@ class DctcpEngine {
     Bytes rcv_nxt = 0;
     std::map<Bytes, Bytes> ooo;  // out-of-order [start, end) segments
     bool completed = false;
+    bool aborted = false;  // see abort_flow()
 
     // Counters.
     std::uint64_t data_packets_sent = 0;
@@ -116,6 +117,14 @@ class DctcpEngine {
   // Grows a non-final flow by `extra` bytes; `final` closes it (no further
   // extensions). Resumes a sender that had drained its previous limit.
   void extend_flow(std::int32_t flow_id, Bytes extra, bool final);
+
+  // Permanently abandons a flow whose endpoints became mutually unreachable
+  // (live fault injection): stops sending and cancels the pending RTO so
+  // the doomed flow does not retransmit into a blackhole forever. The flow
+  // never completes (completion_time stays -1). A flow aborted before its
+  // first transmission records start_time = now so FCT windows still
+  // account for it.
+  void abort_flow(std::int32_t flow_id);
 
   // Observers (used by MPTCP): `on_progress` fires on every new cumulative
   // ACK at the sender; `on_complete` when the receiver has all bytes of a

@@ -1,0 +1,318 @@
+// Live fault injection (src/fault): plan generation / serialization,
+// LiveState bookkeeping, the repaired-tables audit, and both engines
+// running through failures -- including the same-seed determinism digests
+// with an active fault plan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fault/audit.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/live_state.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "metrics/degradation.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/network.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  CheckPolicyScope policy_{CheckPolicy::kThrow};
+};
+
+topo::NodeId tor_of(const topo::Topology& t, int server) {
+  for (topo::NodeId sw = 0; sw < t.num_switches(); ++sw) {
+    const int first = t.first_server_of_switch(sw);
+    if (server >= first && server < first + t.servers_per_switch[sw]) {
+      return sw;
+    }
+  }
+  return graph::kInvalidNode;
+}
+
+fault::RandomFaultOptions window_opt(int links, int switches) {
+  fault::RandomFaultOptions opt;
+  opt.link_failures = links;
+  opt.switch_failures = switches;
+  opt.window_begin = 1 * kMillisecond;
+  opt.window_end = 5 * kMillisecond;
+  opt.repair_after = 3 * kMillisecond;
+  return opt;
+}
+
+TEST_F(FaultTest, RandomPlanIsDeterministicInSeed) {
+  const auto x = topo::xpander(3, 4, 2, 1);
+  const auto opt = window_opt(3, 0);
+  const auto a = fault::FaultPlan::random(x.topo, opt, 11);
+  const auto b = fault::FaultPlan::random(x.topo, opt, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.events().size(), 6u);  // 3 downs + 3 ups
+  a.validate(x.topo);
+  const auto c = fault::FaultPlan::random(x.topo, opt, 12);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(FaultTest, RandomPlanPairsEveryFailureWithItsRecovery) {
+  const auto ft = topo::fat_tree(4);
+  const auto plan = fault::FaultPlan::random(ft.topo, window_opt(2, 1), 5);
+  int downs = 0;
+  int ups = 0;
+  for (const auto& e : plan.events()) {
+    (fault::is_down_kind(e.kind) ? downs : ups)++;
+    EXPECT_GE(e.time, 1 * kMillisecond);
+    EXPECT_LE(e.time, 5 * kMillisecond + 3 * kMillisecond);
+  }
+  EXPECT_EQ(downs, 3);
+  EXPECT_EQ(ups, 3);
+  // The fat-tree has serverless aggregation/core switches, so the switch
+  // victim is honored even without allow_tor_failures.
+  EXPECT_TRUE(std::any_of(plan.events().begin(), plan.events().end(),
+                          [](const fault::FaultEvent& e) {
+                            return e.kind == fault::FaultKind::kSwitchDown;
+                          }));
+}
+
+TEST_F(FaultTest, RandomPlanSkipsTorsUnlessAllowed) {
+  // Every Xpander switch hosts servers: no switch may fail by default.
+  const auto x = topo::xpander(3, 4, 2, 1);
+  auto opt = window_opt(0, 2);
+  const auto none = fault::FaultPlan::random(x.topo, opt, 9);
+  EXPECT_TRUE(none.empty());
+  opt.allow_tor_failures = true;
+  const auto some = fault::FaultPlan::random(x.topo, opt, 9);
+  EXPECT_EQ(some.events().size(), 4u);
+}
+
+TEST_F(FaultTest, SerializeParseRoundTrip) {
+  const auto ft = topo::fat_tree(4);
+  const auto plan = fault::FaultPlan::random(ft.topo, window_opt(2, 1), 42);
+  ASSERT_FALSE(plan.empty());
+  const auto back = fault::FaultPlan::parse(plan.serialize());
+  EXPECT_EQ(plan, back);
+  back.validate(ft.topo);
+}
+
+TEST_F(FaultTest, ParseRejectsGarbageAndUnsortedInput) {
+  EXPECT_THROW(fault::FaultPlan::parse("12 link-down"), CheckFailure);
+  EXPECT_THROW(fault::FaultPlan::parse("12 meteor-strike 3"), CheckFailure);
+  EXPECT_THROW(
+      fault::FaultPlan::parse("2000 link-down 1\n1000 link-up 1\n"),
+      CheckFailure);
+}
+
+TEST_F(FaultTest, ValidateRejectsDoubleDownAndBadIds) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  const fault::FaultPlan twice({{100, fault::FaultKind::kLinkDown, 0},
+                                {200, fault::FaultKind::kLinkDown, 0}});
+  EXPECT_THROW(twice.validate(x.topo), CheckFailure);
+  const fault::FaultPlan up_first({{100, fault::FaultKind::kSwitchUp, 2}});
+  EXPECT_THROW(up_first.validate(x.topo), CheckFailure);
+  const fault::FaultPlan bad_id(
+      {{100, fault::FaultKind::kLinkDown, 1 << 20}});
+  EXPECT_THROW(bad_id.validate(x.topo), CheckFailure);
+}
+
+TEST_F(FaultTest, LiveStateTracksEdgesSwitchesAndSurvivors) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  fault::LiveState live(x.topo);
+  EXPECT_FALSE(live.any_fault());
+
+  live.apply({0, fault::FaultKind::kLinkDown, 0});
+  EXPECT_FALSE(live.edge_live(0));
+  EXPECT_EQ(live.surviving_graph().num_edges(), x.topo.g.num_edges() - 1);
+
+  const auto victim = x.topo.g.edge(5).a;
+  live.apply({0, fault::FaultKind::kSwitchDown, victim});
+  EXPECT_FALSE(live.switch_up(victim));
+  for (const auto e : x.topo.g.incident(victim)) {
+    EXPECT_FALSE(live.edge_live(e));
+  }
+  const auto tors = live.live_tors(x.topo);
+  EXPECT_EQ(std::count(tors.begin(), tors.end(), victim), 0);
+
+  // Redundant transitions are plan bugs, not no-ops.
+  EXPECT_THROW(live.apply({0, fault::FaultKind::kLinkDown, 0}), CheckFailure);
+  live.apply({0, fault::FaultKind::kLinkUp, 0});
+  live.apply({0, fault::FaultKind::kSwitchUp, victim});
+  EXPECT_FALSE(live.any_fault());
+}
+
+TEST_F(FaultTest, RepairAuditAcceptsRepairedAndRejectsStaleTables) {
+  const auto x = topo::xpander(3, 4, 2, 1);
+  fault::LiveState live(x.topo);
+  live.apply({0, fault::FaultKind::kLinkDown, 0});
+  live.apply({0, fault::FaultKind::kLinkDown, 7});
+  const auto tors = live.live_tors(x.topo);
+
+  const auto repaired =
+      routing::EcmpTable::build(live.surviving_graph(), tors);
+  EXPECT_NO_THROW(fault::audit_repaired_tables(x.topo, live, repaired, tors));
+
+  // Tables built on the pre-fault graph still route across the dead links.
+  const auto stale = routing::EcmpTable::build(x.topo.g, tors);
+  EXPECT_THROW(fault::audit_repaired_tables(x.topo, live, stale, tors),
+               CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Engines under live faults.
+
+class FaultedEnginesTest : public FaultTest {
+ protected:
+  FaultedEnginesTest() : x_(topo::xpander(3, 3, 2, 1)) {}
+
+  std::vector<workload::FlowSpec> crossing_flows() const {
+    // One flow per server to the diagonally opposite server: plenty of
+    // traffic crossing whichever links the plan kills. 4MB at 10G shared
+    // links keeps every flow alive well past the 1-5ms failure window.
+    std::vector<workload::FlowSpec> flows;
+    const int n = x_.topo.num_servers();
+    for (int s = 0; s < n; ++s) {
+      flows.push_back({s * kMicrosecond, s, (s + n / 2) % n, 4 * kMB});
+    }
+    return flows;
+  }
+
+  AuditScope audit_{true};
+  topo::Xpander x_;
+};
+
+TEST_F(FaultedEnginesTest, PacketDigestIdenticalAcrossSameSeedFaultedRuns) {
+  const auto plan =
+      fault::FaultPlan::random(x_.topo, window_opt(2, 0), 3);
+  ASSERT_FALSE(plan.empty());
+  auto run_once = [&]() {
+    sim::NetworkConfig cfg;
+    cfg.faults = &plan;
+    cfg.control_plane_delay = 200 * kMicrosecond;
+    cfg.seed = 7;
+    sim::PacketNetwork net(x_.topo, cfg);
+    net.run(crossing_flows());
+    const auto stats = net.fault_stats();
+    EXPECT_GT(stats.repairs, 0u);
+    EXPECT_EQ(stats.post_repair_blackholes, 0u);
+    return net.simulator().event_digest();
+  };
+  const auto d1 = run_once();
+  const auto d2 = run_once();
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1, Digest{}.value());
+}
+
+TEST_F(FaultedEnginesTest, PacketFlowsCompleteThroughFailureAndRecovery) {
+  const auto plan =
+      fault::FaultPlan::random(x_.topo, window_opt(2, 0), 3);
+  sim::NetworkConfig cfg;
+  cfg.faults = &plan;
+  cfg.seed = 7;
+  metrics::ThroughputTimeline timeline(kMillisecond);
+  sim::PacketNetwork net(x_.topo, cfg);
+  net.set_timeline(&timeline);
+  net.run(crossing_flows());
+  const auto n = static_cast<std::int32_t>(net.engine().num_flows());
+  for (std::int32_t id = 0; id < n; ++id) {
+    EXPECT_TRUE(net.engine().flow(id).completed) << "flow " << id;
+  }
+  const auto stats = net.fault_stats();
+  EXPECT_EQ(stats.aborted_flows, 0u);  // connectivity-preserving plan
+  EXPECT_EQ(stats.post_repair_blackholes, 0u);
+  EXPECT_GT(stats.repairs, 0u);
+  const auto series = timeline.series(10 * kMillisecond);
+  EXPECT_GT(metrics::mean_gbps(series, 0, 10 * kMillisecond), 0.0);
+}
+
+TEST_F(FaultedEnginesTest, PermanentTorFailureAbortsDoomedFlows) {
+  // Kill one ToR (every Xpander switch is one) with no recovery: flows
+  // touching its servers must be aborted, everyone else completes.
+  const auto victim = x_.topo.tors().front();
+  const fault::FaultPlan plan(
+      {{2 * kMillisecond, fault::FaultKind::kSwitchDown, victim}});
+  sim::NetworkConfig cfg;
+  cfg.faults = &plan;
+  cfg.seed = 7;
+  sim::PacketNetwork net(x_.topo, cfg);
+  net.run(crossing_flows(), 100 * kMillisecond);
+  const auto stats = net.fault_stats();
+  EXPECT_GT(stats.aborted_flows, 0u);
+  EXPECT_EQ(stats.post_repair_blackholes, 0u);
+  int incomplete = 0;
+  const auto n = static_cast<std::int32_t>(net.engine().num_flows());
+  for (std::int32_t id = 0; id < n; ++id) {
+    const auto& f = net.engine().flow(id);
+    if (!f.completed) {
+      ++incomplete;
+      const bool touches_victim = f.route.src_tor == victim ||
+                                  f.route.dst_tor == victim;
+      EXPECT_TRUE(touches_victim || f.aborted) << "flow " << id;
+    }
+  }
+  EXPECT_GT(incomplete, 0);
+}
+
+TEST_F(FaultedEnginesTest, FlowsimDigestIdenticalAcrossSameSeedFaultedRuns) {
+  const auto plan =
+      fault::FaultPlan::random(x_.topo, window_opt(2, 0), 3);
+  auto run_once = [&]() {
+    flowsim::FlowSimConfig cfg;
+    cfg.faults = &plan;
+    cfg.control_plane_delay = 200 * kMicrosecond;
+    cfg.seed = 5;
+    flowsim::FlowLevelSimulator sim(x_.topo, cfg);
+    const auto recs = sim.run(crossing_flows());
+    for (const auto& r : recs) EXPECT_TRUE(r.completed());
+    return sim.last_run_digest();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(FaultedEnginesTest, FlowsimFaultEpochsChangeCompletionTimes) {
+  flowsim::FlowSimConfig cfg;
+  cfg.seed = 5;
+  flowsim::FlowLevelSimulator clean(x_.topo, cfg);
+  const auto baseline = clean.run(crossing_flows());
+
+  const auto plan =
+      fault::FaultPlan::random(x_.topo, window_opt(3, 0), 3);
+  cfg.faults = &plan;
+  flowsim::FlowLevelSimulator faulted_sim(x_.topo, cfg);
+  const auto faulted = faulted_sim.run(crossing_flows());
+
+  ASSERT_EQ(baseline.size(), faulted.size());
+  bool any_later = false;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_TRUE(faulted[i].completed());
+    if (faulted[i].end > baseline[i].end) any_later = true;
+  }
+  EXPECT_TRUE(any_later);  // stalls must cost someone time
+}
+
+TEST_F(FaultedEnginesTest, FlowsimPermanentTorFailureLeavesFlowsIncomplete) {
+  const auto victim = x_.topo.tors().front();
+  const fault::FaultPlan plan(
+      {{1 * kMillisecond, fault::FaultKind::kSwitchDown, victim}});
+  flowsim::FlowSimConfig cfg;
+  cfg.faults = &plan;
+  cfg.seed = 5;
+  flowsim::FlowLevelSimulator sim(x_.topo, cfg);
+  const auto recs = sim.run(crossing_flows());
+  const auto flows = crossing_flows();
+  int incomplete = 0;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (!recs[i].completed()) {
+      ++incomplete;
+      EXPECT_TRUE(tor_of(x_.topo, flows[i].src_server) == victim ||
+                  tor_of(x_.topo, flows[i].dst_server) == victim);
+    }
+  }
+  EXPECT_GT(incomplete, 0);
+}
+
+}  // namespace
+}  // namespace flexnets

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # One offline correctness gate for flexnets:
 #   1. tier-1: default configure, build, full ctest
-#   2. lint:   tools/lint_flexnets.py self-test + src/ scan
-#   3. asan-ubsan preset: rebuild and rerun the full suite under
+#   2. fault:  the live fault-injection suite (`ctest -L fault`) and the
+#      bench_failures_live smoke run (dip + reconvergence + zero
+#      post-repair blackholes acceptance checks)
+#   3. lint:   tools/lint_flexnets.py self-test + src/ scan
+#   4. asan-ubsan preset: rebuild and rerun the full suite under
 #      AddressSanitizer + UndefinedBehaviorSanitizer (-Werror on)
-#   4. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
+#   5. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
 #      invariant audits (event ordering, LP feasibility/conservation,
-#      routing-table sanity, determinism digests)
+#      routing-table sanity, repaired-routing liveness, determinism
+#      digests)
 #
 # clang-tidy is run only if installed; its absence is not a failure
 # (the container image ships gcc only — .clang-tidy is still the config
 # of record for environments that have it).
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast   skip the asan-ubsan rebuild (steps 1, 2, 4 only)
+#   --fast   skip the asan-ubsan rebuild (steps 1, 2, 3, 5 only)
 
 set -euo pipefail
 
@@ -33,6 +37,12 @@ cmake --build build -j "$JOBS"
 
 step "tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+step "fault suite: ctest -L fault"
+ctest --test-dir build -L fault --output-on-failure -j "$JOBS"
+
+step "live-failure smoke: bench_failures_live"
+./build/bench/bench_failures_live
 
 step "lint: rule self-test + src/ scan"
 python3 tools/lint_flexnets.py --self-test
