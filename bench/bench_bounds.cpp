@@ -17,9 +17,10 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Bounds validation",
                 "measured throughput vs path-length bound vs bisection proxy");
+  const int threads = bench::parse_threads(argc, argv);
 
   struct Entry {
     std::string label;
@@ -33,17 +34,30 @@ int main() {
   entries.push_back({"longhop 64x7", topo::long_hop(6, 1, 6)});
   entries.push_back({"dragonfly a4h2", topo::dragonfly(4, 2, 3).topo});
 
+  struct Row {
+    double measured = 0.0;
+    double bound = 0.0;
+    double bisection = 0.0;
+  };
+  const auto rows =
+      bench::run_grid(entries.size(), threads, [&](std::size_t i) {
+        const auto& e = entries[i];
+        const auto active = flow::pick_active_racks(
+            e.t, static_cast<int>(e.t.tors().size()), 1);
+        const auto tm = flow::longest_matching_tm(e.t, active);
+        return Row{flow::per_server_throughput(e.t, tm, {0.06}),
+                   flow::path_length_upper_bound(e.t, tm),
+                   flow::bisection_per_server(e.t)};
+      });
+
   TextTable t({"topology", "measured_tput", "pathlen_bound",
                "bound/measured", "bisection_per_srv"});
-  for (const auto& e : entries) {
-    const auto active = flow::pick_active_racks(
-        e.t, static_cast<int>(e.t.tors().size()), 1);
-    const auto tm = flow::longest_matching_tm(e.t, active);
-    const double measured = flow::per_server_throughput(e.t, tm, {0.06});
-    const double bound = flow::path_length_upper_bound(e.t, tm);
-    t.add_row({e.label, TextTable::fmt(measured, 3), TextTable::fmt(bound, 3),
-               TextTable::fmt(measured > 0 ? bound / measured : 0.0, 2),
-               TextTable::fmt(flow::bisection_per_server(e.t), 3)});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& r = rows[i];
+    t.add_row({entries[i].label, TextTable::fmt(r.measured, 3),
+               TextTable::fmt(r.bound, 3),
+               TextTable::fmt(r.measured > 0 ? r.bound / r.measured : 0.0, 2),
+               TextTable::fmt(r.bisection, 3)});
   }
   t.print();
   std::printf(

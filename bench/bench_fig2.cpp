@@ -8,9 +8,10 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 2",
                 "throughput proportionality vs fat-tree inflexibility");
+  const int threads = bench::parse_threads(argc, argv);
 
   // Section 2.1's running example: a k=64 fat-tree oversubscribed to 50%.
   const flow::FatTreeModel ft{64, 0.5};
@@ -21,9 +22,21 @@ int main() {
       "pods holding only %.1f%% of servers is stuck at %.0f%% throughput.\n\n",
       100.0 * ft.beta(), 100.0 * alpha);
 
-  TextTable t({"fraction_x", "throughput_proportional", "fat_tree"});
+  std::vector<double> xs;
   for (double x = 0.01; x <= 1.0 + 1e-9; x += (x < 0.1 ? 0.01 : 0.05)) {
-    t.add_row({x, flow::tp_curve(alpha, x), ft.throughput(x)}, 4);
+    xs.push_back(x);
+  }
+  struct Row {
+    double tp = 0.0;
+    double ft = 0.0;
+  };
+  const auto rows = bench::run_grid(xs.size(), threads, [&](std::size_t i) {
+    return Row{flow::tp_curve(alpha, xs[i]), ft.throughput(xs[i])};
+  });
+
+  TextTable t({"fraction_x", "throughput_proportional", "fat_tree"});
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    t.add_row({xs[i], rows[i].tp, rows[i].ft}, 4);
   }
   t.print();
   std::printf(

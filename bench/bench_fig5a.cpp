@@ -20,10 +20,11 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 5(a)",
                 "throughput proportionality / dynamic models vs SlimFly and "
                 "Jellyfish");
+  const int threads = bench::parse_threads(argc, argv);
 
   const bool full = core::repro_full();
   const int q = full ? 13 : 5;  // q=17 (paper) is feasible but hours-long on one core
@@ -39,8 +40,13 @@ int main() {
 
   core::FluidSweepOptions opts;
   opts.eps = full ? 0.12 : 0.07;
-  const auto jf_series = core::fluid_sweep(jf, opts);
-  const auto sf_series = core::fluid_sweep(sf.topo, opts);
+  opts.threads = threads;
+  // The topology grid runs on the same pool the per-topology sweeps share.
+  const topo::Topology* grid[] = {&jf, &sf.topo};
+  const auto sweeps = bench::run_grid(
+      2, threads, [&](std::size_t i) { return core::fluid_sweep(*grid[i], opts); });
+  const auto& jf_series = sweeps[0];
+  const auto& sf_series = sweeps[1];
   const double alpha = jf_series.back().throughput;  // x = 1.0 anchor
 
   // Equal-cost fat-tree (analytic): same port budget supporting the same

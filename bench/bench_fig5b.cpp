@@ -12,10 +12,11 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 5(b)",
                 "throughput proportionality / dynamic models vs LongHop and "
                 "Jellyfish");
+  const int threads = bench::parse_threads(argc, argv);
 
   const bool full = core::repro_full();
   const int dim = full ? 9 : 6;
@@ -31,8 +32,12 @@ int main() {
 
   core::FluidSweepOptions opts;
   opts.eps = full ? 0.12 : 0.07;
-  const auto jf_series = core::fluid_sweep(jf, opts);
-  const auto lh_series = core::fluid_sweep(lh, opts);
+  opts.threads = threads;
+  const topo::Topology* grid[] = {&jf, &lh};
+  const auto sweeps = bench::run_grid(
+      2, threads, [&](std::size_t i) { return core::fluid_sweep(*grid[i], opts); });
+  const auto& jf_series = sweeps[0];
+  const auto& lh_series = sweeps[1];
   const double alpha = jf_series.back().throughput;
 
   const int ports = lh.num_switches() * net_ports;

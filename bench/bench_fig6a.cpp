@@ -12,9 +12,10 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 6(a)",
                 "Jellyfish at 80/50/40% of a full fat-tree's switches");
+  const int threads = bench::parse_threads(argc, argv);
 
   const bool full = core::repro_full();
   const int k = full ? 20 : 8;
@@ -27,15 +28,31 @@ int main() {
   core::FluidSweepOptions opts;
   opts.eps = full ? 0.12 : 0.07;
 
-  std::vector<std::vector<core::FluidPoint>> series;
-  std::vector<std::string> labels;
-  for (const double frac : {0.8, 0.5, 0.4}) {
+  opts.threads = threads;
+  const std::vector<double> fracs = {0.8, 0.5, 0.4};
+  struct Cell {
+    std::vector<core::FluidPoint> sweep;
+    std::string label;
+    std::string info;
+  };
+  const auto cells = bench::run_grid(fracs.size(), threads, [&](std::size_t i) {
+    const double frac = fracs[i];
     const int n = static_cast<int>(frac * switches);
     const auto jf = topo::jellyfish_same_equipment(n, k, servers, 1);
-    series.push_back(core::fluid_sweep(jf, opts));
-    labels.push_back(TextTable::fmt(100 * frac, 0) + "%_fat_switches");
-    std::printf("  %s: %d switches of radix %d, %d servers\n",
-                jf.name.c_str(), n, k, servers);
+    Cell c;
+    c.sweep = core::fluid_sweep(jf, opts);
+    c.label = TextTable::fmt(100 * frac, 0) + "%_fat_switches";
+    c.info = "  " + jf.name + ": " + std::to_string(n) +
+             " switches of radix " + std::to_string(k) + ", " +
+             std::to_string(servers) + " servers";
+    return c;
+  });
+  std::vector<std::vector<core::FluidPoint>> series;
+  std::vector<std::string> labels;
+  for (const auto& c : cells) {
+    series.push_back(c.sweep);
+    labels.push_back(c.label);
+    std::printf("%s\n", c.info.c_str());
   }
   std::printf("\n");
 

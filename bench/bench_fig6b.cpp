@@ -11,9 +11,10 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 6(b)",
                 "Jellyfish with a fat-tree's switches and 2x its servers");
+  const int threads = bench::parse_threads(argc, argv);
 
   const bool full = core::repro_full();
   const std::vector<int> ks = full ? std::vector<int>{12, 24, 36}
@@ -21,19 +22,33 @@ int main() {
 
   core::FluidSweepOptions opts;
   opts.eps = full ? 0.12 : 0.07;
+  opts.threads = threads;
 
-  std::vector<std::vector<core::FluidPoint>> series;
-  std::vector<std::string> labels;
-  for (const int k : ks) {
+  struct Cell {
+    std::vector<core::FluidPoint> sweep;
+    std::string info;
+  };
+  const auto cells = bench::run_grid(ks.size(), threads, [&](std::size_t i) {
+    const int k = ks[i];
     const auto ft = topo::fat_tree(k);
     const int servers = 2 * ft.topo.num_servers();
     const auto jf = topo::jellyfish_same_equipment(ft.topo.num_switches(), k,
                                                    servers, 1);
-    std::printf("  k=%d: %d switches of radix %d, %d servers (fat-tree: %d)\n",
-                k, ft.topo.num_switches(), k, servers,
-                ft.topo.num_servers());
-    series.push_back(core::fluid_sweep(jf, opts));
-    labels.push_back("k=" + std::to_string(k));
+    Cell c;
+    c.sweep = core::fluid_sweep(jf, opts);
+    c.info = "  k=" + std::to_string(k) + ": " +
+             std::to_string(ft.topo.num_switches()) + " switches of radix " +
+             std::to_string(k) + ", " + std::to_string(servers) +
+             " servers (fat-tree: " + std::to_string(ft.topo.num_servers()) +
+             ")";
+    return c;
+  });
+  std::vector<std::vector<core::FluidPoint>> series;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::printf("%s\n", cells[i].info.c_str());
+    series.push_back(cells[i].sweep);
+    labels.push_back("k=" + std::to_string(ks[i]));
   }
   std::printf("\n");
 

@@ -1,6 +1,8 @@
 #include "util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "topo/xpander.hpp"
 
@@ -10,6 +12,28 @@ void banner(const std::string& figure, const std::string& description) {
   std::printf("=== %s — %s ===\n", figure.c_str(), description.c_str());
   std::printf("scale: %s (set REPRO_FULL=1 for paper-scale parameters)\n\n",
               core::repro_full() ? "PAPER-SCALE" : "scaled-down default");
+}
+
+int parse_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else {
+      continue;
+    }
+    const int n = std::atoi(value);
+    if (n <= 0) {
+      std::fprintf(stderr,
+                   "error: --threads wants a positive integer, got '%s'\n",
+                   value);
+      std::exit(2);
+    }
+    return n;
+  }
+  return 0;  // auto: FLEXNETS_THREADS env, else hardware_concurrency
 }
 
 std::string health_note(const core::PacketResult& r) {

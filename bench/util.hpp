@@ -1,11 +1,14 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
 #include "routing/strategy.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/topology.hpp"
@@ -16,6 +19,25 @@ namespace flexnets::bench {
 // regenerates and whether it runs at paper scale (REPRO_FULL=1) or the
 // scaled-down default.
 void banner(const std::string& figure, const std::string& description);
+
+// Parses `--threads N` / `--threads=N` from a bench binary's argv.
+// Returns 0 when absent, meaning auto (FLEXNETS_THREADS env, else
+// hardware_concurrency — core::resolve_threads). Exits with usage on a
+// malformed value so a typo cannot silently serialize a long run.
+int parse_threads(int argc, char** argv);
+
+// Evaluates fn(i) for each of the n grid cells on `threads` workers
+// (core::run_indexed semantics) and returns the results in index order.
+// fn must depend only on its index, so the grid's output is independent
+// of thread count and scheduling.
+template <typename F,
+          typename T = std::invoke_result_t<std::decay_t<F>, std::size_t>>
+std::vector<T> run_grid(std::size_t n, int threads, F&& fn) {
+  std::vector<T> out(n);
+  core::run_indexed(
+      n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
 
 // Formats a PacketResult row note (drops / incomplete counts) for sanity.
 std::string health_note(const core::PacketResult& r);

@@ -1,0 +1,103 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace flexnets {
+
+namespace {
+
+// The pool whose task this thread is currently running (nullptr outside
+// task execution). Saved/restored around every task so helping — a waiter
+// running queued tasks inline — nests correctly.
+thread_local ThreadPool* tls_current_pool = nullptr;
+
+class CurrentPoolScope {
+ public:
+  explicit CurrentPoolScope(ThreadPool* p) : prev_(tls_current_pool) {
+    tls_current_pool = p;
+  }
+  ~CurrentPoolScope() { tls_current_pool = prev_; }
+  CurrentPoolScope(const CurrentPoolScope&) = delete;
+  CurrentPoolScope& operator=(const CurrentPoolScope&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // Workers only exit once the queue is empty, so every submitted task has
+  // run and published its result (or exception) by this point.
+  FLEXNETS_CHECK(queue_.empty(), "thread pool destroyed with ",
+                 queue_.size(), " undrained task(s)");
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FLEXNETS_CHECK(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  CurrentPoolScope scope(this);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    CurrentPoolScope scope(this);
+    task();
+  }
+}
+
+bool ThreadPool::on_worker_thread() noexcept {
+  return tls_current_pool != nullptr;
+}
+
+ThreadPool* ThreadPool::current() noexcept { return tls_current_pool; }
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("FLEXNETS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace flexnets

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/digest.hpp"
+#include "common/rng.hpp"
+#include "core/parallel.hpp"
 #include "flow/tm_generators.hpp"
 
 namespace flexnets::core {
@@ -10,32 +13,51 @@ namespace flexnets::core {
 std::vector<FluidPoint> fluid_sweep(const topo::Topology& topo,
                                     const FluidSweepOptions& opts) {
   const auto tors = topo.tors();
-  std::vector<FluidPoint> out;
-  out.reserve(opts.fractions.size());
-  for (const double x : opts.fractions) {
-    const int count = std::clamp<int>(
-        static_cast<int>(std::llround(x * static_cast<double>(tors.size()))),
-        2, static_cast<int>(tors.size()));
-    const auto active = flow::pick_active_racks(topo, count, opts.seed);
+  // Shared read-only across all points; each point copies the base edge
+  // list and appends its own hose nodes (audited under FLEXNETS_AUDIT).
+  const auto cache = flow::build_throughput_cache(topo);
 
-    flow::TrafficMatrix tm;
-    switch (opts.family) {
-      case TmFamily::kLongestMatching:
-        tm = flow::longest_matching_tm(topo, active);
-        break;
-      case TmFamily::kRandomPermutation:
-        tm = flow::random_permutation_tm(topo, active, opts.seed);
-        break;
-      case TmFamily::kAllToAll:
-        tm = flow::all_to_all_tm(topo, active);
-        break;
-    }
-    FluidPoint p;
-    p.fraction = x;
-    p.throughput = flow::per_server_throughput(topo, tm, {opts.eps});
-    out.push_back(p);
-  }
+  std::vector<FluidPoint> out(opts.fractions.size());
+  run_indexed(
+      opts.fractions.size(),
+      [&](std::size_t i) {
+        const double x = opts.fractions[i];
+        // Sub-seed from (seed, index) only: a point's draw stream does not
+        // depend on which fractions precede it or on scheduling.
+        const std::uint64_t sub_seed = hash_words(opts.seed, i);
+        const int count = std::clamp<int>(
+            static_cast<int>(
+                std::llround(x * static_cast<double>(tors.size()))),
+            2, static_cast<int>(tors.size()));
+        const auto active = flow::pick_active_racks(topo, count, sub_seed);
+
+        flow::TrafficMatrix tm;
+        switch (opts.family) {
+          case TmFamily::kLongestMatching:
+            tm = flow::longest_matching_tm(topo, active);
+            break;
+          case TmFamily::kRandomPermutation:
+            tm = flow::random_permutation_tm(topo, active, sub_seed);
+            break;
+          case TmFamily::kAllToAll:
+            tm = flow::all_to_all_tm(topo, active);
+            break;
+        }
+        out[i].fraction = x;
+        out[i].throughput =
+            flow::per_server_throughput(topo, tm, {opts.eps}, cache);
+      },
+      opts.threads);
   return out;
+}
+
+std::uint64_t fluid_sweep_digest(const std::vector<FluidPoint>& points) {
+  Digest d;
+  for (const auto& p : points) {
+    d.mix_double(p.fraction);
+    d.mix_double(p.throughput);
+  }
+  return d.value();
 }
 
 }  // namespace flexnets::core

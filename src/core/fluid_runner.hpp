@@ -27,11 +27,23 @@ struct FluidSweepOptions {
   TmFamily family = TmFamily::kLongestMatching;
   double eps = 0.1;  // GK approximation parameter
   std::uint64_t seed = 1;
+  // Worker threads for the fraction points (core::resolve_threads
+  // semantics: 0 = FLEXNETS_THREADS env, else hardware_concurrency).
+  // Results are bit-identical for every value: each point draws from a
+  // sub-seed derived from (seed, point index) alone, never from a stream
+  // another point advanced (tests/parallel/test_parallel_equivalence.cpp).
+  int threads = 0;
 };
 
 // For each requested fraction x: activate x of the ToRs (random subset),
-// build the TM, and evaluate per-server throughput.
+// build the TM, and evaluate per-server throughput. Points are evaluated
+// concurrently on opts.threads workers; the returned vector is always in
+// opts.fractions order.
 std::vector<FluidPoint> fluid_sweep(const topo::Topology& topo,
                                     const FluidSweepOptions& opts);
+
+// Order-sensitive digest of a sweep's results (exact double bits), for
+// same-seed determinism comparisons across thread counts and runs.
+std::uint64_t fluid_sweep_digest(const std::vector<FluidPoint>& points);
 
 }  // namespace flexnets::core

@@ -1,0 +1,33 @@
+#include "core/parallel.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace flexnets::core {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  return ThreadPool::default_threads();
+}
+
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int threads) {
+  if (n == 0) return;
+  if (ThreadPool* outer = ThreadPool::current()) {
+    // Nested grid: reuse the pool already running us rather than spawning
+    // a second one. parallel_for_indexed's helping waiters make this safe
+    // even when every worker is blocked inside a nested grid.
+    parallel_for_indexed(*outer, n, fn);
+    return;
+  }
+  const int resolved = resolve_threads(threads);
+  if (resolved <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Deliberately not capped at n: nested grids share this pool, so a
+  // 2-cell outer grid over 10-point sweeps still wants all the workers.
+  ThreadPool pool(resolved);
+  parallel_for_indexed(pool, n, fn);
+}
+
+}  // namespace flexnets::core

@@ -1,0 +1,31 @@
+// Sweep driver for the embarrassingly parallel experiment grids (fluid
+// fraction sweeps, bench figure grids): evaluate n independent indexed
+// points on a worker pool.
+//
+// Determinism contract: a point's inputs must derive from (seed, index)
+// alone and its outputs must land in index-owned slots. Under that
+// contract — which core::fluid_sweep and bench::run_grid follow — results
+// are bit-identical for any thread count, so `--threads`/FLEXNETS_THREADS
+// is purely a wall-clock knob. tests/parallel/ asserts this.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace flexnets::core {
+
+// Worker count actually used for a request: an explicit requested > 0
+// wins, then FLEXNETS_THREADS from the environment, then
+// std::thread::hardware_concurrency(). Always >= 1.
+int resolve_threads(int requested = 0);
+
+// Evaluates fn(0..n-1), concurrently when the resolved thread count and n
+// both exceed 1. Blocks until every point is done; if any point throws,
+// the lowest-index exception is rethrown after all points finish. Nested
+// calls (fn itself calling run_indexed) share the outer call's pool — the
+// outer grid already owns the hardware, and helping waiters keep the
+// sharing deadlock-free.
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int threads = 0);
+
+}  // namespace flexnets::core

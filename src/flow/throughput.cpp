@@ -4,23 +4,60 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "common/check.hpp"
+#include "common/digest.hpp"
+
 namespace flexnets::flow {
 
+namespace {
+
+std::uint64_t topology_digest(const topo::Topology& t) {
+  Digest d;
+  d.mix(static_cast<std::uint64_t>(t.num_switches()));
+  for (const auto& e : t.g.edges()) {
+    d.mix(static_cast<std::uint64_t>(e.a));
+    d.mix(static_cast<std::uint64_t>(e.b));
+  }
+  return d.value();
+}
+
+}  // namespace
+
+ThroughputCache build_throughput_cache(const topo::Topology& t) {
+  ThroughputCache cache;
+  cache.num_switches = t.num_switches();
+  cache.base_edges.reserve(static_cast<std::size_t>(t.g.num_edges()) * 2);
+  for (const auto& e : t.g.edges()) {
+    cache.base_edges.push_back({e.a, e.b, 1.0});
+    cache.base_edges.push_back({e.b, e.a, 1.0});
+  }
+  cache.topo_digest = topology_digest(t);
+  return cache;
+}
+
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
-                             const ThroughputOptions& opts) {
+                             const ThroughputOptions& opts,
+                             const ThroughputCache& cache) {
+  if (audit_enabled()) {
+    // Stale-handoff audit: the cache must describe exactly the topology
+    // this evaluation runs on. Catches a sweep wiring the wrong (or a
+    // since-mutated) topology's cache into a point.
+    FLEXNETS_CHECK_EQ(cache.num_switches, t.num_switches(),
+                      "throughput cache built for a different topology");
+    FLEXNETS_CHECK_EQ(cache.base_edges.size(),
+                      static_cast<std::size_t>(t.g.num_edges()) * 2,
+                      "throughput cache edge count mismatch");
+    FLEXNETS_CHECK_EQ(cache.topo_digest, topology_digest(t),
+                      "throughput cache digest mismatch (stale handoff)");
+  }
   if (tm.commodities.empty()) return 0.0;
 
-  const int s = t.num_switches();
+  const int s = cache.num_switches;
   const auto out_d = tm.out_demand(s);
   const auto in_d = tm.in_demand(s);
 
-  std::vector<DirectedEdge> edges;
-  edges.reserve(static_cast<std::size_t>(t.g.num_edges()) * 2 +
-                tm.commodities.size() * 2);
-  for (const auto& e : t.g.edges()) {
-    edges.push_back({e.a, e.b, 1.0});
-    edges.push_back({e.b, e.a, 1.0});
-  }
+  std::vector<DirectedEdge> edges = cache.base_edges;
+  edges.reserve(edges.size() + tm.commodities.size() * 2);
 
   // Virtual hose nodes for racks with demand.
   int next_node = s;
@@ -42,6 +79,11 @@ double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
 
   const auto r = max_concurrent_flow(next_node, edges, commodities, opts.eps);
   return std::clamp(r.lambda, 0.0, 1.0);
+}
+
+double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
+                             const ThroughputOptions& opts) {
+  return per_server_throughput(t, tm, opts, build_throughput_cache(t));
 }
 
 double tp_curve(double alpha, double x) {

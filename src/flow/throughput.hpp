@@ -9,6 +9,9 @@
 // lambda, in [0, 1].
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "flow/mcf.hpp"
 #include "flow/traffic_matrix.hpp"
 #include "topo/topology.hpp"
@@ -22,6 +25,28 @@ struct ThroughputOptions {
 // Returns lambda in [0, 1]; 0 for an empty TM.
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
                              const ThroughputOptions& opts = {});
+
+// Shared read-only per-topology state for sweep drivers that evaluate many
+// TMs on one topology, possibly from several threads at once: the doubled
+// directed-edge list every GK instance starts from. Built once, then only
+// read — each evaluation copies it and appends its own virtual hose nodes,
+// so concurrent sweep points never share mutable state. `topo_digest`
+// fingerprints the topology it was built from; under FLEXNETS_AUDIT every
+// handoff is verified against the topology actually being evaluated, so a
+// sweep cannot silently reuse a cache across mismatched topologies.
+struct ThroughputCache {
+  int num_switches = 0;
+  std::vector<DirectedEdge> base_edges;
+  std::uint64_t topo_digest = 0;
+};
+
+ThroughputCache build_throughput_cache(const topo::Topology& t);
+
+// As above, but starts from a prebuilt cache for `t` (cheaper inside
+// sweeps, and the only state shared across concurrent points).
+double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
+                             const ThroughputOptions& opts,
+                             const ThroughputCache& cache);
 
 // The throughput-proportionality ideal (paper Fig 2): a TP network built at
 // worst-case throughput `alpha` achieves min(alpha / x, 1) when only an

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <random>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -66,6 +67,15 @@ int first_member() {
 
 // A keyed lookup must NOT fire unordered-iter:
 int keyed_ok(std::unordered_map<int, int>& m) { return m.at(3); }
+
+void adhoc_parallelism(int* out) {
+  std::thread worker([out] { *out = 1; });  // EXPECT-LINT: raw-thread
+  worker.join();
+  std::jthread modern([out] { *out = 2; });  // EXPECT-LINT: raw-thread
+}
+
+// Static member calls are fine anywhere (no thread is created):
+unsigned core_count() { return std::thread::hardware_concurrency(); }
 
 // Suppressed on purpose; must not fire.
 int suppressed() {

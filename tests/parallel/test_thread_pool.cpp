@@ -1,0 +1,130 @@
+// Property tests for the worker pool (common/thread_pool.hpp): every
+// submitted task runs exactly once, worker exceptions propagate to the
+// waiter, nested submission cannot deadlock (helping), and destruction
+// drains the queue before joining.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace flexnets {
+namespace {
+
+TEST(ThreadPool, AllTasksRunExactlyOnce) {
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> runs(kTasks);
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&runs, i] { ++runs[i]; }));
+  }
+  for (auto& f : futures) pool.wait_ready(f);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, SubmitReturnsTaskValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(pool.wait(std::move(f)), 42);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error("boom from worker"); });
+  try {
+    pool.wait(std::move(f));
+    FAIL() << "expected the worker's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from worker");
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_indexed(pool, 16, [&](std::size_t i) {
+      if (i == 3 || i == 7) {
+        throw std::runtime_error("point " + std::to_string(i));
+      }
+      ++completed;
+    });
+    FAIL() << "expected a point exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "point 3");
+  }
+  // Every non-throwing point still ran to completion first.
+  EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlockOnSingleWorker) {
+  // The hostile case: one worker, and the task it runs blocks on a child
+  // task that can only execute if the waiter helps.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 19; });
+    return pool.wait(std::move(inner)) + 23;
+  });
+  EXPECT_EQ(pool.wait(std::move(outer)), 42);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  parallel_for_indexed(pool, 4, [&](std::size_t) {
+    parallel_for_indexed(pool, 4, [&](std::size_t) { ++runs; });
+  });
+  EXPECT_EQ(runs.load(), 16);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  constexpr int kTasks = 200;
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&runs] { ++runs; });  // futures deliberately dropped
+    }
+  }  // destructor must wait for all 200, not just the in-flight ones
+  EXPECT_EQ(runs.load(), kTasks);
+}
+
+TEST(ThreadPool, CurrentPoolIsVisibleInsideTasksOnly) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return ThreadPool::current(); });
+  EXPECT_EQ(pool.wait(std::move(f)), &pool);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  if (std::getenv("FLEXNETS_THREADS") != nullptr) {
+    GTEST_SKIP() << "FLEXNETS_THREADS preset; not touching it";
+  }
+  setenv("FLEXNETS_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3);
+  setenv("FLEXNETS_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1);  // falls back to hardware
+  unsetenv("FLEXNETS_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+}
+
+TEST(ThreadPool, PoolSizeIsClampedPositive) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(pool.wait(std::move(f)), 1);
+}
+
+}  // namespace
+}  // namespace flexnets

@@ -7,7 +7,10 @@
 #   3. lint:   tools/lint_flexnets.py self-test + src/ scan
 #   4. asan-ubsan preset: rebuild and rerun the full suite under
 #      AddressSanitizer + UndefinedBehaviorSanitizer (-Werror on)
-#   5. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
+#   5. tsan preset: build the parallel determinism suite under
+#      ThreadSanitizer and run `ctest -L parallel` (thread pool contracts
+#      + parallel-vs-serial sweep bit-equality); any report is fatal
+#   6. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
 #      invariant audits (event ordering, LP feasibility/conservation,
 #      routing-table sanity, repaired-routing liveness, determinism
 #      digests)
@@ -17,7 +20,8 @@
 # of record for environments that have it).
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast   skip the asan-ubsan rebuild (steps 1, 2, 3, 5 only)
+#   --fast   skip the asan-ubsan rebuild (the tsan parallel gate and the
+#            other steps still run)
 
 set -euo pipefail
 
@@ -63,6 +67,14 @@ if [[ "$FAST" -eq 0 ]]; then
   cmake --build --preset asan-ubsan -j "$JOBS"
   ctest --preset asan-ubsan -j "$JOBS" --output-on-failure
 fi
+
+# Required gate: the parallel determinism suite must be race-free. Only
+# the suite's own target is built under TSan; `-L parallel` then skips
+# every other (unbuilt) test registration.
+step "tsan preset: parallel determinism suite"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS" --target flexnets_parallel_tests
+ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
 
 step "audited rerun: FLEXNETS_AUDIT=1 ctest"
 FLEXNETS_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"

@@ -17,6 +17,13 @@ int cmd_fluid(const Args& args) {
     std::fprintf(stderr, "error: --eps must be in (0, 0.5]\n");
     return 1;
   }
+  // 0 = auto (FLEXNETS_THREADS env, else hardware concurrency). Same-seed
+  // results are bit-identical for every thread count.
+  opts.threads = static_cast<int>(args.get_int("threads", 0));
+  if (opts.threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return 1;
+  }
 
   if (args.has("fractions")) {
     opts.fractions.clear();

@@ -43,6 +43,9 @@ void print_usage() {
       "  --fractions=0.2,0.5,1.0   active-rack fractions (default 5 steps)\n"
       "  --tm=longest-matching|permutation|a2a\n"
       "  --eps=0.07                GK accuracy\n"
+      "  --threads=N               sweep workers (0 = FLEXNETS_THREADS or\n"
+      "                            hardware concurrency; same-seed results\n"
+      "                            are identical for every N)\n"
       "\n"
       "sim command:\n"
       "  --engine=packet|flow     packet-level DCTCP or flow-level max-min\n"

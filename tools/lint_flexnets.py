@@ -21,6 +21,12 @@ Rules (see docs/ARCHITECTURE.md, "Correctness tooling"):
                  (routing tables, event schedules, output rows) loses
                  determinism. Keyed lookup is fine; iterate a sorted
                  container instead.
+  raw-thread     std::thread / std::jthread outside common/thread_pool.
+                 Ad-hoc threads bypass the pool's determinism contract
+                 (indexed work, seed-per-index), its exception
+                 propagation, and its drain-on-destruction guarantee;
+                 route parallel work through ThreadPool /
+                 core::run_indexed instead.
 
 Suppression: append  // flexnets-lint: allow(<rule>)  to the offending
 line. Use sparingly and say why.
@@ -129,6 +135,18 @@ TIME_FLOAT_EQ = [
 UNORDERED_RANGE_FOR = re.compile(r"for\s*\([^;)]*:\s*[^);]*unordered")
 UNORDERED_DECL = re.compile(r"\bstd::unordered_\w+\s*<[^;{}]*?>\s+(\w+)\s*[;({=]")
 
+# std::thread member calls like std::thread::hardware_concurrency() are
+# fine anywhere; constructing/declaring threads is what the rule bans.
+RAW_THREAD = [
+    re.compile(r"\bstd::j?thread\b(?!\s*::)"),
+]
+
+# The one sanctioned home for raw threads (see src/common/thread_pool.hpp).
+RAW_THREAD_EXEMPT_SUFFIXES = (
+    os.path.join("common", "thread_pool.hpp"),
+    os.path.join("common", "thread_pool.cpp"),
+)
+
 MESSAGES = {
     "raw-rng": "raw libc/std randomness; use the seeded splittable Rng "
                "(src/common/rng.hpp) so runs replay from one seed",
@@ -139,6 +157,10 @@ MESSAGES = {
     "unordered-iter": "iteration over an unordered container feeds "
                       "implementation-defined order into deterministic "
                       "output; iterate a sorted container instead",
+    "raw-thread": "raw std::thread outside common/thread_pool; route "
+                  "parallel work through ThreadPool / core::run_indexed "
+                  "(exception propagation, drain-on-destruction, "
+                  "deterministic indexed scheduling)",
 }
 
 
@@ -177,6 +199,10 @@ def lint_file(path: str) -> list[Finding]:
 
         if any(r.search(line) for r in RAW_RNG):
             emit("raw-rng")
+        if not path.endswith(RAW_THREAD_EXEMPT_SUFFIXES) and any(
+            r.search(line) for r in RAW_THREAD
+        ):
+            emit("raw-thread")
         if any(r.search(line) for r in WALL_CLOCK):
             emit("wall-clock")
         if any(r.search(line) for r in TIME_FLOAT_EQ):
