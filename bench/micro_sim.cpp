@@ -1,8 +1,16 @@
 // Micro-benchmarks for the discrete-event core: event queue throughput,
 // link enqueue/dequeue cycles, and whole-simulation packets/second.
+//
+// Two modes:
+//   (default)      google-benchmark suite, human-oriented.
+//   --json [path]  runs pinned cases and writes BENCH_SIM.json — the
+//                  recorded perf trajectory tools/ci.sh smoke-checks.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/experiment.hpp"
+#include "perf_json.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link.hpp"
 #include "sim/network.hpp"
@@ -16,6 +24,7 @@ using namespace flexnets;
 void BM_EventQueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   sim::EventQueue q;
+  q.reserve(n);
   Rng rng(1);
   for (auto _ : state) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -49,21 +58,26 @@ void BM_LinkTransmitCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkTransmitCycle);
 
-void BM_EndToEndPacketSim(benchmark::State& state) {
-  // A small Xpander under moderate uniform load; reports simulator events
-  // per second.
+core::PacketResult run_e2e_packet_sim() {
+  // A small Xpander under moderate uniform load (shared with the
+  // benchmark-mode case below).
   const auto x = topo::xpander(4, 6, 3, 1);  // 30 switches, 90 servers
   const auto pairs = workload::all_to_all_pairs(x.topo, x.topo.tors());
   const auto sizes = workload::pfabric_web_search();
+  core::PacketSimOptions opts;
+  opts.arrival_rate = 100.0 * x.topo.num_servers();
+  opts.window_begin = 1 * kMillisecond;
+  opts.window_end = 6 * kMillisecond;
+  opts.arrival_tail = 2 * kMillisecond;
+  opts.net.routing.mode = routing::RoutingMode::kHyb;
+  return core::run_packet_experiment(x.topo, *pairs, *sizes, opts);
+}
+
+void BM_EndToEndPacketSim(benchmark::State& state) {
+  // Reports simulator events per second.
   std::int64_t events = 0;
   for (auto _ : state) {
-    core::PacketSimOptions opts;
-    opts.arrival_rate = 100.0 * x.topo.num_servers();
-    opts.window_begin = 1 * kMillisecond;
-    opts.window_end = 6 * kMillisecond;
-    opts.arrival_tail = 2 * kMillisecond;
-    opts.net.routing.mode = routing::RoutingMode::kHyb;
-    const auto r = core::run_packet_experiment(x.topo, *pairs, *sizes, opts);
+    const auto r = run_e2e_packet_sim();
     events += static_cast<std::int64_t>(r.events);
   }
   state.SetItemsProcessed(events);
@@ -71,4 +85,65 @@ void BM_EndToEndPacketSim(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPacketSim)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json mode: pinned cases for the recorded trajectory.
+
+int run_json_mode(const std::string& path) {
+  std::vector<bench::PerfCase> cases;
+
+  {
+    constexpr std::size_t kEvents = 65536;
+    sim::EventQueue q;
+    q.reserve(kEvents);
+    const double ns = bench::time_median_ns(5, [&] {
+      Rng rng(1);
+      for (std::size_t i = 0; i < kEvents; ++i) {
+        sim::Event e;
+        e.time = static_cast<TimeNs>(rng.next_u64(1'000'000));
+        q.push(std::move(e));
+      }
+      while (!q.empty()) {
+        const auto e = q.pop();
+        benchmark::DoNotOptimize(&e);
+      }
+    });
+    bench::PerfCase c;
+    c.name = "event_queue_push_pop_64k";
+    c.add("ns_per_op", ns / static_cast<double>(kEvents));
+    std::printf("  %-32s %8.1f ns/event\n", c.name.c_str(),
+                ns / static_cast<double>(kEvents));
+    cases.push_back(c);
+  }
+
+  {
+    std::uint64_t events = 0;
+    const double ns = bench::time_median_ns(3, [&] {
+      const auto r = run_e2e_packet_sim();
+      events = r.events;
+    });
+    bench::PerfCase c;
+    c.name = "e2e_packet_sim_xpander30";
+    c.add("ns_per_op", ns / static_cast<double>(events));
+    c.add("events", static_cast<double>(events));
+    std::printf("  %-32s %8.1f ns/event (%llu events)\n", c.name.c_str(),
+                ns / static_cast<double>(events),
+                static_cast<unsigned long long>(events));
+    cases.push_back(c);
+  }
+
+  return bench::write_perf_json(path, "micro_sim", cases) ? 0 : 1;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (bench::parse_json_flag(argc, argv, "BENCH_SIM.json", &path)) {
+    return run_json_mode(path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "perf_json.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace flexnets::bench {
+
+namespace {
+
+// Doubles that are whole numbers (counts, call totals) print as integers;
+// everything else keeps full round-trip precision.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double monotonic_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool write_perf_json(const std::string& path, const std::string& bench_name,
+                     const std::vector<PerfCase>& cases) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+               "  \"cases\": [\n",
+               escape(bench_name).c_str());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\"", escape(cases[i].name).c_str());
+    for (const auto& [key, value] : cases[i].metrics) {
+      std::fprintf(f, ", \"%s\": %s", escape(key).c_str(),
+                   format_number(value).c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu case(s) to %s\n", cases.size(), path.c_str());
+  return true;
+}
+
+bool parse_json_flag(int argc, char** argv, const std::string& default_path,
+                     std::string* out_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      *out_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1]
+                                                          : default_path;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace flexnets::bench

@@ -4,55 +4,28 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "common/check.hpp"
+#include "flow/solver_internals.hpp"
 
 namespace flexnets::flow {
 
 namespace {
 
-struct Adj {
-  int to;
-  int edge;
-};
-
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Dijkstra from src; early exit once dst is settled. Returns parent edges.
-bool shortest_path(const std::vector<std::vector<Adj>>& adj,
-                   const std::vector<double>& length, int src, int dst,
-                   std::vector<int>& parent_edge, std::vector<double>& dist,
-                   std::vector<int>& touched) {
-  for (int t : touched) {
-    dist[t] = kInf;
-    parent_edge[t] = -1;
-  }
-  touched.clear();
-
-  using Item = std::pair<double, int>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  dist[src] = 0.0;
-  touched.push_back(src);
-  pq.push({0.0, src});
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (u == dst) return true;
-    if (d > dist[u]) continue;
-    for (const Adj& a : adj[u]) {
-      const double nd = d + length[a.edge];
-      if (nd < dist[a.to]) {
-        if (dist[a.to] == kInf) touched.push_back(a.to);
-        dist[a.to] = nd;
-        parent_edge[a.to] = a.edge;
-        pq.push({nd, a.to});
-      }
-    }
-  }
-  return dist[dst] < kInf;
-}
+// Commodities sharing a source are served from one shortest-path tree per
+// length recompute (Fleischer's grouping): an all-to-all TM needs O(n)
+// SSSP runs per recompute wave instead of O(n^2). Groups keep the input's
+// first-appearance order and members keep input order, so the routing
+// sequence — and hence the result — is a deterministic function of the
+// input alone.
+struct SourceGroup {
+  std::int32_t src = 0;
+  std::vector<std::int32_t> members;  // commodity indices, input order
+  std::vector<std::int32_t> targets;  // distinct destinations
+};
 
 }  // namespace
 
@@ -65,10 +38,13 @@ McfResult max_concurrent_flow(int num_nodes,
   if (commodities.empty() || edges.empty()) return result;
 
   const auto m = edges.size();
-  std::vector<std::vector<Adj>> adj(static_cast<std::size_t>(num_nodes));
+  const auto csr = internal::CsrGraph::build(num_nodes, edges);
+  // Capacities in a flat array: the inner loops touch them once per path
+  // edge and should not drag whole DirectedEdge structs through the cache.
+  std::vector<double> capacity(m);
   for (std::size_t e = 0; e < m; ++e) {
     assert(edges[e].capacity > 0.0);
-    adj[edges[e].from].push_back({edges[e].to, static_cast<int>(e)});
+    capacity[e] = edges[e].capacity;
   }
 
   // Initial edge lengths delta / c_e with
@@ -78,33 +54,86 @@ McfResult max_concurrent_flow(int num_nodes,
   std::vector<double> length(m);
   double dual = 0.0;  // D(l) = sum_e length_e * c_e
   for (std::size_t e = 0; e < m; ++e) {
-    length[e] = delta / edges[e].capacity;
-    dual += length[e] * edges[e].capacity;  // == delta * m
+    length[e] = delta / capacity[e];
+    dual += length[e] * capacity[e];  // == delta * m
   }
 
-  std::vector<int> parent_edge(static_cast<std::size_t>(num_nodes), -1);
-  std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
-  std::vector<int> touched;
-  touched.reserve(static_cast<std::size_t>(num_nodes));
-  for (int i = 0; i < num_nodes; ++i) touched.push_back(i);
+  std::vector<SourceGroup> groups;
+  {
+    std::vector<std::int32_t> group_of(static_cast<std::size_t>(num_nodes),
+                                       -1);
+    for (std::size_t ci = 0; ci < commodities.size(); ++ci) {
+      const auto src = static_cast<std::size_t>(commodities[ci].src);
+      if (group_of[src] < 0) {
+        group_of[src] = static_cast<std::int32_t>(groups.size());
+        groups.push_back({commodities[ci].src, {}, {}});
+      }
+      groups[static_cast<std::size_t>(group_of[src])].members.push_back(
+          static_cast<std::int32_t>(ci));
+    }
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(num_nodes), 0);
+    for (auto& g : groups) {
+      for (const auto ci : g.members) {
+        const auto dst =
+            static_cast<std::size_t>(commodities[static_cast<std::size_t>(ci)]
+                                         .dst);
+        if (!seen[dst]) {
+          seen[dst] = 1;
+          g.targets.push_back(static_cast<std::int32_t>(dst));
+        }
+      }
+      for (const auto t : g.targets) seen[static_cast<std::size_t>(t)] = 0;
+    }
+  }
 
-  int completed_phases = 0;
-  // Hard cap on phases as a safety net; GK terminates in
-  // O(log(m)/eps^2) phases for lambda* >= 1 instances and we rescale below.
-  const int max_phases = static_cast<int>(
-      std::ceil(2.0 / (eps * eps) * std::log(static_cast<double>(m) / (1 - eps))) *
-      40) + 50;
+  internal::DaryDijkstra dijkstra;
+  dijkstra.resize(num_nodes);
 
   // Fleischer-style path reuse: a commodity keeps routing along its cached
   // path while that path's current length is within (1+eps) of its length
   // when computed. Lengths only grow, so the cached path is then within
   // (1+eps) of the current shortest path and the (1-O(eps)) guarantee is
-  // preserved; this cuts shortest-path computations by roughly 1/eps.
+  // preserved; this cuts SSSP computations by roughly 1/eps. The path's
+  // bottleneck is a pure capacity property, so it is computed once at
+  // install time instead of being re-scanned every inner iteration.
   struct CachedPath {
-    std::vector<int> edges;
+    std::vector<std::int32_t> edges;  // dst -> src order
     double length_at_compute = -1.0;  // < 0 -> invalid
+    double bottleneck = kInf;
   };
   std::vector<CachedPath> cache(commodities.size());
+
+  // One SSSP serves the whole group: every member gets a fresh shortest
+  // path, with its tree distance as the reuse reference length.
+  auto refresh_group = [&](const SourceGroup& g) {
+    ++result.dijkstra_calls;
+    dijkstra.run(csr, length, g.src, g.targets);
+    for (const auto ci : g.members) {
+      const auto& cmd = commodities[static_cast<std::size_t>(ci)];
+      // A silent partial result here would report near-zero throughput
+      // for a disconnected instance instead of failing loudly.
+      FLEXNETS_CHECK(dijkstra.dist(cmd.dst) < kInf, "MCF commodity ", ci,
+                     " destination ", cmd.dst, " unreachable from ", cmd.src);
+      CachedPath& cp = cache[static_cast<std::size_t>(ci)];
+      cp.edges.clear();
+      double bottleneck = kInf;
+      for (auto v = cmd.dst; v != g.src;) {
+        const auto e = dijkstra.parent_edge(v);
+        cp.edges.push_back(e);
+        bottleneck =
+            std::min(bottleneck, capacity[static_cast<std::size_t>(e)]);
+        v = edges[static_cast<std::size_t>(e)].from;
+      }
+      cp.bottleneck = bottleneck;
+      cp.length_at_compute = dijkstra.dist(cmd.dst);
+    }
+  };
+
+  auto path_length = [&](const std::vector<std::int32_t>& p) {
+    double s = 0.0;
+    for (const auto e : p) s += length[static_cast<std::size_t>(e)];
+    return s;
+  };
 
   // Audit state (common/check.hpp): raw flow per edge, per-commodity node
   // imbalance (out minus in), and per-commodity total routed -- enough to
@@ -122,54 +151,59 @@ McfResult max_concurrent_flow(int num_nodes,
     routed.assign(commodities.size(), 0.0);
   }
 
-  auto path_length = [&](const std::vector<int>& p) {
-    double s = 0.0;
-    for (int e : p) s += length[e];
-    return s;
-  };
+  int completed_phases = 0;
+  // Hard cap on phases as a safety net; GK terminates in
+  // O(log(m)/eps^2) phases for lambda* >= 1 instances and we rescale below.
+  const int max_phases = static_cast<int>(
+      std::ceil(2.0 / (eps * eps) * std::log(static_cast<double>(m) / (1 - eps))) *
+      40) + 50;
 
   while (dual < 1.0 && completed_phases < max_phases) {
-    for (std::size_t ci = 0; ci < commodities.size(); ++ci) {
-      const auto& cmd = commodities[ci];
-      CachedPath& cp = cache[ci];
-      double remaining = cmd.demand;
-      while (remaining > 0.0 && dual < 1.0) {
-        if (cp.length_at_compute < 0.0 ||
-            path_length(cp.edges) > (1.0 + eps) * cp.length_at_compute) {
-          ++result.dijkstra_calls;
-          const bool found = shortest_path(adj, length, cmd.src, cmd.dst,
-                                           parent_edge, dist, touched);
-          // A silent partial result here would report near-zero throughput
-          // for a disconnected instance instead of failing loudly.
-          FLEXNETS_CHECK(found, "MCF commodity ", ci, " destination ",
-                         cmd.dst, " unreachable from ", cmd.src);
-          cp.edges.clear();
-          for (int v = cmd.dst; v != cmd.src;) {
-            const int e = parent_edge[v];
-            cp.edges.push_back(e);
-            v = edges[e].from;
+    for (const SourceGroup& g : groups) {
+      for (const auto ci : g.members) {
+        const auto& cmd = commodities[static_cast<std::size_t>(ci)];
+        if (cache[static_cast<std::size_t>(ci)].length_at_compute < 0.0) {
+          refresh_group(g);
+        }
+        // Current length of the cached path: re-summed once per visit
+        // (other commodities grew shared edges since the last one), then
+        // maintained incrementally from the growth this commodity applies
+        // — the inner loop never re-sums.
+        double cur_len = path_length(cache[static_cast<std::size_t>(ci)].edges);
+        double remaining = cmd.demand;
+        while (remaining > 0.0 && dual < 1.0) {
+          if (cur_len > (1.0 + eps) *
+                            cache[static_cast<std::size_t>(ci)]
+                                .length_at_compute) {
+            refresh_group(g);
+            cur_len = cache[static_cast<std::size_t>(ci)].length_at_compute;
           }
-          cp.length_at_compute = path_length(cp.edges);
-        }
-        double bottleneck = kInf;
-        for (int e : cp.edges) {
-          bottleneck = std::min(bottleneck, edges[e].capacity);
-        }
-        const double f = std::min(remaining, bottleneck);
-        for (int e : cp.edges) {
-          const double grow = length[e] * eps * f / edges[e].capacity;
-          length[e] += grow;
-          dual += grow * edges[e].capacity;
-        }
-        if (audit) {
-          routed[ci] += f;
-          for (int e : cp.edges) {
-            edge_flow[static_cast<std::size_t>(e)] += f;
-            imbalance[ci][static_cast<std::size_t>(edges[e].from)] += f;
-            imbalance[ci][static_cast<std::size_t>(edges[e].to)] -= f;
+          const CachedPath& cp = cache[static_cast<std::size_t>(ci)];
+          const double f = std::min(remaining, cp.bottleneck);
+          double grown = 0.0;
+          for (const auto e : cp.edges) {
+            const auto ei = static_cast<std::size_t>(e);
+            const double grow = length[ei] * eps * f / capacity[ei];
+            length[ei] += grow;
+            dual += grow * capacity[ei];
+            grown += grow;
           }
+          cur_len += grown;
+          if (audit) {
+            routed[static_cast<std::size_t>(ci)] += f;
+            for (const auto e : cp.edges) {
+              edge_flow[static_cast<std::size_t>(e)] += f;
+              imbalance[static_cast<std::size_t>(ci)]
+                       [static_cast<std::size_t>(
+                           edges[static_cast<std::size_t>(e)].from)] += f;
+              imbalance[static_cast<std::size_t>(ci)]
+                       [static_cast<std::size_t>(
+                           edges[static_cast<std::size_t>(e)].to)] -= f;
+            }
+          }
+          remaining -= f;
         }
-        remaining -= f;
+        if (dual >= 1.0) break;
       }
       if (dual >= 1.0) break;
     }
@@ -188,7 +222,7 @@ McfResult max_concurrent_flow(int num_nodes,
     // means the length updates (and hence lambda) are wrong.
     for (std::size_t e = 0; e < m; ++e) {
       FLEXNETS_CHECK_LE(
-          edge_flow[e], edges[e].capacity * scale * (1.0 + 1e-9) + 1e-12,
+          edge_flow[e], capacity[e] * scale * (1.0 + 1e-9) + 1e-12,
           "GK routed past the capacity*scale bound on edge ", e);
     }
     // Flow conservation: per commodity, net outflow is +routed at the

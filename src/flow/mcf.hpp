@@ -7,6 +7,12 @@
 // for every commodity, with lambda >= (1 - eps)^3 * lambda_opt. This stands
 // in for the exact LP the paper solves with a commercial solver (see
 // DESIGN.md substitutions).
+//
+// The hot path runs on a flat CSR adjacency and a 4-ary-heap Dijkstra
+// (flow/solver_internals.hpp) and serves commodities grouped by source
+// from one shortest-path tree per recompute; the naive pre-optimization
+// solver is preserved verbatim in flow/mcf_reference.hpp as the golden
+// comparison oracle (ctest -L mcf, BENCH_MCF.json).
 #pragma once
 
 #include <vector>

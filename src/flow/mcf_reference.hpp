@@ -1,0 +1,22 @@
+// Frozen pre-optimization Garg-Koenemann baseline: the naive solver
+// (vector<vector<Adj>> adjacency, one early-exit binary-heap Dijkstra per
+// commodity recompute, per-iteration path re-summing) exactly as it stood
+// before the CSR / source-grouped rewrite of flow/mcf.cpp.
+//
+// It exists as the comparison oracle: the `ctest -L mcf` golden suite
+// asserts the optimized solver's lambda agrees with this one within the
+// eps-band on pinned instances, and bench/micro_flow records both runtimes
+// into BENCH_MCF.json so the speedup stays measured, not remembered.
+// Do not optimize or "fix" this file; it is deliberately the old code.
+#pragma once
+
+#include "flow/mcf.hpp"
+
+namespace flexnets::flow {
+
+// Same contract as max_concurrent_flow (flow/mcf.hpp).
+McfResult reference_max_concurrent_flow(
+    int num_nodes, const std::vector<DirectedEdge>& edges,
+    const std::vector<McfCommodity>& commodities, double eps = 0.1);
+
+}  // namespace flexnets::flow

@@ -1,0 +1,128 @@
+#include "flow/solver_internals.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexnets::flow::internal {
+
+CsrGraph CsrGraph::build(int num_nodes,
+                         const std::vector<DirectedEdge>& edges) {
+  CsrGraph g;
+  g.num_nodes = num_nodes;
+  g.offsets.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& e : edges) {
+    assert(e.from >= 0 && e.from < num_nodes);
+    assert(e.to >= 0 && e.to < num_nodes);
+    ++g.offsets[static_cast<std::size_t>(e.from) + 1];
+  }
+  for (std::size_t u = 0; u < static_cast<std::size_t>(num_nodes); ++u) {
+    g.offsets[u + 1] += g.offsets[u];
+  }
+  g.arcs.resize(edges.size());
+  std::vector<std::int32_t> next(g.offsets.begin(), g.offsets.end() - 1);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto slot =
+        static_cast<std::size_t>(next[static_cast<std::size_t>(edges[e].from)]++);
+    g.arcs[slot] = {edges[e].to, static_cast<std::int32_t>(e)};
+  }
+  return g;
+}
+
+void DaryDijkstra::resize(int num_nodes) {
+  const auto n = static_cast<std::size_t>(num_nodes);
+  dist_.assign(n, kInf);
+  parent_edge_.assign(n, -1);
+  is_target_.assign(n, 0);
+  touched_.clear();
+  touched_.reserve(n);
+  heap_.clear();
+  heap_.reserve(n);
+}
+
+void DaryDijkstra::heap_push(Item it) {
+  heap_.push_back(it);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (heap_[p].dist <= heap_[i].dist) break;
+    std::swap(heap_[p], heap_[i]);
+    i = p;
+  }
+}
+
+DaryDijkstra::Item DaryDijkstra::heap_pop_min() {
+  const Item min = heap_.front();
+  const Item last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the hole down, then drop `last` in: one store per level instead
+    // of a three-way swap.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t c = 4 * i + 1;
+      if (c >= n) break;
+      std::size_t best = c;
+      const std::size_t end = std::min(c + 4, n);
+      for (std::size_t j = c + 1; j < end; ++j) {
+        if (heap_[j].dist < heap_[best].dist) best = j;
+      }
+      if (heap_[best].dist >= last.dist) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return min;
+}
+
+void DaryDijkstra::run(const CsrGraph& g, const std::vector<double>& length,
+                       std::int32_t src,
+                       const std::vector<std::int32_t>& targets) {
+  assert(src >= 0 && src < g.num_nodes);
+  for (const auto t : touched_) {
+    dist_[static_cast<std::size_t>(t)] = kInf;
+    parent_edge_[static_cast<std::size_t>(t)] = -1;
+  }
+  touched_.clear();
+  heap_.clear();
+
+  std::int32_t remaining = 0;
+  for (const auto t : targets) {
+    if (!is_target_[static_cast<std::size_t>(t)]) {
+      is_target_[static_cast<std::size_t>(t)] = 1;
+      ++remaining;
+    }
+  }
+
+  dist_[static_cast<std::size_t>(src)] = 0.0;
+  touched_.push_back(src);
+  heap_push({0.0, src});
+  while (!heap_.empty()) {
+    const Item it = heap_pop_min();
+    if (it.dist > dist_[static_cast<std::size_t>(it.node)]) continue;  // stale
+    // Relaxations push only on strict improvement, so exactly one queued
+    // entry per node carries its final distance: this branch settles it.
+    if (is_target_[static_cast<std::size_t>(it.node)]) {
+      is_target_[static_cast<std::size_t>(it.node)] = 0;
+      if (--remaining == 0) break;
+    }
+    const auto begin = static_cast<std::size_t>(g.offsets[it.node]);
+    const auto end = static_cast<std::size_t>(g.offsets[it.node + 1]);
+    for (std::size_t a = begin; a < end; ++a) {
+      const CsrGraph::Arc arc = g.arcs[a];
+      const double nd = it.dist + length[static_cast<std::size_t>(arc.edge)];
+      auto& dv = dist_[static_cast<std::size_t>(arc.to)];
+      if (nd < dv) {
+        if (dv == kInf) touched_.push_back(arc.to);
+        dv = nd;
+        parent_edge_[static_cast<std::size_t>(arc.to)] = arc.edge;
+        heap_push({nd, arc.to});
+      }
+    }
+  }
+  // Unreached targets (or an early break) may leave marks behind.
+  for (const auto t : targets) is_target_[static_cast<std::size_t>(t)] = 0;
+}
+
+}  // namespace flexnets::flow::internal

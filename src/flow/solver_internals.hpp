@@ -1,0 +1,80 @@
+// Data structures of the Garg-Koenemann hot path (flow/mcf.cpp), split out
+// so they can be unit-tested in isolation (tests/test_solver_internals.cpp):
+//
+//  - CsrGraph: flat compressed-sparse-row adjacency over a DirectedEdge
+//    list. One offsets array plus one packed {to, edge} arc array replaces
+//    vector<vector<Adj>>: a node's arcs are one contiguous scan with a
+//    single indirection, and building it is two passes with no per-node
+//    allocations.
+//  - DaryDijkstra: single-source shortest paths with a 4-ary min-heap and
+//    preallocated scratch. A 4-ary heap halves the sift depth of a binary
+//    heap and touches fewer cache lines per percolation; reusing the
+//    scratch arrays across calls removes the per-call allocation churn of
+//    std::priority_queue<pair<double,int>>. Supports early exit once a
+//    caller-supplied target set is settled, which is what lets the GK
+//    solver serve a whole source group of commodities from one run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "flow/mcf.hpp"
+
+namespace flexnets::flow::internal {
+
+struct CsrGraph {
+  struct Arc {
+    std::int32_t to = 0;
+    std::int32_t edge = 0;  // index into the DirectedEdge list
+  };
+
+  std::int32_t num_nodes = 0;
+  std::vector<std::int32_t> offsets;  // size num_nodes + 1
+  std::vector<Arc> arcs;              // size edges.size(), grouped by .from
+
+  // Arcs of node u occupy [offsets[u], offsets[u+1]), in input edge order.
+  static CsrGraph build(int num_nodes, const std::vector<DirectedEdge>& edges);
+};
+
+class DaryDijkstra {
+ public:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Sizes the scratch arrays for graphs of up to num_nodes nodes. O(n);
+  // call once per solver instance, not per run.
+  void resize(int num_nodes);
+
+  // SSSP from src with per-edge costs `length` (parallel to the edge list
+  // the CsrGraph was built from). Lengths must be >= 0. If `targets` is
+  // non-empty the search stops as soon as every listed node is settled
+  // (duplicates allowed); an empty list means a full SSSP. After the call,
+  // dist()/parent_edge() are valid for every settled or finally-labelled
+  // node and read kInf / -1 for unreached ones.
+  void run(const CsrGraph& g, const std::vector<double>& length,
+           std::int32_t src, const std::vector<std::int32_t>& targets);
+
+  [[nodiscard]] double dist(std::int32_t v) const {
+    return dist_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::int32_t parent_edge(std::int32_t v) const {
+    return parent_edge_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  struct Item {
+    double dist;
+    std::int32_t node;
+  };
+
+  void heap_push(Item it);
+  Item heap_pop_min();
+
+  std::vector<double> dist_;
+  std::vector<std::int32_t> parent_edge_;
+  std::vector<std::int32_t> touched_;    // nodes whose labels need resetting
+  std::vector<Item> heap_;               // 4-ary min-heap, lazy deletion
+  std::vector<std::uint8_t> is_target_;  // scratch marks, zero between runs
+};
+
+}  // namespace flexnets::flow::internal

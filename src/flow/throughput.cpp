@@ -35,6 +35,37 @@ ThroughputCache build_throughput_cache(const topo::Topology& t) {
   return cache;
 }
 
+McfInstance build_mcf_instance(const ThroughputCache& cache,
+                               const TrafficMatrix& tm) {
+  McfInstance inst;
+  const int s = cache.num_switches;
+  const auto out_d = tm.out_demand(s);
+  const auto in_d = tm.in_demand(s);
+
+  inst.edges = cache.base_edges;
+  inst.edges.reserve(inst.edges.size() + tm.commodities.size() * 2);
+
+  // Virtual hose nodes for racks with demand.
+  int next_node = s;
+  std::unordered_map<int, int> vnode;  // switch -> virtual node id
+  for (int sw = 0; sw < s; ++sw) {
+    if (out_d[sw] > 0.0 || in_d[sw] > 0.0) {
+      vnode[sw] = next_node++;
+      if (out_d[sw] > 0.0) inst.edges.push_back({vnode[sw], sw, out_d[sw]});
+      if (in_d[sw] > 0.0) inst.edges.push_back({sw, vnode[sw], in_d[sw]});
+    }
+  }
+  inst.num_nodes = next_node;
+
+  inst.commodities.reserve(tm.commodities.size());
+  for (const auto& c : tm.commodities) {
+    assert(c.demand > 0.0);
+    inst.commodities.push_back(
+        {vnode.at(c.src_tor), vnode.at(c.dst_tor), c.demand});
+  }
+  return inst;
+}
+
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
                              const ThroughputOptions& opts,
                              const ThroughputCache& cache) {
@@ -52,32 +83,10 @@ double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
   }
   if (tm.commodities.empty()) return 0.0;
 
-  const int s = cache.num_switches;
-  const auto out_d = tm.out_demand(s);
-  const auto in_d = tm.in_demand(s);
-
-  std::vector<DirectedEdge> edges = cache.base_edges;
-  edges.reserve(edges.size() + tm.commodities.size() * 2);
-
-  // Virtual hose nodes for racks with demand.
-  int next_node = s;
-  std::unordered_map<int, int> vnode;  // switch -> virtual node id
-  for (int sw = 0; sw < s; ++sw) {
-    if (out_d[sw] > 0.0 || in_d[sw] > 0.0) {
-      vnode[sw] = next_node++;
-      if (out_d[sw] > 0.0) edges.push_back({vnode[sw], sw, out_d[sw]});
-      if (in_d[sw] > 0.0) edges.push_back({sw, vnode[sw], in_d[sw]});
-    }
-  }
-
-  std::vector<McfCommodity> commodities;
-  commodities.reserve(tm.commodities.size());
-  for (const auto& c : tm.commodities) {
-    assert(c.demand > 0.0);
-    commodities.push_back({vnode.at(c.src_tor), vnode.at(c.dst_tor), c.demand});
-  }
-
-  const auto r = max_concurrent_flow(next_node, edges, commodities, opts.eps);
+  const auto inst = build_mcf_instance(cache, tm);
+  const auto r =
+      max_concurrent_flow(inst.num_nodes, inst.edges, inst.commodities,
+                          opts.eps);
   return std::clamp(r.lambda, 0.0, 1.0);
 }
 

@@ -42,6 +42,19 @@ struct ThroughputCache {
 
 ThroughputCache build_throughput_cache(const topo::Topology& t);
 
+// The concrete GK instance a (topology, TM) evaluation solves: the cache's
+// doubled directed edges plus one virtual hose node per rack with demand.
+// Exposed so the golden-lambda suite and bench/micro_flow can run the
+// optimized and the frozen reference solver on bit-identical instances.
+struct McfInstance {
+  int num_nodes = 0;
+  std::vector<DirectedEdge> edges;
+  std::vector<McfCommodity> commodities;
+};
+
+McfInstance build_mcf_instance(const ThroughputCache& cache,
+                               const TrafficMatrix& tm);
+
 // As above, but starts from a prebuilt cache for `t` (cheaper inside
 // sweeps, and the only state shared across concurrent points).
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,

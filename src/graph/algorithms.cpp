@@ -118,7 +118,9 @@ DijkstraResult dijkstra(const Graph& g, NodeId src,
   r.parent_node.assign(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
 
   using Item = std::pair<double, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  // Cold path: runs once per routing-table (re)build, not inside a solver
+  // loop; the GK hot path uses flow::internal::DaryDijkstra instead.
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;  // flexnets-lint: allow(priority-queue) -- table-build frequency, not a hot path
   r.dist[src] = 0.0;
   pq.push({0.0, src});
   while (!pq.empty()) {

@@ -1,23 +1,27 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace flexnets::sim {
 
 void EventQueue::push(Event e) {
   e.seq = next_seq_++;
-  heap_.push(std::move(e));
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 const Event& EventQueue::top() const {
   FLEXNETS_CHECK(!heap_.empty(), "top on empty event queue");
-  return heap_.top();
+  return heap_.front();
 }
 
 Event EventQueue::pop() {
   FLEXNETS_CHECK(!heap_.empty(), "pop on empty event queue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
   // Audit: the pop stream must be totally ordered by (time, seq). A
   // violation means heap corruption or a comparator bug -- either would
   // silently reorder the simulation.

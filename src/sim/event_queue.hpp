@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/units.hpp"
@@ -32,6 +31,11 @@ struct Event {
 
 class EventQueue {
  public:
+  // Pre-sizes the heap vector. An Event carries a ~100-byte Packet by
+  // value, so letting the vector grow geometrically mid-simulation means
+  // repeated full-heap relocations; the network reserves its expected
+  // event population up front instead.
+  void reserve(std::size_t n) { heap_.reserve(n); }
   void push(Event e);
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -50,7 +54,10 @@ class EventQueue {
 
   static constexpr std::uint64_t kNoPop = ~std::uint64_t{0};
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // A plain vector managed with std::push_heap/std::pop_heap — the same
+  // binary-heap order std::priority_queue would impose, but it allows
+  // reserve() and lets pop() move (not copy) the Event out.
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   // Audit state: the (time, seq) of the last popped event.
   TimeNs last_pop_time_ = 0;

@@ -59,6 +59,12 @@ PacketNetwork::PacketNetwork(const topo::Topology& topo,
     comp_ = graph::connected_components(topo_.g).id;
   }
 
+  // Steady-state event population: at most one dequeue event per link plus
+  // one propagation arrival per link, with headroom for transport timers.
+  // Reserving now keeps the heap vector (Events carry a Packet by value)
+  // from relocating mid-run.
+  sim_.reserve_events(links_.size() * 2 + static_cast<std::size_t>(num_hosts_));
+
   sim_.set_handler([this](const Event& e) { handle(e); });
 }
 
@@ -194,6 +200,10 @@ void PacketNetwork::handle(const Event& e) {
 void PacketNetwork::run(const std::vector<workload::FlowSpec>& flows,
                         TimeNs until) {
   pending_flows_ = &flows;
+  // Every flow start (and fault event) is scheduled up front.
+  sim_.reserve_events(flows.size() +
+                      (cfg_.faults != nullptr ? cfg_.faults->events().size()
+                                              : 0));
   for (std::size_t i = 0; i < flows.size(); ++i) {
     sim_.schedule(flows[i].start, EventType::kFlowStart,
                   static_cast<std::int32_t>(i));

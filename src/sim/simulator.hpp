@@ -19,6 +19,10 @@ class Simulator {
   void schedule(TimeNs at, EventType type, std::int32_t a, std::uint64_t b = 0);
   void schedule_packet(TimeNs at, std::int32_t node, Packet pkt);
 
+  // Pre-sizes the event heap (see EventQueue::reserve). Additive: callers
+  // reserve for what they are about to schedule.
+  void reserve_events(std::size_t n) { queue_.reserve(queue_.size() + n); }
+
   void set_handler(Handler h) { handler_ = std::move(h); }
 
   // Runs until the queue drains or `until` is passed (events beyond `until`

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <queue>
 #include <random>
 #include <thread>
 #include <unordered_map>
@@ -76,6 +77,12 @@ void adhoc_parallelism(int* out) {
 
 // Static member calls are fine anywhere (no thread is created):
 unsigned core_count() { return std::thread::hardware_concurrency(); }
+
+int adhoc_heap() {
+  std::priority_queue<int> pending;  // EXPECT-LINT: priority-queue
+  pending.push(7);
+  return pending.top();
+}
 
 // Suppressed on purpose; must not fire.
 int suppressed() {

@@ -1,0 +1,112 @@
+// Golden-lambda regression suite (`ctest -L mcf`): the optimized GK solver
+// (CSR + source grouping + 4-ary-heap Dijkstra) against the frozen
+// pre-optimization baseline (flow/mcf_reference.hpp) on pinned instances.
+//
+// What is pinned:
+//   - fat-tree k=4 all-to-all: lambda ~ 1 (rearrangeably non-blocking),
+//     agreement within 3*eps, and >= 5x fewer SSSP runs;
+//   - the section 4.1 toy topology on its hard matching TM;
+//   - one Xpander instance under all-to-all.
+// Agreement is relative: |opt - ref| <= 3 * eps * ref. Both solvers carry
+// the same (1 - O(eps)) FPTAS guarantee, so a wider drift means one of
+// them lost its invariant, not that "optimization changed rounding".
+#include <gtest/gtest.h>
+
+#include "flow/mcf.hpp"
+#include "flow/mcf_reference.hpp"
+#include "flow/throughput.hpp"
+#include "flow/tm_generators.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/toy.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::flow {
+namespace {
+
+struct GoldenPair {
+  McfResult opt;
+  McfResult ref;
+};
+
+GoldenPair solve_both(const topo::Topology& t, const TrafficMatrix& tm,
+                      double eps) {
+  const auto inst = build_mcf_instance(build_throughput_cache(t), tm);
+  GoldenPair g;
+  g.opt = max_concurrent_flow(inst.num_nodes, inst.edges, inst.commodities,
+                              eps);
+  g.ref = reference_max_concurrent_flow(inst.num_nodes, inst.edges,
+                                        inst.commodities, eps);
+  return g;
+}
+
+void expect_agreement(const GoldenPair& g, double eps) {
+  ASSERT_GT(g.ref.lambda, 0.0);
+  EXPECT_NEAR(g.opt.lambda, g.ref.lambda, 3.0 * eps * g.ref.lambda)
+      << "optimized solver drifted out of the 3*eps band";
+}
+
+TEST(GoldenLambda, FatTreeK4AllToAllNearOne) {
+  const double eps = 0.1;
+  const auto ft = topo::fat_tree(4);
+  const auto tm = all_to_all_tm(ft.topo, ft.topo.tors());
+  const auto g = solve_both(ft.topo, tm, eps);
+
+  // Full-bandwidth fat-tree under a hose-feasible TM: lambda* = 1. The
+  // FPTAS may undershoot by O(eps) but must never exceed the optimum.
+  EXPECT_LE(g.opt.lambda, 1.02);
+  EXPECT_GE(g.opt.lambda, 1.0 - 3.5 * eps);
+  expect_agreement(g, eps);
+}
+
+TEST(GoldenLambda, FatTreeK4AllToAllDijkstraReduction) {
+  // The point of source grouping: the k=4 fat-tree all-to-all TM has 8
+  // source racks with 7 commodities each, so SSSP-tree sharing must cut
+  // shortest-path computations by at least 5x vs one-Dijkstra-per-path.
+  const double eps = 0.1;
+  const auto ft = topo::fat_tree(4);
+  const auto tm = all_to_all_tm(ft.topo, ft.topo.tors());
+  const auto g = solve_both(ft.topo, tm, eps);
+
+  ASSERT_GT(g.opt.dijkstra_calls, 0);
+  EXPECT_GE(g.ref.dijkstra_calls, 5 * g.opt.dijkstra_calls)
+      << "source grouping stopped paying: " << g.ref.dijkstra_calls
+      << " reference vs " << g.opt.dijkstra_calls << " optimized SSSP runs";
+}
+
+TEST(GoldenLambda, ToySection41Matching) {
+  // The section 4.1 static wiring on its hard longest-matching TM; the
+  // EXPERIMENTS.md pinned value is ~0.96 at eps=0.04.
+  const double eps = 0.05;
+  const auto toy = topo::toy_section41();
+  const auto tm = longest_matching_tm(toy.topo, toy.active_tors);
+  const auto g = solve_both(toy.topo, tm, eps);
+
+  EXPECT_GT(g.opt.lambda, 0.85);
+  EXPECT_LE(g.opt.lambda, 1.02);
+  expect_agreement(g, eps);
+}
+
+TEST(GoldenLambda, XpanderAllToAll) {
+  const double eps = 0.1;
+  const auto x = topo::xpander(3, 4, 2, 1);  // 16 switches, degree 3
+  const auto tm = all_to_all_tm(x.topo, x.topo.tors());
+  const auto g = solve_both(x.topo, tm, eps);
+
+  EXPECT_GT(g.opt.lambda, 0.0);
+  expect_agreement(g, eps);
+  // Grouping must also pay on the expander (16 groups of 15 commodities).
+  EXPECT_GE(g.ref.dijkstra_calls, 5 * g.opt.dijkstra_calls);
+}
+
+TEST(GoldenLambda, AgreementAcrossEps) {
+  // The band must hold as eps tightens, not just at the default.
+  const auto ft = topo::fat_tree(4);
+  const auto tm = all_to_all_tm(ft.topo, ft.topo.tors());
+  for (const double eps : {0.05, 0.2}) {
+    const auto g = solve_both(ft.topo, tm, eps);
+    expect_agreement(g, eps);
+  }
+}
+
+}  // namespace
+}  // namespace flexnets::flow

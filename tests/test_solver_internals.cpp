@@ -1,0 +1,206 @@
+// Unit tests for the GK hot-path data structures (flow/solver_internals.hpp):
+// CSR construction and the preallocated 4-ary-heap Dijkstra, checked
+// against a naive O(n^2) shortest-path reference on seeded random graphs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flow/solver_internals.hpp"
+
+namespace flexnets::flow::internal {
+namespace {
+
+std::vector<DirectedEdge> random_edges(int num_nodes, int num_edges,
+                                       Rng& rng) {
+  std::vector<DirectedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  // A spanning cycle keeps everything reachable; the rest is random.
+  for (int v = 0; v < num_nodes; ++v) {
+    edges.push_back({v, (v + 1) % num_nodes, 1.0});
+  }
+  for (int e = num_nodes; e < num_edges; ++e) {
+    const int a = static_cast<int>(rng.next_u64(num_nodes));
+    int b = static_cast<int>(rng.next_u64(num_nodes));
+    if (b == a) b = (b + 1) % num_nodes;
+    edges.push_back({a, b, 1.0});
+  }
+  return edges;
+}
+
+std::vector<double> random_lengths(std::size_t m, Rng& rng) {
+  std::vector<double> length(m);
+  for (auto& l : length) l = 0.01 + rng.next_double();
+  return length;
+}
+
+// O(n^2) label-setting Dijkstra, no heap: the oracle.
+std::vector<double> naive_sssp(int num_nodes,
+                               const std::vector<DirectedEdge>& edges,
+                               const std::vector<double>& length, int src) {
+  constexpr double kInf = DaryDijkstra::kInf;
+  std::vector<double> dist(static_cast<std::size_t>(num_nodes), kInf);
+  std::vector<char> done(static_cast<std::size_t>(num_nodes), 0);
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  for (int it = 0; it < num_nodes; ++it) {
+    int u = -1;
+    for (int v = 0; v < num_nodes; ++v) {
+      if (!done[v] && dist[v] < kInf && (u < 0 || dist[v] < dist[u])) u = v;
+    }
+    if (u < 0) break;
+    done[u] = 1;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].from != u) continue;
+      const double nd = dist[u] + length[e];
+      if (nd < dist[static_cast<std::size_t>(edges[e].to)]) {
+        dist[static_cast<std::size_t>(edges[e].to)] = nd;
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(CsrGraph, BuildPreservesEveryArc) {
+  Rng rng(7);
+  const int n = 23;
+  const auto edges = random_edges(n, 80, rng);
+  const auto g = CsrGraph::build(n, edges);
+
+  ASSERT_EQ(g.offsets.size(), static_cast<std::size_t>(n) + 1);
+  EXPECT_EQ(g.offsets.front(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(g.offsets.back()), edges.size());
+  ASSERT_EQ(g.arcs.size(), edges.size());
+
+  // Every arc in node u's slice is an edge out of u, and every edge
+  // appears exactly once.
+  std::vector<char> seen(edges.size(), 0);
+  for (int u = 0; u < n; ++u) {
+    ASSERT_LE(g.offsets[u], g.offsets[u + 1]);
+    for (auto a = g.offsets[u]; a < g.offsets[u + 1]; ++a) {
+      const auto arc = g.arcs[static_cast<std::size_t>(a)];
+      const auto& e = edges[static_cast<std::size_t>(arc.edge)];
+      EXPECT_EQ(e.from, u);
+      EXPECT_EQ(e.to, arc.to);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(arc.edge)]);
+      seen[static_cast<std::size_t>(arc.edge)] = 1;
+    }
+  }
+}
+
+TEST(CsrGraph, IsolatedNodesGetEmptySlices) {
+  // Node 2 has no outgoing edges.
+  const std::vector<DirectedEdge> edges{{0, 1, 1.0}, {1, 0, 1.0}, {0, 2, 1.0}};
+  const auto g = CsrGraph::build(4, edges);
+  EXPECT_EQ(g.offsets[2], g.offsets[3]);  // node 2: empty
+  EXPECT_EQ(g.offsets[3], g.offsets[4]);  // node 3: empty
+}
+
+TEST(DaryDijkstra, MatchesNaiveReferenceOnRandomGraphs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 10 + static_cast<int>(rng.next_u64(40));
+    const auto edges = random_edges(n, 4 * n, rng);
+    const auto length = random_lengths(edges.size(), rng);
+    const auto g = CsrGraph::build(n, edges);
+
+    DaryDijkstra d;
+    d.resize(n);
+    const int src = static_cast<int>(rng.next_u64(n));
+    d.run(g, length, src, {});  // full SSSP
+
+    const auto want = naive_sssp(n, edges, length, src);
+    for (int v = 0; v < n; ++v) {
+      EXPECT_NEAR(d.dist(v), want[static_cast<std::size_t>(v)], 1e-12)
+          << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+TEST(DaryDijkstra, ParentEdgesReconstructShortestPaths) {
+  Rng rng(3);
+  const int n = 30;
+  const auto edges = random_edges(n, 120, rng);
+  const auto length = random_lengths(edges.size(), rng);
+  const auto g = CsrGraph::build(n, edges);
+
+  DaryDijkstra d;
+  d.resize(n);
+  d.run(g, length, 0, {});
+  for (int v = 1; v < n; ++v) {
+    ASSERT_LT(d.dist(v), DaryDijkstra::kInf);
+    // Walk parents back to the source; the edge lengths must sum to dist.
+    double sum = 0.0;
+    int hops = 0;
+    for (int u = v; u != 0;) {
+      const auto e = d.parent_edge(u);
+      ASSERT_GE(e, 0);
+      ASSERT_EQ(edges[static_cast<std::size_t>(e)].to, u);
+      sum += length[static_cast<std::size_t>(e)];
+      u = edges[static_cast<std::size_t>(e)].from;
+      ASSERT_LE(++hops, n) << "parent chain has a cycle";
+    }
+    EXPECT_NEAR(sum, d.dist(v), 1e-12);
+  }
+}
+
+TEST(DaryDijkstra, EarlyExitTargetsMatchFullRun) {
+  Rng rng(11);
+  const int n = 40;
+  const auto edges = random_edges(n, 160, rng);
+  const auto length = random_lengths(edges.size(), rng);
+  const auto g = CsrGraph::build(n, edges);
+
+  DaryDijkstra full;
+  full.resize(n);
+  full.run(g, length, 5, {});
+
+  DaryDijkstra early;
+  early.resize(n);
+  const std::vector<std::int32_t> targets{1, 17, 17, 33};  // dup on purpose
+  early.run(g, length, 5, targets);
+  for (const auto t : targets) {
+    EXPECT_EQ(early.dist(t), full.dist(t));
+  }
+}
+
+TEST(DaryDijkstra, ScratchReuseAcrossRunsIsClean) {
+  Rng rng(19);
+  const int n = 25;
+  const auto edges = random_edges(n, 100, rng);
+  const auto length = random_lengths(edges.size(), rng);
+  const auto g = CsrGraph::build(n, edges);
+
+  DaryDijkstra reused;
+  reused.resize(n);
+  // Interleave sources; each run must match a from-scratch instance.
+  for (const int src : {0, 13, 7, 0, 24}) {
+    reused.run(g, length, src, {});
+    DaryDijkstra fresh;
+    fresh.resize(n);
+    fresh.run(g, length, src, {});
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(reused.dist(v), fresh.dist(v)) << "src " << src;
+      EXPECT_EQ(reused.parent_edge(v), fresh.parent_edge(v));
+    }
+  }
+}
+
+TEST(DaryDijkstra, UnreachableNodesReadInfinity) {
+  // 0 -> 1, and 2 off on its own (no in-edges from the component of 0).
+  const std::vector<DirectedEdge> edges{{0, 1, 1.0}, {2, 0, 1.0}};
+  const auto g = CsrGraph::build(3, edges);
+  const std::vector<double> length{1.0, 1.0};
+  DaryDijkstra d;
+  d.resize(3);
+  d.run(g, length, 0, {});
+  EXPECT_EQ(d.dist(0), 0.0);
+  EXPECT_EQ(d.dist(1), 1.0);
+  EXPECT_EQ(d.dist(2), DaryDijkstra::kInf);
+  EXPECT_EQ(d.parent_edge(2), -1);
+  // An unreachable *target* must not hang the early-exit loop.
+  d.run(g, length, 0, {2});
+  EXPECT_EQ(d.dist(2), DaryDijkstra::kInf);
+}
+
+}  // namespace
+}  // namespace flexnets::flow::internal

@@ -14,6 +14,11 @@
 #      invariant audits (event ordering, LP feasibility/conservation,
 #      routing-table sanity, repaired-routing liveness, determinism
 #      digests)
+#   7. perf smoke: bench_micro_flow/bench_micro_sim --json emit
+#      BENCH_MCF.json / BENCH_SIM.json and the schema is validated
+#      (required keys present, lambda finite). Timings are recorded,
+#      not gated — absolute ns/op depends on the machine; the committed
+#      JSON trajectory is what reviewers eyeball for regressions.
 #
 # clang-tidy is run only if installed; its absence is not a failure
 # (the container image ships gcc only — .clang-tidy is still the config
@@ -78,5 +83,37 @@ ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
 
 step "audited rerun: FLEXNETS_AUDIT=1 ctest"
 FLEXNETS_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+step "perf smoke: micro benches --json (schema check, timings not gated)"
+./build/bench/bench_micro_flow --json BENCH_MCF.json
+./build/bench/bench_micro_sim --json BENCH_SIM.json
+python3 - <<'PY'
+import json
+import math
+import sys
+
+def require(cond, what):
+    if not cond:
+        sys.exit(f"perf smoke: {what}")
+
+for path, needs_lambda in (("BENCH_MCF.json", True), ("BENCH_SIM.json", False)):
+    with open(path) as f:
+        doc = json.load(f)
+    require(doc.get("schema_version") == 1, f"{path}: bad schema_version")
+    require(isinstance(doc.get("bench"), str), f"{path}: missing bench name")
+    cases = doc.get("cases")
+    require(isinstance(cases, list) and cases, f"{path}: no cases")
+    for case in cases:
+        require(isinstance(case.get("name"), str), f"{path}: case without name")
+        ns = case.get("ns_per_op")
+        require(isinstance(ns, (int, float)) and ns > 0 and math.isfinite(ns),
+                f"{path}: {case.get('name')}: bad ns_per_op")
+    if needs_lambda:
+        lambdas = [case["lambda"] for case in cases if "lambda" in case]
+        require(lambdas, f"{path}: no case reports lambda")
+        require(all(math.isfinite(l) and l > 0 for l in lambdas),
+                f"{path}: non-finite lambda")
+    print(f"perf smoke: {path} schema OK ({len(cases)} case(s))")
+PY
 
 step "ci.sh: all gates passed"

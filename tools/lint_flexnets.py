@@ -27,6 +27,13 @@ Rules (see docs/ARCHITECTURE.md, "Correctness tooling"):
                  propagation, and its drain-on-destruction guarantee;
                  route parallel work through ThreadPool /
                  core::run_indexed instead.
+  priority-queue std::priority_queue outside sim/event_queue and
+                 flow/solver_internals. The hot paths use purpose-built
+                 heaps (EventQueue: vector + push_heap with reserve() and
+                 move-out pop; DaryDijkstra: preallocated 4-ary heap);
+                 a raw priority_queue in engine code usually means a new
+                 hot loop bypassing both. Use those abstractions, or
+                 suppress with a measurement-backed justification.
 
 Suppression: append  // flexnets-lint: allow(<rule>)  to the offending
 line. Use sparingly and say why.
@@ -147,6 +154,18 @@ RAW_THREAD_EXEMPT_SUFFIXES = (
     os.path.join("common", "thread_pool.cpp"),
 )
 
+PRIORITY_QUEUE = [
+    re.compile(r"\bstd::priority_queue\b"),
+]
+
+# The sanctioned heap homes: the event queue and the GK solver scratch.
+PRIORITY_QUEUE_EXEMPT_SUFFIXES = (
+    os.path.join("sim", "event_queue.hpp"),
+    os.path.join("sim", "event_queue.cpp"),
+    os.path.join("flow", "solver_internals.hpp"),
+    os.path.join("flow", "solver_internals.cpp"),
+)
+
 MESSAGES = {
     "raw-rng": "raw libc/std randomness; use the seeded splittable Rng "
                "(src/common/rng.hpp) so runs replay from one seed",
@@ -161,6 +180,10 @@ MESSAGES = {
                   "parallel work through ThreadPool / core::run_indexed "
                   "(exception propagation, drain-on-destruction, "
                   "deterministic indexed scheduling)",
+    "priority-queue": "std::priority_queue outside sim/event_queue and "
+                      "flow/solver_internals; use EventQueue or "
+                      "DaryDijkstra (preallocated, reservable, move-out "
+                      "pop) instead of growing a new ad-hoc hot loop",
 }
 
 
@@ -203,6 +226,10 @@ def lint_file(path: str) -> list[Finding]:
             r.search(line) for r in RAW_THREAD
         ):
             emit("raw-thread")
+        if not path.endswith(PRIORITY_QUEUE_EXEMPT_SUFFIXES) and any(
+            r.search(line) for r in PRIORITY_QUEUE
+        ):
+            emit("priority-queue")
         if any(r.search(line) for r in WALL_CLOCK):
             emit("wall-clock")
         if any(r.search(line) for r in TIME_FLOAT_EQ):
