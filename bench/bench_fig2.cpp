@@ -1,9 +1,16 @@
 // Reproduces paper Fig 2: the throughput-proportionality ideal versus the
 // oversubscribed fat-tree's flat-then-proportional curve (section 2).
+//
+// This bench also carries the CI resilience gate (tools/ci.sh): with
+// --journal it appends each grid point durably, with --resume it skips
+// journaled points, and --point-sleep-ms widens the window a SIGKILL can
+// land in. The "digest fig2: ..." line must be bit-identical between an
+// uninterrupted run and a killed-then-resumed one.
 #include <cstdio>
 
 #include "flow/fat_tree_model.hpp"
 #include "flow/throughput.hpp"
+#include "perf_json.hpp"
 #include "util.hpp"
 
 using namespace flexnets;
@@ -12,6 +19,12 @@ int main(int argc, char** argv) {
   bench::banner("Fig 2",
                 "throughput proportionality vs fat-tree inflexibility");
   const int threads = bench::parse_threads(argc, argv);
+  const auto flags = bench::parse_resilient_flags(argc, argv);
+  std::string json_path;
+  const bool json = bench::parse_json_flag(argc, argv, "BENCH_FIG2.json",
+                                           &json_path);
+  bench::ResilientState state;
+  bench::init_resilient_state(flags, &state);
 
   // Section 2.1's running example: a k=64 fat-tree oversubscribed to 50%.
   const flow::FatTreeModel ft{64, 0.5};
@@ -26,23 +39,41 @@ int main(int argc, char** argv) {
   for (double x = 0.01; x <= 1.0 + 1e-9; x += (x < 0.1 ? 0.01 : 0.05)) {
     xs.push_back(x);
   }
-  struct Row {
-    double tp = 0.0;
-    double ft = 0.0;
-  };
-  const auto rows = bench::run_grid(xs.size(), threads, [&](std::size_t i) {
-    return Row{flow::tp_curve(alpha, xs[i]), ft.throughput(xs[i])};
-  });
+  const auto records = bench::run_grid_resilient(
+      xs.size(), threads, "fig2", &state, flags.point_sleep_ms,
+      [&](std::size_t i) {
+        return std::vector<std::pair<std::string, double>>{
+            {"throughput_proportional", flow::tp_curve(alpha, xs[i])},
+            {"fat_tree", ft.throughput(xs[i])}};
+      });
 
   TextTable t({"fraction_x", "throughput_proportional", "fat_tree"});
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    t.add_row({xs[i], rows[i].tp, rows[i].ft}, 4);
+    t.add_row({xs[i], records[i].value("throughput_proportional"),
+               records[i].value("fat_tree")},
+              4);
   }
   t.print();
   std::printf(
       "\nShape check: TP reaches line rate at x = alpha = %.2f; the fat-tree\n"
       "stays at alpha until x = beta and reaches line rate only at x = "
-      "alpha*beta = %.4f.\n",
+      "alpha*beta = %.4f.\n\n",
       alpha, alpha * ft.beta());
+  bench::print_digest_line("fig2", bench::grid_digest(records),
+                           records.size(), bench::count_failed(records));
+
+  if (json) {
+    std::vector<bench::PerfCase> cases;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      bench::PerfCase c;
+      c.name = "fig2_x" + std::to_string(i);
+      c.add("fraction_x", xs[i]);
+      c.add("throughput_proportional",
+            records[i].value("throughput_proportional"));
+      c.add("fat_tree", records[i].value("fat_tree"));
+      cases.push_back(std::move(c));
+    }
+    if (!bench::write_perf_json(json_path, "fig2", cases)) return 1;
+  }
   return 0;
 }

@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
                 "throughput proportionality / dynamic models vs SlimFly and "
                 "Jellyfish");
   const int threads = bench::parse_threads(argc, argv);
+  const auto flags = bench::parse_resilient_flags(argc, argv);
+  bench::ResilientState state;
+  bench::init_resilient_state(flags, &state);
 
   const bool full = core::repro_full();
   const int q = full ? 13 : 5;  // q=17 (paper) is feasible but hours-long on one core
@@ -43,11 +46,14 @@ int main(int argc, char** argv) {
   opts.threads = threads;
   // The topology grid runs on the same pool the per-topology sweeps share.
   const topo::Topology* grid[] = {&jf, &sf.topo};
-  const auto sweeps = bench::run_grid(
-      2, threads, [&](std::size_t i) { return core::fluid_sweep(*grid[i], opts); });
+  const char* prefixes[] = {"fig5a/jellyfish", "fig5a/slimfly"};
+  const auto sweeps = bench::run_grid(2, threads, [&](std::size_t i) {
+    return bench::sweep_with_flags(*grid[i], opts, prefixes[i], &state,
+                                   flags.point_sleep_ms);
+  });
   const auto& jf_series = sweeps[0];
   const auto& sf_series = sweeps[1];
-  const double alpha = jf_series.back().throughput;  // x = 1.0 anchor
+  const double alpha = jf_series.back().point.throughput;  // x = 1.0 anchor
 
   // Equal-cost fat-tree (analytic): same port budget supporting the same
   // servers; a full-bandwidth fat-tree spends 4 network ports per server.
@@ -64,8 +70,8 @@ int main(int argc, char** argv) {
   const int num_tors = sf.topo.num_switches();
   for (std::size_t i = 0; i < opts.fractions.size(); ++i) {
     const double x = opts.fractions[i];
-    t.add_row({x, flow::tp_curve(alpha, x), jf_series[i].throughput,
-               sf_series[i].throughput,
+    t.add_row({x, flow::tp_curve(alpha, x), jf_series[i].point.throughput,
+               sf_series[i].point.throughput,
                flow::unrestricted_dynamic_throughput(net_ports, srv_ports,
                                                      delta),
                flow::restricted_dynamic_throughput(
@@ -79,6 +85,10 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): Jellyfish/SlimFly rise toward 1.0 as x\n"
       "shrinks, tracking TP; the restricted dynamic model stays poor; the\n"
       "unrestricted model is flat at min(1, (r/delta)/s); the fat-tree is\n"
-      "flat and lowest. The shaded regime of interest is small x.\n");
+      "flat and lowest. The shaded regime of interest is small x.\n\n");
+  bench::print_digest_line("fig5a/jellyfish", core::fluid_sweep_digest(jf_series),
+                           jf_series.size(), bench::count_failed(jf_series));
+  bench::print_digest_line("fig5a/slimfly", core::fluid_sweep_digest(sf_series),
+                           sf_series.size(), bench::count_failed(sf_series));
   return 0;
 }

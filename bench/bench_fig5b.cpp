@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
                 "throughput proportionality / dynamic models vs LongHop and "
                 "Jellyfish");
   const int threads = bench::parse_threads(argc, argv);
+  const auto flags = bench::parse_resilient_flags(argc, argv);
+  bench::ResilientState state;
+  bench::init_resilient_state(flags, &state);
 
   const bool full = core::repro_full();
   const int dim = full ? 9 : 6;
@@ -34,11 +37,14 @@ int main(int argc, char** argv) {
   opts.eps = full ? 0.12 : 0.07;
   opts.threads = threads;
   const topo::Topology* grid[] = {&jf, &lh};
-  const auto sweeps = bench::run_grid(
-      2, threads, [&](std::size_t i) { return core::fluid_sweep(*grid[i], opts); });
+  const char* prefixes[] = {"fig5b/jellyfish", "fig5b/longhop"};
+  const auto sweeps = bench::run_grid(2, threads, [&](std::size_t i) {
+    return bench::sweep_with_flags(*grid[i], opts, prefixes[i], &state,
+                                   flags.point_sleep_ms);
+  });
   const auto& jf_series = sweeps[0];
   const auto& lh_series = sweeps[1];
-  const double alpha = jf_series.back().throughput;
+  const double alpha = jf_series.back().point.throughput;
 
   const int ports = lh.num_switches() * net_ports;
   const double ft_alpha =
@@ -51,8 +57,8 @@ int main(int argc, char** argv) {
                "equalcost_fattree"});
   for (std::size_t i = 0; i < opts.fractions.size(); ++i) {
     const double x = opts.fractions[i];
-    t.add_row({x, flow::tp_curve(alpha, x), jf_series[i].throughput,
-               lh_series[i].throughput,
+    t.add_row({x, flow::tp_curve(alpha, x), jf_series[i].point.throughput,
+               lh_series[i].point.throughput,
                flow::unrestricted_dynamic_throughput(net_ports, servers,
                                                      delta),
                flow::restricted_dynamic_throughput(
@@ -65,6 +71,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape (paper): broadly similar to Fig 5(a); Jellyfish\n"
       "stays at or above LongHop (LongHop is a structured non-optimal\n"
-      "expander) and both dominate the dynamic models at small x.\n");
+      "expander) and both dominate the dynamic models at small x.\n\n");
+  bench::print_digest_line("fig5b/jellyfish", core::fluid_sweep_digest(jf_series),
+                           jf_series.size(), bench::count_failed(jf_series));
+  bench::print_digest_line("fig5b/longhop", core::fluid_sweep_digest(lh_series),
+                           lh_series.size(), bench::count_failed(lh_series));
   return 0;
 }

@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   bench::banner("Fig 6(a)",
                 "Jellyfish at 80/50/40% of a full fat-tree's switches");
   const int threads = bench::parse_threads(argc, argv);
+  const auto flags = bench::parse_resilient_flags(argc, argv);
+  bench::ResilientState state;
+  bench::init_resilient_state(flags, &state);
 
   const bool full = core::repro_full();
   const int k = full ? 20 : 8;
@@ -31,7 +34,7 @@ int main(int argc, char** argv) {
   opts.threads = threads;
   const std::vector<double> fracs = {0.8, 0.5, 0.4};
   struct Cell {
-    std::vector<core::FluidPoint> sweep;
+    std::vector<core::FluidPointRecord> sweep;
     std::string label;
     std::string info;
   };
@@ -40,14 +43,16 @@ int main(int argc, char** argv) {
     const int n = static_cast<int>(frac * switches);
     const auto jf = topo::jellyfish_same_equipment(n, k, servers, 1);
     Cell c;
-    c.sweep = core::fluid_sweep(jf, opts);
+    c.sweep = bench::sweep_with_flags(
+        jf, opts, "fig6a/" + TextTable::fmt(100 * frac, 0) + "pct", &state,
+        flags.point_sleep_ms);
     c.label = TextTable::fmt(100 * frac, 0) + "%_fat_switches";
     c.info = "  " + jf.name + ": " + std::to_string(n) +
              " switches of radix " + std::to_string(k) + ", " +
              std::to_string(servers) + " servers";
     return c;
   });
-  std::vector<std::vector<core::FluidPoint>> series;
+  std::vector<std::vector<core::FluidPointRecord>> series;
   std::vector<std::string> labels;
   for (const auto& c : cells) {
     series.push_back(c.sweep);
@@ -58,14 +63,20 @@ int main(int argc, char** argv) {
 
   TextTable t({"fraction_x", labels[0], labels[1], labels[2]});
   for (std::size_t i = 0; i < opts.fractions.size(); ++i) {
-    t.add_row({opts.fractions[i], series[0][i].throughput,
-               series[1][i].throughput, series[2][i].throughput},
+    t.add_row({opts.fractions[i], series[0][i].point.throughput,
+               series[1][i].point.throughput, series[2][i].point.throughput},
               3);
   }
   t.print();
   std::printf(
       "\nExpected shape (paper): with 50%% of the fat-tree's switches,\n"
       "Jellyfish still gives ~full bandwidth when <40%% of servers are\n"
-      "active; the full fat-tree itself would be a flat 1.0 line.\n");
+      "active; the full fat-tree itself would be a flat 1.0 line.\n\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    bench::print_digest_line("fig6a/" + labels[i],
+                             core::fluid_sweep_digest(series[i]),
+                             series[i].size(),
+                             bench::count_failed(series[i]));
+  }
   return 0;
 }

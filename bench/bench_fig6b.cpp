@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
   bench::banner("Fig 6(b)",
                 "Jellyfish with a fat-tree's switches and 2x its servers");
   const int threads = bench::parse_threads(argc, argv);
+  const auto flags = bench::parse_resilient_flags(argc, argv);
+  bench::ResilientState state;
+  bench::init_resilient_state(flags, &state);
 
   const bool full = core::repro_full();
   const std::vector<int> ks = full ? std::vector<int>{12, 24, 36}
@@ -25,7 +28,7 @@ int main(int argc, char** argv) {
   opts.threads = threads;
 
   struct Cell {
-    std::vector<core::FluidPoint> sweep;
+    std::vector<core::FluidPointRecord> sweep;
     std::string info;
   };
   const auto cells = bench::run_grid(ks.size(), threads, [&](std::size_t i) {
@@ -35,7 +38,9 @@ int main(int argc, char** argv) {
     const auto jf = topo::jellyfish_same_equipment(ft.topo.num_switches(), k,
                                                    servers, 1);
     Cell c;
-    c.sweep = core::fluid_sweep(jf, opts);
+    c.sweep = bench::sweep_with_flags(jf, opts,
+                                      "fig6b/k" + std::to_string(k), &state,
+                                      flags.point_sleep_ms);
     c.info = "  k=" + std::to_string(k) + ": " +
              std::to_string(ft.topo.num_switches()) + " switches of radix " +
              std::to_string(k) + ", " + std::to_string(servers) +
@@ -43,7 +48,7 @@ int main(int argc, char** argv) {
              ")";
     return c;
   });
-  std::vector<std::vector<core::FluidPoint>> series;
+  std::vector<std::vector<core::FluidPointRecord>> series;
   std::vector<std::string> labels;
   for (std::size_t i = 0; i < ks.size(); ++i) {
     std::printf("%s\n", cells[i].info.c_str());
@@ -57,13 +62,19 @@ int main(int argc, char** argv) {
   TextTable t(header);
   for (std::size_t i = 0; i < opts.fractions.size(); ++i) {
     std::vector<double> row{opts.fractions[i]};
-    for (const auto& s : series) row.push_back(s[i].throughput);
+    for (const auto& s : series) row.push_back(s[i].point.throughput);
     t.add_row(row, 3);
   }
   t.print();
   std::printf(
       "\nExpected shape (paper): despite hosting 2x the servers on the same\n"
       "switches, Jellyfish reaches full per-server throughput once a\n"
-      "minority of servers participate, and larger k only helps.\n");
+      "minority of servers participate, and larger k only helps.\n\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    bench::print_digest_line("fig6b/" + labels[i],
+                             core::fluid_sweep_digest(series[i]),
+                             series[i].size(),
+                             bench::count_failed(series[i]));
+  }
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "util.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
+#include "common/digest.hpp"
 #include "topo/xpander.hpp"
 
 namespace flexnets::bench {
@@ -34,6 +37,158 @@ int parse_threads(int argc, char** argv) {
     return n;
   }
   return 0;  // auto: FLEXNETS_THREADS env, else hardware_concurrency
+}
+
+ResilientFlags parse_resilient_flags(int argc, char** argv) {
+  ResilientFlags flags;
+  const auto want_value = [&](int i, const char* name) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s wants a value\n", name);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0) {
+      flags.journal_path = want_value(i, "--journal");
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      flags.journal_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      flags.resume_path = want_value(i, "--resume");
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      flags.resume_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--point-sleep-ms") == 0 ||
+               std::strncmp(argv[i], "--point-sleep-ms=", 17) == 0) {
+      const char* value = argv[i][16] == '='
+                              ? argv[i] + 17
+                              : want_value(i, "--point-sleep-ms");
+      flags.point_sleep_ms = std::atoi(value);
+      if (flags.point_sleep_ms < 0) {
+        std::fprintf(stderr, "error: --point-sleep-ms wants >= 0, got '%s'\n",
+                     value);
+        std::exit(2);
+      }
+    }
+  }
+  // Resuming continues the same file unless a different journal was named.
+  if (!flags.resume_path.empty() && flags.journal_path.empty()) {
+    flags.journal_path = flags.resume_path;
+  }
+  return flags;
+}
+
+void init_resilient_state(const ResilientFlags& flags,
+                          ResilientState* state) {
+  if (!flags.resume_path.empty()) {
+    const auto records = core::load_journal(flags.resume_path);
+    if (!records.ok()) {
+      std::fprintf(stderr, "error: cannot resume: %s\n",
+                   records.status().to_string().c_str());
+      std::exit(2);
+    }
+    state->completed = core::index_by_key(*records);
+    std::printf("resume: %zu journaled points in %s\n",
+                state->completed.size(), flags.resume_path.c_str());
+  }
+  if (!flags.journal_path.empty()) {
+    const auto st = state->journal.open(flags.journal_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+namespace {
+
+void sleep_point(int ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+std::vector<core::FluidPointRecord> sweep_with_flags(
+    const topo::Topology& topo, core::FluidSweepOptions opts,
+    const std::string& key_prefix, ResilientState* state,
+    int point_sleep_ms) {
+  if (point_sleep_ms > 0) {
+    opts.point_hook = [point_sleep_ms](std::size_t) {
+      sleep_point(point_sleep_ms);
+    };
+  }
+  core::ResilientSweepOptions ropts;
+  ropts.sweep = std::move(opts);
+  ropts.journal = &state->journal;
+  ropts.completed = &state->completed;
+  ropts.key_prefix = key_prefix;
+  return core::fluid_sweep_resilient(topo, ropts);
+}
+
+std::vector<core::JournalRecord> run_grid_resilient(
+    std::size_t n, int threads, const std::string& key_prefix,
+    ResilientState* state, int point_sleep_ms,
+    const std::function<std::vector<std::pair<std::string, double>>(
+        std::size_t)>& fn) {
+  std::vector<core::JournalRecord> out(n);
+  const auto statuses = core::run_indexed_contained(
+      n,
+      [&](std::size_t i) -> Status {
+        const std::string key = key_prefix + "/" + std::to_string(i);
+        const auto it = state->completed.find(key);
+        if (it != state->completed.end()) {
+          out[i] = it->second;
+          return Status(out[i].code, out[i].message);
+        }
+        sleep_point(point_sleep_ms);
+        core::JournalRecord rec;
+        rec.key = key;
+        rec.values = fn(i);  // an escape here leaves out[i] keyless
+        FLEXNETS_CHECK(state->journal.append(rec).ok(),
+                       "journal append failed");
+        out[i] = std::move(rec);
+        return {};
+      },
+      threads);
+  // A point whose computation escaped never journaled: record its captured
+  // status so a resume does not retry a known-poisoned point forever.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok() && out[i].key.empty()) {
+      out[i].key = key_prefix + "/" + std::to_string(i);
+      out[i].code = statuses[i].code();
+      out[i].message = statuses[i].message();
+      (void)state->journal.append(out[i]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t grid_digest(const std::vector<core::JournalRecord>& records) {
+  Digest d;
+  for (const auto& r : records) {
+    for (const auto& [name, v] : r.values) {
+      (void)name;
+      d.mix_double(v);
+    }
+  }
+  return d.value();
+}
+
+void print_digest_line(const std::string& label, std::uint64_t digest,
+                       std::size_t points, std::size_t failed) {
+  std::printf("digest %s: %016llx (%zu points, %zu failed)\n", label.c_str(),
+              static_cast<unsigned long long>(digest), points, failed);
+}
+
+std::size_t count_failed(const std::vector<core::JournalRecord>& records) {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.ok() ? 0 : 1;
+  return n;
+}
+
+std::size_t count_failed(const std::vector<core::FluidPointRecord>& records) {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.status.ok() ? 0 : 1;
+  return n;
 }
 
 std::string health_note(const core::PacketResult& r) {

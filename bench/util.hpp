@@ -2,12 +2,18 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/fluid_runner.hpp"
+#include "core/journal.hpp"
 #include "core/parallel.hpp"
 #include "routing/strategy.hpp"
 #include "topo/fat_tree.hpp"
@@ -38,6 +44,62 @@ std::vector<T> run_grid(std::size_t n, int threads, F&& fn) {
       n, [&](std::size_t i) { out[i] = fn(i); }, threads);
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Resilient execution flags shared by the fig benches (core/journal.hpp):
+//   --journal <path>        append each finished grid point durably
+//   --resume <path>         skip points already in <path>, append the rest
+//                           to the same file (implies --journal <path>)
+//   --point-sleep-ms <n>    pause inside each *computed* point; gives the
+//                           CI kill-mid-sweep test a window to SIGKILL in
+struct ResilientFlags {
+  std::string journal_path;
+  std::string resume_path;
+  int point_sleep_ms = 0;
+};
+// Exits with usage on a malformed value, like parse_threads.
+ResilientFlags parse_resilient_flags(int argc, char** argv);
+
+// The journal writer plus the completed-point index a resumed run skips.
+// Inactive (no-op journal, empty index) when the flags are empty.
+struct ResilientState {
+  core::Journal journal;
+  std::map<std::string, core::JournalRecord> completed;
+};
+// Opens the journal / loads the resume index per the flags. Exits with a
+// message on an unopenable journal or a corrupt resume file (a torn final
+// line from a kill is fine — it is dropped and that point reruns).
+void init_resilient_state(const ResilientFlags& flags, ResilientState* state);
+
+// fluid_sweep_resilient driven by the shared flags: restores completed
+// points from state->completed, journals under "<key_prefix>/<i>", and
+// sleeps point_sleep_ms inside each computed point.
+std::vector<core::FluidPointRecord> sweep_with_flags(
+    const topo::Topology& topo, core::FluidSweepOptions opts,
+    const std::string& key_prefix, ResilientState* state,
+    int point_sleep_ms);
+
+// Journaled fault-contained grid for the analytic benches: fn(i) returns
+// the point's named values; a failed point keeps a structured non-ok code
+// in its record while the rest of the grid completes.
+std::vector<core::JournalRecord> run_grid_resilient(
+    std::size_t n, int threads, const std::string& key_prefix,
+    ResilientState* state, int point_sleep_ms,
+    const std::function<std::vector<std::pair<std::string, double>>(
+        std::size_t)>& fn);
+
+// Order-sensitive digest over every record's values (exact double bits) —
+// the analytic-grid analogue of core::fluid_sweep_digest.
+std::uint64_t grid_digest(const std::vector<core::JournalRecord>& records);
+
+// The "digest <label>: <16 hex digits> (N points, F failed)" line the CI
+// resilience gate greps to compare a killed-and-resumed run against an
+// uninterrupted one.
+void print_digest_line(const std::string& label, std::uint64_t digest,
+                       std::size_t points, std::size_t failed);
+
+std::size_t count_failed(const std::vector<core::JournalRecord>& records);
+std::size_t count_failed(const std::vector<core::FluidPointRecord>& records);
 
 // Formats a PacketResult row note (drops / incomplete counts) for sanity.
 std::string health_note(const core::PacketResult& r);

@@ -1,0 +1,48 @@
+#include "common/status.hpp"
+
+namespace flexnets {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidInput:
+      return "invalid-input";
+    case StatusCode::kBudgetExhausted:
+      return "budget-exhausted";
+    case StatusCode::kNonConverged:
+      return "non-converged";
+    case StatusCode::kPartitioned:
+      return "partitioned";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+std::optional<StatusCode> status_code_from_name(const std::string& name) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidInput,
+        StatusCode::kBudgetExhausted, StatusCode::kNonConverged,
+        StatusCode::kPartitioned, StatusCode::kInternal}) {
+    if (name == status_code_name(code)) return code;
+  }
+  return std::nullopt;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = status_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+void throw_status(Status status) {
+  FLEXNETS_CHECK(!status.ok(), "throw_status called with an ok Status");
+  throw StatusError(std::move(status));
+}
+
+}  // namespace flexnets

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hpp"
 #include "metrics/fct_tracker.hpp"
 #include "sim/network.hpp"
 #include "topo/topology.hpp"
@@ -31,6 +32,11 @@ struct PacketSimOptions {
   // Safety valve: stop simulating at this time even if flows are pending
   // (incomplete flows are then reported in the summary).
   TimeNs hard_stop = 60 * kSecond;
+  // Cooperative event budget: end the run cleanly after this many simulator
+  // events (0 = unlimited). Event counts, not wall time, so truncation is
+  // same-seed deterministic; the result is then flagged `truncated` with a
+  // kBudgetExhausted status and still-summarizable partial metrics.
+  std::uint64_t max_events = 0;
   sim::NetworkConfig net;
   std::uint64_t seed = 1;
 };
@@ -41,6 +47,10 @@ struct PacketResult {
   std::uint64_t ecn_marks = 0;
   std::uint64_t events = 0;
   std::uint64_t flows_total = 0;
+  // True when max_events ended the run before the queue drained; the FCT
+  // summary then covers only flows completed within the budget.
+  bool truncated = false;
+  Status status;  // kBudgetExhausted when truncated
 };
 
 PacketResult run_packet_experiment(const topo::Topology& topo,

@@ -1,0 +1,343 @@
+#include "core/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace flexnets::core {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+// JSON string escaping for the few characters our keys/messages can carry.
+void append_escaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->append("\\u00");
+      out->push_back(kHexDigits[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out->push_back(kHexDigits[static_cast<unsigned char>(c) & 0xf]);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+// Minimal cursor parser for the exact line shape to_json_line emits
+// (fields may come in any order; whitespace between tokens is tolerated).
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        if (e == '"' || e == '\\' || e == '/') {
+          out->push_back(e);
+        } else if (e == 'n') {
+          out->push_back('\n');
+        } else if (e == 't') {
+          out->push_back('\t');
+        } else if (e == 'r') {
+          out->push_back('\r');
+        } else if (e == 'u') {
+          if (i + 4 > s.size()) return false;
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (v > 0x7f) return false;  // the writer never emits these
+          out->push_back(static_cast<char>(v));
+        } else {
+          return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  // The decimal rendering of a value is advisory; skip it.
+  bool skip_number() {
+    ws();
+    const std::size_t begin = i;
+    while (i < s.size() &&
+           (std::strchr("+-.eE", s[i]) != nullptr ||
+            (s[i] >= '0' && s[i] <= '9') || s[i] == 'n' || s[i] == 'a' ||
+            s[i] == 'i' || s[i] == 'f')) {
+      ++i;  // also accepts nan/inf spellings
+    }
+    return i > begin;
+  }
+};
+
+}  // namespace
+
+double JournalRecord::value(const std::string& name) const {
+  for (const auto& [n, v] : values) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+std::string double_to_bits_hex(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::string out(16, '0');
+  for (int k = 15; k >= 0; --k) {
+    out[static_cast<std::size_t>(k)] = kHexDigits[bits & 0xf];
+    bits >>= 4;
+  }
+  return out;
+}
+
+bool bits_hex_to_double(const std::string& hex, double* out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (const char h : hex) {
+    bits <<= 4;
+    if (h >= '0' && h <= '9') {
+      bits |= static_cast<std::uint64_t>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      bits |= static_cast<std::uint64_t>(h - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  std::memcpy(out, &bits, sizeof(*out));
+  return true;
+}
+
+std::string to_json_line(const JournalRecord& rec) {
+  std::string out = "{\"key\":\"";
+  append_escaped(&out, rec.key);
+  out += "\",\"code\":\"";
+  out += status_code_name(rec.code);
+  out += "\",\"message\":\"";
+  append_escaped(&out, rec.message);
+  out += "\",\"values\":[";
+  for (std::size_t i = 0; i < rec.values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "[\"";
+    append_escaped(&out, rec.values[i].first);
+    char dec[40];
+    std::snprintf(dec, sizeof(dec), "%.17g", rec.values[i].second);
+    out += "\",";
+    out += dec;
+    out += ",\"";
+    out += double_to_bits_hex(rec.values[i].second);
+    out += "\"]";
+  }
+  out += "]}";
+  return out;
+}
+
+StatusOr<JournalRecord> parse_json_line(const std::string& line) {
+  Cursor c{line};
+  JournalRecord rec;
+  bool have_key = false;
+  bool have_code = false;
+  if (!c.eat('{')) return invalid_input_error("journal record: expected '{'");
+  if (!c.peek('}')) {
+    do {
+      std::string field;
+      if (!c.parse_string(&field) || !c.eat(':')) {
+        return invalid_input_error("journal record: malformed field name");
+      }
+      if (field == "key") {
+        if (!c.parse_string(&rec.key)) {
+          return invalid_input_error("journal record: malformed key");
+        }
+        have_key = true;
+      } else if (field == "code") {
+        std::string name;
+        if (!c.parse_string(&name)) {
+          return invalid_input_error("journal record: malformed code");
+        }
+        const auto code = status_code_from_name(name);
+        if (!code) {
+          return invalid_input_error("journal record: unknown code '", name,
+                                     "'");
+        }
+        rec.code = *code;
+        have_code = true;
+      } else if (field == "message") {
+        if (!c.parse_string(&rec.message)) {
+          return invalid_input_error("journal record: malformed message");
+        }
+      } else if (field == "values") {
+        if (!c.eat('[')) {
+          return invalid_input_error("journal record: malformed values");
+        }
+        if (!c.peek(']')) {
+          do {
+            std::string name;
+            std::string hex;
+            double v = 0.0;
+            if (!c.eat('[') || !c.parse_string(&name) || !c.eat(',') ||
+                !c.skip_number() || !c.eat(',') || !c.parse_string(&hex) ||
+                !c.eat(']') || !bits_hex_to_double(hex, &v)) {
+              return invalid_input_error("journal record: malformed value '",
+                                         name, "'");
+            }
+            rec.values.emplace_back(std::move(name), v);
+          } while (c.eat(','));
+        }
+        if (!c.eat(']')) {
+          return invalid_input_error("journal record: unterminated values");
+        }
+      } else {
+        return invalid_input_error("journal record: unknown field '", field,
+                                   "'");
+      }
+    } while (c.eat(','));
+  }
+  if (!c.eat('}')) {
+    return invalid_input_error("journal record: expected '}'");
+  }
+  c.ws();
+  if (c.i != line.size()) {
+    return invalid_input_error("journal record: trailing garbage");
+  }
+  if (!have_key || !have_code) {
+    return invalid_input_error("journal record: missing key/code");
+  }
+  return rec;
+}
+
+Journal::~Journal() { close(); }
+
+Status Journal::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  // Repair a torn tail first: a kill mid-append leaves an unterminated
+  // final line, and appending after it would concatenate the next record
+  // onto the garbage, corrupting a line load_journal would otherwise just
+  // drop. Truncate back to the last complete line before appending.
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string text = buf.str();
+      const std::size_t nl = text.find_last_of('\n');
+      const std::size_t keep = nl == std::string::npos ? 0 : nl + 1;
+      if (keep != text.size() &&
+          truncate(path.c_str(), static_cast<off_t>(keep)) != 0) {
+        return invalid_input_error("cannot repair torn journal tail in ",
+                                   path);
+      }
+    }
+  }
+  f_ = std::fopen(path.c_str(), "ab");
+  if (f_ == nullptr) {
+    return invalid_input_error("cannot open journal ", path,
+                               " for appending");
+  }
+  path_ = path;
+  return {};
+}
+
+Status Journal::append(const JournalRecord& rec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (f_ == nullptr) return {};  // journaling disabled
+  const std::string line = to_json_line(rec) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size() ||
+      std::fflush(f_) != 0) {
+    return internal_error("journal append to ", path_, " failed");
+  }
+  // Durability point: after fsync, a SIGKILL cannot lose this record.
+  if (fsync(fileno(f_)) != 0) {
+    return internal_error("journal fsync of ", path_, " failed");
+  }
+  return {};
+}
+
+void Journal::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+StatusOr<std::vector<JournalRecord>> load_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return invalid_input_error("cannot open journal ", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<JournalRecord> records;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string::npos;
+    const std::string line =
+        text.substr(pos, terminated ? nl - pos : std::string::npos);
+    pos = terminated ? nl + 1 : text.size();
+    ++line_no;
+    if (line.empty()) continue;
+    auto rec = parse_json_line(line);
+    if (!rec.ok()) {
+      // The writer appends "record\n" atomically w.r.t. its own lines, so
+      // an unterminated final line is the signature of a kill mid-append:
+      // drop it (the point just reruns). Anything else is real corruption.
+      if (!terminated) break;
+      return invalid_input_error(path, " line ", line_no, ": ",
+                                 rec.status().message());
+    }
+    records.push_back(std::move(rec).value());
+  }
+  return records;
+}
+
+std::map<std::string, JournalRecord> index_by_key(
+    const std::vector<JournalRecord>& records) {
+  std::map<std::string, JournalRecord> by_key;
+  for (const auto& r : records) by_key[r.key] = r;
+  return by_key;
+}
+
+}  // namespace flexnets::core

@@ -17,9 +17,17 @@ PacketResult run_packet_experiment(const topo::Topology& topo,
                                               num_flows, opts.seed);
 
   sim::PacketNetwork net(topo, opts.net);
+  net.simulator().set_event_budget(opts.max_events);
   net.run(flows, opts.hard_stop);
 
   PacketResult result;
+  result.truncated = net.simulator().budget_exhausted();
+  if (result.truncated) {
+    result.status = budget_exhausted_error(
+        "packet simulation truncated after ",
+        net.simulator().events_processed(), " events (budget ",
+        opts.max_events, "); metrics cover the completed prefix");
+  }
   result.flows_total = flows.size();
   std::vector<metrics::FlowRecord> records;
   records.reserve(flows.size());

@@ -11,6 +11,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
+
+#include "common/status.hpp"
 
 namespace flexnets::core {
 
@@ -27,5 +30,23 @@ int resolve_threads(int requested = 0);
 // sharing deadlock-free.
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
                  int threads = 0);
+
+// Fault-contained variant: one poisoned grid point must not take down the
+// sweep. fn(i) reports expected failures by returning a non-ok Status;
+// anything that *escapes* a point is captured into that point's slot of
+// the returned vector instead of propagating:
+//   - StatusError (throw_status)        -> its carried Status
+//   - CheckFailure / other exceptions   -> kInternal with the what() text
+// Every index runs regardless of other indices' failures, and the result
+// vector always has size n.
+//
+// To make FLEXNETS_CHECK failures catchable, the call switches the check
+// policy to kThrow for its duration. The policy is process-wide, so other
+// threads of the process observe it too while a contained grid runs --
+// acceptable here because the policy only changes *how* a check failure
+// surfaces (exception vs abort), never whether it is detected.
+std::vector<Status> run_indexed_contained(
+    std::size_t n, const std::function<Status(std::size_t)>& fn,
+    int threads = 0);
 
 }  // namespace flexnets::core

@@ -1,6 +1,8 @@
 #include "fault/fault_plan.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -25,13 +27,12 @@ const char* kind_name(FaultKind k) {
   return "?";
 }
 
-FaultKind kind_from_name(const std::string& s) {
+std::optional<FaultKind> kind_from_name(const std::string& s) {
   if (s == "link-down") return FaultKind::kLinkDown;
   if (s == "link-up") return FaultKind::kLinkUp;
   if (s == "switch-down") return FaultKind::kSwitchDown;
   if (s == "switch-up") return FaultKind::kSwitchUp;
-  FLEXNETS_CHECK(false, "FaultPlan::parse: unknown event kind '", s, "'");
-  return FaultKind::kLinkDown;
+  return std::nullopt;
 }
 
 // True if the switch graph minus `dead_edges` / `dead_switches` still
@@ -154,33 +155,54 @@ FaultPlan FaultPlan::random(const topo::Topology& t,
   return plan;
 }
 
-void FaultPlan::validate(const topo::Topology& t) const {
+Status FaultPlan::check_against(const topo::Topology& t) const {
   std::vector<char> edge_down(static_cast<std::size_t>(t.g.num_edges()), 0);
   std::vector<char> switch_down(static_cast<std::size_t>(t.num_switches()), 0);
   TimeNs prev = 0;
-  for (const auto& e : events_) {
-    FLEXNETS_CHECK(e.time >= 0, "FaultPlan: negative event time ", e.time);
-    FLEXNETS_CHECK(e.time >= prev, "FaultPlan: events out of order at ",
-                   e.time, " after ", prev);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& e = events_[i];
+    if (e.time < 0) {
+      return invalid_input_error("event ", i, ": negative time ", e.time);
+    }
+    if (e.time < prev) {
+      return invalid_input_error("event ", i, ": out of order at ", e.time,
+                                 " after ", prev);
+    }
     prev = e.time;
     if (is_link_kind(e.kind)) {
-      FLEXNETS_CHECK(e.id >= 0 && e.id < t.g.num_edges(),
-                     "FaultPlan: link id ", e.id, " out of range");
+      if (e.id < 0 || e.id >= t.g.num_edges()) {
+        return invalid_input_error("event ", i, ": link id ", e.id,
+                                   " out of range [0, ", t.g.num_edges(),
+                                   ") for topology '", t.name, "'");
+      }
       auto& down = edge_down[static_cast<std::size_t>(e.id)];
-      FLEXNETS_CHECK(is_down_kind(e.kind) != static_cast<bool>(down),
-                     "FaultPlan: ", kind_name(e.kind), " of link ", e.id,
-                     " while it is ", down ? "already down" : "up");
+      if (is_down_kind(e.kind) == static_cast<bool>(down)) {
+        return invalid_input_error("event ", i, ": ", kind_name(e.kind),
+                                   " of link ", e.id, " while it is ",
+                                   down ? "already down" : "up");
+      }
       down = is_down_kind(e.kind) ? 1 : 0;
     } else {
-      FLEXNETS_CHECK(e.id >= 0 && e.id < t.num_switches(),
-                     "FaultPlan: switch id ", e.id, " out of range");
+      if (e.id < 0 || e.id >= t.num_switches()) {
+        return invalid_input_error("event ", i, ": switch id ", e.id,
+                                   " out of range [0, ", t.num_switches(),
+                                   ") for topology '", t.name, "'");
+      }
       auto& down = switch_down[static_cast<std::size_t>(e.id)];
-      FLEXNETS_CHECK(is_down_kind(e.kind) != static_cast<bool>(down),
-                     "FaultPlan: ", kind_name(e.kind), " of switch ", e.id,
-                     " while it is ", down ? "already down" : "up");
+      if (is_down_kind(e.kind) == static_cast<bool>(down)) {
+        return invalid_input_error("event ", i, ": ", kind_name(e.kind),
+                                   " of switch ", e.id, " while it is ",
+                                   down ? "already down" : "up");
+      }
       down = is_down_kind(e.kind) ? 1 : 0;
     }
   }
+  return {};
+}
+
+void FaultPlan::validate(const topo::Topology& t) const {
+  const auto st = check_against(t);
+  FLEXNETS_CHECK(st.ok(), "FaultPlan: ", st.message());
 }
 
 std::string FaultPlan::serialize() const {
@@ -191,7 +213,7 @@ std::string FaultPlan::serialize() const {
   return os.str();
 }
 
-FaultPlan FaultPlan::parse(const std::string& text) {
+StatusOr<FaultPlan> FaultPlan::parse(const std::string& text) {
   FaultPlan plan;
   std::istringstream is(text);
   std::string line;
@@ -203,16 +225,51 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     FaultEvent e;
     std::string kind;
     ls >> e.time >> kind >> e.id;
-    FLEXNETS_CHECK(!ls.fail(), "FaultPlan::parse: malformed line ", line_no,
-                   ": '", line, "'");
-    e.kind = kind_from_name(kind);
+    if (ls.fail()) {
+      return invalid_input_error("line ", line_no,
+                                 ": expected '<time_ns> <kind> <id>', got '",
+                                 line, "'");
+    }
+    const auto k = kind_from_name(kind);
+    if (!k) {
+      return invalid_input_error("line ", line_no, ": unknown event kind '",
+                                 kind, "'");
+    }
+    e.kind = *k;
+    if (!plan.events_.empty() && e.time < plan.events_.back().time) {
+      return invalid_input_error("line ", line_no,
+                                 ": events not time-sorted (", e.time,
+                                 " after ", plan.events_.back().time, ")");
+    }
     plan.events_.push_back(e);
   }
-  FLEXNETS_CHECK(std::is_sorted(plan.events_.begin(), plan.events_.end(),
-                                [](const FaultEvent& a, const FaultEvent& b) {
-                                  return a.time < b.time;
-                                }),
-                 "FaultPlan::parse: events not time-sorted");
+  return plan;
+}
+
+Status save_fault_plan(const std::string& path, const FaultPlan& plan) {
+  std::ofstream out(path);
+  if (!out) return invalid_input_error("cannot open ", path, " for writing");
+  const auto text = plan.serialize();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return invalid_input_error("write to ", path, " failed");
+  return {};
+}
+
+StatusOr<FaultPlan> load_fault_plan(const std::string& path,
+                                    const topo::Topology* target) {
+  std::ifstream in(path);
+  if (!in) return invalid_input_error("cannot open ", path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto plan = FaultPlan::parse(text.str());
+  if (!plan.ok()) {
+    return invalid_input_error(path, ": ", plan.status().message());
+  }
+  if (target != nullptr) {
+    if (const auto st = plan->check_against(*target); !st.ok()) {
+      return invalid_input_error(path, ": ", st.message());
+    }
+  }
   return plan;
 }
 

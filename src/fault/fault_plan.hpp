@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/units.hpp"
 #include "graph/graph.hpp"
 #include "topo/topology.hpp"
@@ -81,20 +82,35 @@ class FaultPlan {
   static FaultPlan random(const topo::Topology& t,
                           const RandomFaultOptions& opt, std::uint64_t seed);
 
-  // FLEXNETS_CHECKs structural sanity against `t`: ids in range, times
-  // non-decreasing and non-negative, and every recovery matching an earlier
-  // failure of the same element (no double-down / double-up).
+  // Structural sanity against `t`: ids in range, times non-decreasing and
+  // non-negative, and every recovery matching an earlier failure of the
+  // same element (no double-down / double-up). check_against returns
+  // kInvalidInput naming the first offending event index — the input-
+  // boundary form, run at plan load time so a mismatched plan/topology
+  // pair is rejected before it reaches an engine (previously only caught
+  // deep inside the run under FLEXNETS_AUDIT). validate is the engine-side
+  // wrapper that FLEXNETS_CHECKs the same conditions.
+  [[nodiscard]] Status check_against(const topo::Topology& t) const;
   void validate(const topo::Topology& t) const;
 
   // Text round-trip: one "<time_ns> <kind> <id>" line per event, where
-  // <kind> is link-down | link-up | switch-down | switch-up.
+  // <kind> is link-down | link-up | switch-down | switch-up. parse returns
+  // kInvalidInput with the offending 1-based line on malformed input.
   [[nodiscard]] std::string serialize() const;
-  static FaultPlan parse(const std::string& text);  // FLEXNETS_CHECKs syntax
+  static StatusOr<FaultPlan> parse(const std::string& text);
 
   bool operator==(const FaultPlan&) const = default;
 
  private:
   std::vector<FaultEvent> events_;  // stably sorted by time
 };
+
+// File helpers for the serialized form. load_fault_plan parses the file
+// and, when `target` is given, validates every event id against that
+// topology (kInvalidInput with the first offending event index on
+// mismatch) so the error surfaces at the input boundary.
+Status save_fault_plan(const std::string& path, const FaultPlan& plan);
+StatusOr<FaultPlan> load_fault_plan(const std::string& path,
+                                    const topo::Topology* target = nullptr);
 
 }  // namespace flexnets::fault

@@ -32,7 +32,7 @@ struct SourceGroup {
 McfResult max_concurrent_flow(int num_nodes,
                               const std::vector<DirectedEdge>& edges,
                               const std::vector<McfCommodity>& commodities,
-                              double eps) {
+                              double eps, const McfLimits& limits) {
   assert(eps > 0.0 && eps <= 0.5);
   McfResult result;
   if (commodities.empty() || edges.empty()) return result;
@@ -154,11 +154,23 @@ McfResult max_concurrent_flow(int num_nodes,
   int completed_phases = 0;
   // Hard cap on phases as a safety net; GK terminates in
   // O(log(m)/eps^2) phases for lambda* >= 1 instances and we rescale below.
-  const int max_phases = static_cast<int>(
+  const int safety_cap = static_cast<int>(
       std::ceil(2.0 / (eps * eps) * std::log(static_cast<double>(m) / (1 - eps))) *
       40) + 50;
 
-  while (dual < 1.0 && completed_phases < max_phases) {
+  // Budgets are checked at phase boundaries only: a partial phase would
+  // have to be discarded anyway (lambda counts completed phases), and the
+  // boundary check keeps the routing sequence -- hence the result -- a
+  // deterministic function of (input, budget), independent of when an
+  // external cancel token happened to flip mid-phase.
+  bool budget_stop = false;
+  while (dual < 1.0 && completed_phases < safety_cap) {
+    if ((limits.max_phases > 0 && completed_phases >= limits.max_phases) ||
+        (limits.cancel != nullptr &&
+         limits.cancel->load(std::memory_order_relaxed))) {
+      budget_stop = true;
+      break;
+    }
     for (const SourceGroup& g : groups) {
       for (const auto ci : g.members) {
         const auto& cmd = commodities[static_cast<std::size_t>(ci)];
@@ -216,7 +228,23 @@ McfResult max_concurrent_flow(int num_nodes,
   const double scale = std::log((1.0 + eps) / delta) / std::log(1.0 + eps);
   result.lambda = static_cast<double>(completed_phases) / scale;
 
+  if (dual < 1.0) {
+    if (budget_stop) {
+      result.status = budget_exhausted_error(
+          "GK stopped after ", completed_phases,
+          " completed phases; lambda so far ", result.lambda);
+    } else {
+      result.status = non_converged_error(
+          "GK hit the internal phase safety cap (", safety_cap,
+          " phases) without reaching dual >= 1");
+    }
+  }
+
   if (audit) {
+    // The capacity and conservation invariants below hold mid-run as well
+    // (edge lengths only grow, and dual < 1 at any early exit still bounds
+    // length_e * c_e), so a budgeted exit is audited exactly like a
+    // converged one -- the partial lambda must be honest too.
     // Capacity feasibility: GK's length invariant bounds the raw flow on
     // every edge by capacity * scale, so flow/scale is feasible. A breach
     // means the length updates (and hence lambda) are wrong.

@@ -15,7 +15,10 @@
 // comparison oracle (ctest -L mcf, BENCH_MCF.json).
 #pragma once
 
+#include <atomic>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace flexnets::flow {
 
@@ -31,10 +34,29 @@ struct McfCommodity {
   double demand = 0.0;
 };
 
+// Cooperative budgets for the GK loop. GK is primal: lambda after k
+// completed phases is always feasible, so stopping early degrades the
+// approximation guarantee but never the feasibility of the reported
+// value -- a budgeted run returns the best lambda proven so far.
+struct McfLimits {
+  // Stop after this many completed phases; 0 = no explicit budget (the
+  // internal non-convergence safety cap still applies).
+  int max_phases = 0;
+  // Cooperative cancellation, observed at phase boundaries. src/ code may
+  // not read wall clocks (determinism lint), so wall-clock budgets are the
+  // caller's job: flip this token from outside and the solver returns
+  // kBudgetExhausted with its partial lambda.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 struct McfResult {
   double lambda = 0.0;   // guaranteed-feasible concurrent-flow fraction
   int phases = 0;        // completed GK phases
   long long dijkstra_calls = 0;
+  // kOk when the (1-eps)^3 guarantee holds; kBudgetExhausted when an
+  // McfLimits budget stopped the loop first (lambda is the feasible
+  // partial); kNonConverged when the internal safety cap fired.
+  Status status;
 };
 
 // Preconditions: capacities > 0, demands > 0, every commodity's dst
@@ -42,6 +64,6 @@ struct McfResult {
 McfResult max_concurrent_flow(int num_nodes,
                               const std::vector<DirectedEdge>& edges,
                               const std::vector<McfCommodity>& commodities,
-                              double eps = 0.1);
+                              double eps = 0.1, const McfLimits& limits = {});
 
 }  // namespace flexnets::flow

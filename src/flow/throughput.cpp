@@ -11,6 +11,12 @@ namespace flexnets::flow {
 
 namespace {
 
+// Shared implementation of the plain and budget-aware entries; the solver
+// status is reported through `solver_status` when non-null.
+double throughput_impl(const topo::Topology& t, const TrafficMatrix& tm,
+                       const ThroughputOptions& opts,
+                       const ThroughputCache& cache, Status* solver_status);
+
 std::uint64_t topology_digest(const topo::Topology& t) {
   Digest d;
   d.mix(static_cast<std::uint64_t>(t.num_switches()));
@@ -66,9 +72,26 @@ McfInstance build_mcf_instance(const ThroughputCache& cache,
   return inst;
 }
 
+ThroughputResult per_server_throughput_budgeted(const topo::Topology& t,
+                                                const TrafficMatrix& tm,
+                                                const ThroughputOptions& opts,
+                                                const ThroughputCache& cache) {
+  ThroughputResult out;
+  out.lambda = throughput_impl(t, tm, opts, cache, &out.status);
+  return out;
+}
+
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
                              const ThroughputOptions& opts,
                              const ThroughputCache& cache) {
+  return throughput_impl(t, tm, opts, cache, nullptr);
+}
+
+namespace {
+
+double throughput_impl(const topo::Topology& t, const TrafficMatrix& tm,
+                       const ThroughputOptions& opts,
+                       const ThroughputCache& cache, Status* solver_status) {
   if (audit_enabled()) {
     // Stale-handoff audit: the cache must describe exactly the topology
     // this evaluation runs on. Catches a sweep wiring the wrong (or a
@@ -86,9 +109,12 @@ double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
   const auto inst = build_mcf_instance(cache, tm);
   const auto r =
       max_concurrent_flow(inst.num_nodes, inst.edges, inst.commodities,
-                          opts.eps);
+                          opts.eps, opts.limits);
+  if (solver_status != nullptr) *solver_status = r.status;
   return std::clamp(r.lambda, 0.0, 1.0);
 }
+
+}  // namespace
 
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
                              const ThroughputOptions& opts) {

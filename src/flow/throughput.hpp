@@ -19,12 +19,20 @@
 namespace flexnets::flow {
 
 struct ThroughputOptions {
-  double eps = 0.1;  // GK approximation parameter
+  double eps = 0.1;   // GK approximation parameter
+  McfLimits limits;   // cooperative phase budget / cancellation (see mcf.hpp)
 };
 
 // Returns lambda in [0, 1]; 0 for an empty TM.
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
                              const ThroughputOptions& opts = {});
+
+// Budget-aware form: `lambda` is always feasible (GK is primal), `status`
+// is kBudgetExhausted / kNonConverged when the solve stopped early.
+struct ThroughputResult {
+  double lambda = 0.0;
+  Status status;
+};
 
 // Shared read-only per-topology state for sweep drivers that evaluate many
 // TMs on one topology, possibly from several threads at once: the doubled
@@ -60,6 +68,13 @@ McfInstance build_mcf_instance(const ThroughputCache& cache,
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
                              const ThroughputOptions& opts,
                              const ThroughputCache& cache);
+
+// The budget-aware entry the resilient sweep drivers use: same lambda as
+// per_server_throughput, plus the solver status for the point record.
+ThroughputResult per_server_throughput_budgeted(const topo::Topology& t,
+                                                const TrafficMatrix& tm,
+                                                const ThroughputOptions& opts,
+                                                const ThroughputCache& cache);
 
 // The throughput-proportionality ideal (paper Fig 2): a TP network built at
 // worst-case throughput `alpha` achieves min(alpha / x, 1) when only an

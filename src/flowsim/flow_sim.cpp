@@ -346,7 +346,16 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
   std::size_t next_epoch = 0;
 
   enum class Kind { kNone, kArrival, kCompletion, kEpoch };
+  std::uint64_t events = 0;
+  truncated_ = false;
   while (next_arrival < flows.size() || !active.empty()) {
+    if (cfg_.max_events != 0 && events >= cfg_.max_events) {
+      // Budget exhausted: in-flight and not-yet-arrived flows keep
+      // end = -1 and the caller sees last_run_truncated().
+      truncated_ = true;
+      break;
+    }
+    ++events;
     // Next event: earliest of (epoch, next arrival, earliest completion).
     double next_event = kInf;
     Kind kind = Kind::kNone;

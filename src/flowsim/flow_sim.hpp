@@ -48,6 +48,13 @@ struct FlowSimConfig {
   // outlive the simulator.
   const fault::FaultPlan* faults = nullptr;
   TimeNs control_plane_delay = 500 * kMicrosecond;
+
+  // Cooperative event budget: end run() cleanly after this many loop
+  // events (arrivals + completions + fault epochs; 0 = unlimited). Flows
+  // still in flight keep end = -1 in the records and the run is reported
+  // via last_run_truncated(). Deterministic: same seed + same budget stop
+  // at exactly the same event.
+  std::uint64_t max_events = 0;
 };
 
 class FlowLevelSimulator {
@@ -62,6 +69,9 @@ class FlowLevelSimulator {
   // end time), accumulated only while audit_enabled(). Two same-seed runs
   // must produce identical values.
   [[nodiscard]] std::uint64_t last_run_digest() const { return digest_; }
+
+  // True when the last run() stopped on cfg.max_events with work pending.
+  [[nodiscard]] bool last_run_truncated() const { return truncated_; }
 
   // When set, the aggregate allocated rate is integrated into the timeline
   // between events (delivered-throughput curve). Must outlive run().
@@ -102,6 +112,7 @@ class FlowLevelSimulator {
   std::vector<std::vector<std::pair<topo::NodeId, std::int32_t>>> out_link_;
   std::uint64_t flow_counter_ = 0;  // per-flow routing salt source
   std::uint64_t digest_ = 0;        // see last_run_digest()
+  bool truncated_ = false;          // see last_run_truncated()
 
   // Fault-injection state (engaged iff cfg_.faults != nullptr).
   fault::LiveState live_;

@@ -30,8 +30,13 @@ void Simulator::schedule_packet(TimeNs at, std::int32_t node, Packet pkt) {
 std::uint64_t Simulator::run(TimeNs until) {
   FLEXNETS_CHECK(handler_, "no event handler installed");
   const bool audit = audit_enabled();
+  budget_exhausted_ = false;
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.top().time <= until) {
+    if (max_events_ != 0 && processed_ + n >= max_events_) {
+      budget_exhausted_ = true;
+      break;
+    }
     Event e = queue_.pop();
     // Clock monotonicity: time never goes backward. Always-on -- a
     // violation poisons every downstream FCT measurement.

@@ -29,6 +29,15 @@ class Simulator {
   // stay queued). Returns the number of events processed.
   std::uint64_t run(TimeNs until = kMaxTime);
 
+  // Cooperative event budget: run() also stops once the *lifetime* event
+  // count reaches this many (0 = unlimited). Counting events instead of
+  // wall time keeps truncation deterministic -- two same-seed runs stop
+  // at exactly the same event.
+  void set_event_budget(std::uint64_t max_events) { max_events_ = max_events; }
+  // True when the last run() stopped because of the budget while work was
+  // still pending (as opposed to draining the queue or passing `until`).
+  [[nodiscard]] bool budget_exhausted() const { return budget_exhausted_; }
+
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
   // Determinism digest over every dispatched event's (time, type, a, b),
@@ -42,6 +51,8 @@ class Simulator {
   EventQueue queue_;
   TimeNs now_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t max_events_ = 0;  // 0 = unlimited
+  bool budget_exhausted_ = false;
   Handler handler_;
   Digest digest_;
 };

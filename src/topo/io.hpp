@@ -9,12 +9,18 @@
 //   links <m>
 //   <a_0> <b_0>
 //   ...
+//
+// The readers return StatusOr<Topology>: malformed input yields
+// kInvalidInput with a message naming the offending line (never a crash),
+// so a sweep over many topology files can record the bad one and keep
+// going. Rejected beyond plain syntax errors: out-of-range or self-loop
+// link endpoints, negative server counts, and duplicate edges.
 #pragma once
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
+#include "common/status.hpp"
 #include "topo/topology.hpp"
 
 namespace flexnets::topo {
@@ -22,19 +28,18 @@ namespace flexnets::topo {
 void write_text(std::ostream& out, const Topology& t);
 std::string to_text(const Topology& t);
 
-// Parses the text format; returns nullopt (and leaves a message in `error`
-// if provided) on malformed input.
-std::optional<Topology> read_text(std::istream& in,
-                                  std::string* error = nullptr);
-std::optional<Topology> from_text(const std::string& text,
-                                  std::string* error = nullptr);
+// Parses the text format. Errors are kInvalidInput with a 1-based line
+// number ("line 6: ..."); load_topology prefixes the file path.
+StatusOr<Topology> read_text(std::istream& in);
+StatusOr<Topology> from_text(const std::string& text);
 
 // Graphviz: switches as boxes labeled "s<i> (+k srv)"; one edge per link.
 std::string to_dot(const Topology& t);
 
-// File helpers; return false on I/O failure.
-bool save_topology(const std::string& path, const Topology& t);
-std::optional<Topology> load_topology(const std::string& path,
-                                      std::string* error = nullptr);
+// File helpers. save_topology returns kInvalidInput on I/O failure;
+// load_topology returns kInvalidInput for both unreadable files and
+// malformed content.
+Status save_topology(const std::string& path, const Topology& t);
+StatusOr<Topology> load_topology(const std::string& path);
 
 }  // namespace flexnets::topo

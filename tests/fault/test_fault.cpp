@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/status.hpp"
 #include "fault/audit.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/live_state.hpp"
@@ -95,16 +97,65 @@ TEST_F(FaultTest, SerializeParseRoundTrip) {
   const auto plan = fault::FaultPlan::random(ft.topo, window_opt(2, 1), 42);
   ASSERT_FALSE(plan.empty());
   const auto back = fault::FaultPlan::parse(plan.serialize());
-  EXPECT_EQ(plan, back);
-  back.validate(ft.topo);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(plan, *back);
+  back->validate(ft.topo);
 }
 
 TEST_F(FaultTest, ParseRejectsGarbageAndUnsortedInput) {
-  EXPECT_THROW(fault::FaultPlan::parse("12 link-down"), CheckFailure);
-  EXPECT_THROW(fault::FaultPlan::parse("12 meteor-strike 3"), CheckFailure);
-  EXPECT_THROW(
-      fault::FaultPlan::parse("2000 link-down 1\n1000 link-up 1\n"),
-      CheckFailure);
+  const auto truncated = fault::FaultPlan::parse("12 link-down");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(truncated.status().message().find("line 1"), std::string::npos);
+
+  const auto unknown = fault::FaultPlan::parse("12 meteor-strike 3");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(unknown.status().message().find("meteor-strike"),
+            std::string::npos);
+
+  const auto unsorted =
+      fault::FaultPlan::parse("2000 link-down 1\n1000 link-up 1\n");
+  ASSERT_FALSE(unsorted.ok());
+  EXPECT_EQ(unsorted.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(unsorted.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(FaultTest, CheckAgainstNamesFirstOffendingEventIndex) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  const fault::FaultPlan plan({{100, fault::FaultKind::kLinkDown, 0},
+                               {200, fault::FaultKind::kLinkDown, 1 << 20}});
+  const auto st = plan.check_against(x.topo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidInput);
+  EXPECT_NE(st.message().find("event 1"), std::string::npos);
+  EXPECT_TRUE(plan.check_against(x.topo).code() == StatusCode::kInvalidInput);
+  const fault::FaultPlan good({{100, fault::FaultKind::kLinkDown, 0}});
+  EXPECT_TRUE(good.check_against(x.topo).ok());
+}
+
+TEST_F(FaultTest, LoadFaultPlanValidatesAgainstTargetTopology) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  const auto plan = fault::FaultPlan::random(x.topo, window_opt(2, 0), 7);
+  const std::string path = ::testing::TempDir() + "/flexnets_plan_test.txt";
+  ASSERT_TRUE(fault::save_fault_plan(path, plan).ok());
+
+  const auto back = fault::load_fault_plan(path, &x.topo);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(plan, *back);
+
+  // The same plan against a tiny topology must be rejected at load time
+  // with the first offending event index.
+  const auto tiny = topo::xpander(1, 2, 1, 1);
+  const auto mismatched = fault::load_fault_plan(path, &tiny.topo);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(mismatched.status().message().find("event "), std::string::npos);
+  std::remove(path.c_str());
+
+  const auto missing = fault::load_fault_plan("/nonexistent/dir/p.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidInput);
 }
 
 TEST_F(FaultTest, ValidateRejectsDoubleDownAndBadIds) {

@@ -84,6 +84,27 @@ int adhoc_heap() {
   return pending.top();
 }
 
+[[noreturn]] void give_up() {
+  std::exit(2);  // EXPECT-LINT: hard-exit
+}
+
+[[noreturn]] void give_up_harder() {
+  exit(3);  // EXPECT-LINT: hard-exit
+  abort();  // EXPECT-LINT: hard-exit
+}
+
+[[noreturn]] void give_up_hardest() {
+  std::abort();  // EXPECT-LINT: hard-exit
+}
+
+void escape_containment(bool bad) {
+  if (bad) throw 42;  // EXPECT-LINT: hard-exit
+}
+
+// rethrow_exception is the pool's sanctioned propagation path; the bare-
+// throw rule must not fire on it.
+void propagate(std::exception_ptr e) { std::rethrow_exception(e); }
+
 // Suppressed on purpose; must not fire.
 int suppressed() {
   return rand();  // flexnets-lint: allow(raw-rng) -- fixture: suppression works

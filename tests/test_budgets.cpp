@@ -1,0 +1,172 @@
+// Cooperative budgets (PR 5): the GK solver's phase budget and
+// cancellation token, and the simulators' event budgets. A budgeted stop
+// must be (a) structured -- kBudgetExhausted, never a crash or a silent
+// wrong answer, (b) useful -- GK's partial lambda stays primal-feasible
+// (audit-checked), simulator metrics cover the completed prefix, and
+// (c) deterministic -- same seed + same budget stop at the same place.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/status.hpp"
+#include "core/experiment.hpp"
+#include "flow/mcf.hpp"
+#include "flow/throughput.hpp"
+#include "flow/tm_generators.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/xpander.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/flow_size.hpp"
+#include "workload/pairs.hpp"
+
+namespace flexnets {
+namespace {
+
+// A GK instance big enough that one phase cannot converge it: fat-tree
+// k=4 rack-level all-to-all through the hose-model construction.
+flow::McfInstance hard_instance() {
+  const auto ft = topo::fat_tree(4);
+  const auto cache = flow::build_throughput_cache(ft.topo);
+  const auto tm = flow::all_to_all_tm(
+      ft.topo, workload::first_fraction_racks(ft.topo, 1.0));
+  return flow::build_mcf_instance(cache, tm);
+}
+
+TEST(McfBudget, PhaseBudgetReturnsFeasiblePartialLambda) {
+  // The audit pass mechanically verifies capacity feasibility and flow
+  // conservation of whatever GK routed before the budget hit.
+  AuditScope audit(true);
+  CheckPolicyScope policy(CheckPolicy::kThrow);
+  const auto inst = hard_instance();
+
+  flow::McfLimits limits;
+  limits.max_phases = 1;
+  const auto budgeted = flow::max_concurrent_flow(
+      inst.num_nodes, inst.edges, inst.commodities, 0.1, limits);
+  EXPECT_EQ(budgeted.status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(budgeted.phases, 1);
+  EXPECT_GT(budgeted.lambda, 0.0);
+
+  const auto full = flow::max_concurrent_flow(inst.num_nodes, inst.edges,
+                                              inst.commodities, 0.1);
+  EXPECT_TRUE(full.status.ok()) << full.status.to_string();
+  EXPECT_GT(full.phases, budgeted.phases);
+  // The partial is a lower bound on what the converged run proves.
+  EXPECT_LE(budgeted.lambda, full.lambda);
+}
+
+TEST(McfBudget, PhaseBudgetIsDeterministic) {
+  const auto inst = hard_instance();
+  flow::McfLimits limits;
+  limits.max_phases = 2;
+  const auto a = flow::max_concurrent_flow(inst.num_nodes, inst.edges,
+                                           inst.commodities, 0.1, limits);
+  const auto b = flow::max_concurrent_flow(inst.num_nodes, inst.edges,
+                                           inst.commodities, 0.1, limits);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.phases, b.phases);
+  EXPECT_EQ(a.dijkstra_calls, b.dijkstra_calls);
+  EXPECT_EQ(a.status.code(), b.status.code());
+}
+
+TEST(McfBudget, PreSetCancelTokenStopsBeforeAnyPhase) {
+  const auto inst = hard_instance();
+  std::atomic<bool> cancel{true};
+  flow::McfLimits limits;
+  limits.cancel = &cancel;
+  const auto r = flow::max_concurrent_flow(inst.num_nodes, inst.edges,
+                                           inst.commodities, 0.1, limits);
+  EXPECT_EQ(r.status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(r.phases, 0);
+  EXPECT_EQ(r.lambda, 0.0);  // feasible: route nothing
+}
+
+TEST(McfBudget, BudgetedThroughputSurfacesTheStatus) {
+  const auto ft = topo::fat_tree(4);
+  const auto cache = flow::build_throughput_cache(ft.topo);
+  const auto tm = flow::all_to_all_tm(
+      ft.topo, workload::first_fraction_racks(ft.topo, 1.0));
+  flow::ThroughputOptions opts;
+  opts.limits.max_phases = 1;
+  const auto r = flow::per_server_throughput_budgeted(ft.topo, tm, opts, cache);
+  EXPECT_EQ(r.status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_GE(r.lambda, 0.0);
+  EXPECT_LE(r.lambda, 1.0);
+
+  opts.limits.max_phases = 0;
+  const auto full =
+      flow::per_server_throughput_budgeted(ft.topo, tm, opts, cache);
+  EXPECT_TRUE(full.status.ok()) << full.status.to_string();
+  EXPECT_GE(full.lambda, r.lambda);
+}
+
+TEST(PacketBudget, TinyEventBudgetTruncatesCleanly) {
+  const auto ft = topo::fat_tree(4);
+  const auto pairs = workload::all_to_all_pairs(
+      ft.topo, workload::first_fraction_racks(ft.topo, 1.0));
+  const auto sizes = workload::pfabric_web_search();
+
+  core::PacketSimOptions opts;
+  opts.arrival_rate = 4000.0;
+  opts.window_begin = 1 * kMillisecond;
+  opts.window_end = 6 * kMillisecond;
+  opts.arrival_tail = 2 * kMillisecond;
+  opts.seed = 7;
+
+  const auto full = core::run_packet_experiment(ft.topo, *pairs, *sizes, opts);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_TRUE(full.status.ok());
+  ASSERT_GT(full.events, 1000u);
+
+  opts.max_events = 1000;
+  const auto cut = core::run_packet_experiment(ft.topo, *pairs, *sizes, opts);
+  EXPECT_TRUE(cut.truncated);
+  EXPECT_EQ(cut.status.code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(cut.events, 1000u);
+  EXPECT_EQ(cut.flows_total, full.flows_total);
+  // Clean termination with the same seed is bit-deterministic.
+  const auto cut2 = core::run_packet_experiment(ft.topo, *pairs, *sizes, opts);
+  EXPECT_EQ(cut2.events, cut.events);
+  EXPECT_EQ(cut2.drops, cut.drops);
+  EXPECT_EQ(cut2.fct.measured_flows, cut.fct.measured_flows);
+  EXPECT_EQ(cut2.fct.incomplete_flows, cut.fct.incomplete_flows);
+}
+
+TEST(FlowSimBudget, EventBudgetTruncatesDeterministically) {
+  const auto x = topo::xpander(3, 4, 2, 1);
+  const auto pairs = workload::all_to_all_pairs(
+      x.topo, workload::first_fraction_racks(x.topo, 1.0));
+  const auto flows = workload::generate_flows(
+      *pairs, *workload::pfabric_web_search(), 2000.0, 200, 11);
+
+  flowsim::FlowSimConfig cfg;
+  cfg.seed = 11;
+  flowsim::FlowLevelSimulator full(x.topo, cfg);
+  const auto full_records = full.run(flows);
+  EXPECT_FALSE(full.last_run_truncated());
+
+  cfg.max_events = 50;
+  flowsim::FlowLevelSimulator cut(x.topo, cfg);
+  const auto cut_records = cut.run(flows);
+  EXPECT_TRUE(cut.last_run_truncated());
+  std::size_t completed = 0;
+  for (const auto& r : cut_records) completed += r.end >= 0 ? 1 : 0;
+  std::size_t completed_full = 0;
+  for (const auto& r : full_records) completed_full += r.end >= 0 ? 1 : 0;
+  EXPECT_LT(completed, completed_full);
+  EXPECT_GT(completed, 0u);
+
+  flowsim::FlowLevelSimulator cut2(x.topo, cfg);
+  const auto again = cut2.run(flows);
+  EXPECT_TRUE(cut2.last_run_truncated());
+  ASSERT_EQ(again.size(), cut_records.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].end, cut_records[i].end) << i;
+  }
+}
+
+}  // namespace
+}  // namespace flexnets

@@ -1,0 +1,60 @@
+// Corrupt-input corpus (tests/corrupt_inputs/): every file is malformed in
+// a distinct way, and loading any of them must produce a structured
+// kInvalidInput naming the offending line -- never a crash or a CHECK
+// abort. This is the input-boundary half of the resilience model; the
+// sweep-level half (a poisoned grid point doesn't take down its
+// neighbours) lives in test_resilient_sweep.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.hpp"
+#include "topo/io.hpp"
+
+namespace flexnets::topo {
+namespace {
+
+std::string corpus(const std::string& file) {
+  return std::string(FLEXNETS_TEST_DATA_DIR) + "/corrupt_inputs/" + file;
+}
+
+struct CorpusCase {
+  const char* file;
+  const char* expect_line;      // "line N" of the offending line
+  const char* expect_fragment;  // what the diagnostic must mention
+};
+
+class CorruptInputs : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorruptInputs, YieldsInvalidInputNamingTheLine) {
+  const auto& c = GetParam();
+  const auto t = load_topology(corpus(c.file));
+  ASSERT_FALSE(t.ok()) << c.file << " unexpectedly parsed";
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidInput) << c.file;
+  const auto& msg = t.status().message();
+  EXPECT_NE(msg.find(c.expect_line), std::string::npos)
+      << c.file << ": " << msg;
+  EXPECT_NE(msg.find(c.expect_fragment), std::string::npos)
+      << c.file << ": " << msg;
+  // The path is part of the diagnostic so sweeps can log which input died.
+  EXPECT_NE(msg.find(c.file), std::string::npos) << msg;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorruptInputs,
+    ::testing::Values(
+        CorpusCase{"truncated.topo", "line 7", "unexpected end of file"},
+        CorpusCase{"duplicate_edge.topo", "line 8", "duplicate link"},
+        CorpusCase{"out_of_range_node.topo", "line 7", "out of range"},
+        CorpusCase{"non_integer_degree.topo", "line 4",
+                   "not a non-negative integer"}),
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      std::string name = info.param.file;
+      for (auto& ch : name) {
+        if (ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace flexnets::topo

@@ -1,0 +1,166 @@
+// JSONL sweep journal: exact-bit double round-trips, durability-oriented
+// append/load, tolerance of a SIGKILL-truncated final line, and structured
+// rejection of genuinely corrupt records.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/journal.hpp"
+
+namespace flexnets::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(JournalBits, DoubleRoundTripIsExact) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          0.1,
+                          -1.0 / 3.0,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          6.02214076e23};
+  for (const double v : cases) {
+    double back = 0.0;
+    ASSERT_TRUE(bits_hex_to_double(double_to_bits_hex(v), &back));
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof(v)), 0) << v;
+  }
+  // NaN keeps its payload bits too.
+  const double nan = std::nan("");
+  double back = 0.0;
+  ASSERT_TRUE(bits_hex_to_double(double_to_bits_hex(nan), &back));
+  EXPECT_EQ(std::memcmp(&nan, &back, sizeof(nan)), 0);
+
+  EXPECT_FALSE(bits_hex_to_double("123", &back));
+  EXPECT_FALSE(bits_hex_to_double("zzzzzzzzzzzzzzzz", &back));
+}
+
+TEST(JournalRecordTest, JsonLineRoundTrip) {
+  JournalRecord rec;
+  rec.key = "fig5a/jellyfish \"quoted\"\n/3";
+  rec.code = StatusCode::kInvalidInput;
+  rec.message = "line 7: duplicate link 0 1";
+  rec.values = {{"fraction", 0.3}, {"throughput", -1.0 / 3.0}};
+  const auto line = to_json_line(rec);
+  const auto back = parse_json_line(line);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(rec, *back);
+  EXPECT_EQ(back->value("fraction"), 0.3);
+  EXPECT_EQ(back->value("missing"), 0.0);
+}
+
+TEST(JournalRecordTest, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_json_line("").ok());
+  EXPECT_FALSE(parse_json_line("{").ok());
+  EXPECT_FALSE(parse_json_line("{\"key\":\"a\"}").ok());  // missing code
+  EXPECT_FALSE(parse_json_line("{\"key\":\"a\",\"code\":\"bogus\"}").ok());
+  EXPECT_FALSE(
+      parse_json_line(
+          "{\"key\":\"a\",\"code\":\"ok\",\"message\":\"\",\"values\":"
+          "[[\"x\",1,\"bad\"]]}")
+          .ok());
+  const auto st = parse_json_line("{\"wat\":1}").status();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidInput);
+}
+
+TEST(JournalFile, AppendLoadRoundTripAndLaterRecordWins) {
+  const auto path = temp_path("flexnets_journal_rt.jsonl");
+  std::remove(path.c_str());
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(path).ok());
+    ASSERT_TRUE(j.append({"p/0", StatusCode::kOk, "", {{"v", 1.25}}}).ok());
+    ASSERT_TRUE(j
+                    .append({"p/1", StatusCode::kNonConverged, "no",
+                             {{"v", 2.5}}})
+                    .ok());
+  }
+  {
+    // Reopen-append, as --resume does, and supersede p/1.
+    Journal j;
+    ASSERT_TRUE(j.open(path).ok());
+    ASSERT_TRUE(j.append({"p/1", StatusCode::kOk, "", {{"v", 3.5}}}).ok());
+  }
+  const auto records = load_journal(path);
+  ASSERT_TRUE(records.ok()) << records.status().to_string();
+  ASSERT_EQ(records->size(), 3u);
+  const auto by_key = index_by_key(*records);
+  ASSERT_EQ(by_key.size(), 2u);
+  EXPECT_EQ(by_key.at("p/0").value("v"), 1.25);
+  EXPECT_EQ(by_key.at("p/1").value("v"), 3.5);
+  EXPECT_TRUE(by_key.at("p/1").ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, ToleratesKilledMidAppendTail) {
+  const auto path = temp_path("flexnets_journal_tail.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << to_json_line({"p/0", StatusCode::kOk, "", {{"v", 1.0}}}) << "\n";
+    // Simulate SIGKILL mid-append: a final line missing its terminator.
+    const auto full = to_json_line({"p/1", StatusCode::kOk, "", {{"v", 2.0}}});
+    out << full.substr(0, full.size() / 2);
+  }
+  const auto records = load_journal(path);
+  ASSERT_TRUE(records.ok()) << records.status().to_string();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].key, "p/0");
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, ReopenAfterKillRepairsTheTornTail) {
+  const auto path = temp_path("flexnets_journal_repair.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << to_json_line({"p/0", StatusCode::kOk, "", {{"v", 1.0}}}) << "\n";
+    const auto full = to_json_line({"p/1", StatusCode::kOk, "", {{"v", 2.0}}});
+    out << full.substr(0, full.size() / 2);  // killed mid-append
+  }
+  // Resume: reopening for append must drop the torn tail so the next
+  // record does not concatenate onto it.
+  Journal j;
+  ASSERT_TRUE(j.open(path).ok());
+  ASSERT_TRUE(j.append({"p/1", StatusCode::kOk, "", {{"v", 3.0}}}).ok());
+  j.close();
+  const auto records = load_journal(path);
+  ASSERT_TRUE(records.ok()) << records.status().to_string();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].key, "p/1");
+  EXPECT_EQ((*records)[1].value("v"), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFile, RejectsCorruptionBeforeTheTail) {
+  const auto path = temp_path("flexnets_journal_corrupt.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"key\":\"p/0\",\"code\":\"ok\",\"mess\n";  // terminated garbage
+    out << to_json_line({"p/1", StatusCode::kOk, "", {}}) << "\n";
+  }
+  const auto records = load_journal(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(records.status().message().find("line 1"), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_journal("/nonexistent/dir/j.jsonl").ok());
+}
+
+TEST(JournalFile, UnopenedJournalAppendIsANoOp) {
+  Journal j;
+  EXPECT_FALSE(j.is_open());
+  EXPECT_TRUE(j.append({"p/0", StatusCode::kOk, "", {}}).ok());
+}
+
+}  // namespace
+}  // namespace flexnets::core

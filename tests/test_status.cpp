@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "common/status.hpp"
+
+namespace flexnets {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndStreamedMessage) {
+  const Status s = invalid_input_error("line ", 7, ": bad link");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(s.message(), "line 7: bad link");
+  EXPECT_EQ(s.to_string(), "invalid-input: line 7: bad link");
+
+  EXPECT_EQ(budget_exhausted_error().code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(non_converged_error().code(), StatusCode::kNonConverged);
+  EXPECT_EQ(partitioned_error().code(), StatusCode::kPartitioned);
+  EXPECT_EQ(internal_error().code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesRoundTrip) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidInput,
+        StatusCode::kBudgetExhausted, StatusCode::kNonConverged,
+        StatusCode::kPartitioned, StatusCode::kInternal}) {
+    const auto back = status_code_from_name(status_code_name(code));
+    ASSERT_TRUE(back.has_value()) << status_code_name(code);
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(status_code_from_name("meteor-strike").has_value());
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<std::string> e = invalid_input_error("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidInput);
+  CheckPolicyScope policy(CheckPolicy::kThrow);
+  EXPECT_THROW(e.value(), CheckFailure);
+}
+
+TEST(StatusOr, ConstructingFromOkStatusIsAnError) {
+  CheckPolicyScope policy(CheckPolicy::kThrow);
+  EXPECT_THROW(StatusOr<int>{Status{}}, CheckFailure);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  const std::string moved = std::move(v).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusError, ThrowStatusCarriesTheStatus) {
+  try {
+    throw_status(partitioned_error("rack 3 unreachable"));
+    FAIL() << "throw_status returned";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kPartitioned);
+    EXPECT_EQ(std::string(e.what()), "partitioned: rack 3 unreachable");
+  }
+}
+
+}  // namespace
+}  // namespace flexnets

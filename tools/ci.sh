@@ -5,16 +5,20 @@
 #      bench_failures_live smoke run (dip + reconvergence + zero
 #      post-repair blackholes acceptance checks)
 #   3. lint:   tools/lint_flexnets.py self-test + src/ scan
-#   4. asan-ubsan preset: rebuild and rerun the full suite under
-#      AddressSanitizer + UndefinedBehaviorSanitizer (-Werror on)
-#   5. tsan preset: build the parallel determinism suite under
+#   4. resilience gate: bench_fig2 --journal is SIGKILLed mid-grid and
+#      resumed with --resume; the resumed "digest fig2:" line must be
+#      bit-identical to an uninterrupted run's
+#   5. asan-ubsan preset: rebuild and rerun the full suite under
+#      AddressSanitizer + UndefinedBehaviorSanitizer (-Werror on), plus
+#      an explicit pass over the corrupt-input corpus
+#   6. tsan preset: build the parallel determinism suite under
 #      ThreadSanitizer and run `ctest -L parallel` (thread pool contracts
 #      + parallel-vs-serial sweep bit-equality); any report is fatal
-#   6. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
+#   7. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
 #      invariant audits (event ordering, LP feasibility/conservation,
 #      routing-table sanity, repaired-routing liveness, determinism
 #      digests)
-#   7. perf smoke: bench_micro_flow/bench_micro_sim --json emit
+#   8. perf smoke: bench_micro_flow/bench_micro_sim --json emit
 #      BENCH_MCF.json / BENCH_SIM.json and the schema is validated
 #      (required keys present, lambda finite). Timings are recorded,
 #      not gated — absolute ns/op depends on the machine; the committed
@@ -57,6 +61,38 @@ step "lint: rule self-test + src/ scan"
 python3 tools/lint_flexnets.py --self-test
 python3 tools/lint_flexnets.py
 
+# Resilience gate: a journaled sweep SIGKILLed mid-grid, then resumed,
+# must reproduce the uninterrupted run's digest bit for bit. The digest
+# line is "digest fig2: <16 hex> (...)"; --point-sleep-ms widens each
+# point so the kill reliably lands inside the grid.
+step "resilience gate: kill bench_fig2 mid-grid, resume, compare digests"
+RES_DIR="$(mktemp -d)"
+trap 'rm -rf "$RES_DIR"' EXIT
+./build/bench/bench_fig2 --threads 2 > "$RES_DIR/full.out"
+REF_DIGEST="$(grep -oE 'digest fig2: [0-9a-f]{16}' "$RES_DIR/full.out" | awk '{print $3}')"
+[[ -n "$REF_DIGEST" ]] || { echo "resilience gate: no digest in uninterrupted run"; exit 1; }
+./build/bench/bench_fig2 --threads 2 --journal "$RES_DIR/fig2.jsonl" \
+  --point-sleep-ms 250 > "$RES_DIR/killed.out" 2>&1 &
+KILL_PID=$!
+sleep 2
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+JOURNALED="$(wc -l < "$RES_DIR/fig2.jsonl")"
+# The kill must land mid-grid: some points journaled, some still missing
+# (the fig2 grid has 28 points).
+if [[ "$JOURNALED" -lt 1 || "$JOURNALED" -ge 28 ]]; then
+  echo "resilience gate: SIGKILL missed the grid ($JOURNALED/28 points journaled)"
+  exit 1
+fi
+echo "killed mid-grid with $JOURNALED/28 points journaled; resuming"
+./build/bench/bench_fig2 --threads 2 --resume "$RES_DIR/fig2.jsonl" > "$RES_DIR/resumed.out"
+RES_DIGEST="$(grep -oE 'digest fig2: [0-9a-f]{16}' "$RES_DIR/resumed.out" | awk '{print $3}')"
+if [[ "$REF_DIGEST" != "$RES_DIGEST" ]]; then
+  echo "resilience gate: resumed digest $RES_DIGEST != uninterrupted $REF_DIGEST"
+  exit 1
+fi
+echo "resume digest matches uninterrupted run: $REF_DIGEST"
+
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (config: .clang-tidy)"
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -71,6 +107,11 @@ if [[ "$FAST" -eq 0 ]]; then
   cmake --preset asan-ubsan >/dev/null
   cmake --build --preset asan-ubsan -j "$JOBS"
   ctest --preset asan-ubsan -j "$JOBS" --output-on-failure
+
+  # Explicit pass over the corrupt-input corpus under the sanitizers: every
+  # malformed file must yield a structured kInvalidInput, never a trap.
+  step "asan-ubsan: corrupt-input corpus"
+  ctest --preset asan-ubsan -R 'CorruptInputs' --output-on-failure
 fi
 
 # Required gate: the parallel determinism suite must be race-free. Only

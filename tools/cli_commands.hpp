@@ -17,6 +17,7 @@ std::optional<topo::Topology> build_topology(const Args& args);
 // flexnets_cli topo  --topo=... [--save=f] [--dot=f] [--stats]
 int cmd_topo(const Args& args);
 // flexnets_cli fluid --topo=... [--fractions=a,b,c] [--tm=...] [--eps=]
+//   [--max-phases=N] [--journal=path] [--resume=path]
 //                    [--threads=N]
 int cmd_fluid(const Args& args);
 // flexnets_cli sim   --topo=... --workload=... --routing=... [--rate=...]

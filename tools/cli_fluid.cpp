@@ -1,8 +1,11 @@
 #include <cstdio>
+#include <map>
 #include <sstream>
+#include <string>
 
 #include "cli_commands.hpp"
 #include "core/fluid_runner.hpp"
+#include "core/journal.hpp"
 
 namespace flexnets::cli {
 
@@ -46,6 +49,14 @@ int cmd_fluid(const Args& args) {
     opts.fractions = {0.2, 0.4, 0.6, 0.8, 1.0};
   }
 
+  // Cooperative GK budget: stop after N completed phases, keeping the
+  // feasible partial lambda (status column shows budget-exhausted).
+  opts.limits.max_phases = static_cast<int>(args.get_int("max-phases", 0));
+  if (opts.limits.max_phases < 0) {
+    std::fprintf(stderr, "error: --max-phases must be >= 0\n");
+    return 1;
+  }
+
   const auto tm = args.get("tm", "longest-matching");
   if (tm == "longest-matching") {
     opts.family = core::TmFamily::kLongestMatching;
@@ -58,13 +69,56 @@ int cmd_fluid(const Args& args) {
     return 1;
   }
 
+  // --journal <path>: append each finished point durably; --resume <path>:
+  // skip points already journaled there (and keep appending to it).
+  core::Journal journal;
+  std::map<std::string, core::JournalRecord> completed;
+  const auto resume_path = args.get("resume", "");
+  auto journal_path = args.get("journal", "");
+  if (!resume_path.empty()) {
+    const auto records = core::load_journal(resume_path);
+    if (!records.ok()) {
+      std::fprintf(stderr, "error: cannot resume: %s\n",
+                   records.status().to_string().c_str());
+      return 1;
+    }
+    completed = core::index_by_key(*records);
+    std::printf("resume: %zu journaled points in %s\n", completed.size(),
+                resume_path.c_str());
+    if (journal_path.empty()) journal_path = resume_path;
+  }
+  if (!journal_path.empty()) {
+    const auto st = journal.open(journal_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  core::ResilientSweepOptions ropts;
+  ropts.sweep = opts;
+  ropts.journal = &journal;
+  ropts.completed = &completed;
+  ropts.key_prefix = "fluid";
+  const auto records = core::fluid_sweep_resilient(*t, ropts);
+
   std::printf("topology: %s | TM: %s | eps: %.3f\n", t->name.c_str(),
               tm.c_str(), opts.eps);
-  std::printf("%-12s %s\n", "fraction", "per_server_throughput");
-  for (const auto& p : core::fluid_sweep(*t, opts)) {
-    std::printf("%-12.3f %.4f\n", p.fraction, p.throughput);
+  std::printf("%-12s %-22s %s\n", "fraction", "per_server_throughput",
+              "status");
+  std::size_t failed = 0;
+  for (const auto& r : records) {
+    std::printf("%-12.3f %-22.4f %s\n", r.point.fraction, r.point.throughput,
+                r.status.ok() ? "ok" : r.status.to_string().c_str());
+    if (!r.status.ok() &&
+        r.status.code() != StatusCode::kBudgetExhausted) {
+      ++failed;
+    }
   }
-  return 0;
+  std::printf("digest fluid: %016llx (%zu points, %zu failed)\n",
+              static_cast<unsigned long long>(core::fluid_sweep_digest(records)),
+              records.size(), failed);
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace flexnets::cli

@@ -71,10 +71,12 @@ void print_usage() {
 std::optional<topo::Topology> build_topology(const Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   if (args.has("load")) {
-    std::string err;
-    auto t = topo::load_topology(args.get("load", ""), &err);
-    if (!t) std::fprintf(stderr, "error: %s\n", err.c_str());
-    return t;
+    auto t = topo::load_topology(args.get("load", ""));
+    if (!t.ok()) {
+      std::fprintf(stderr, "error: %s\n", t.status().to_string().c_str());
+      return std::nullopt;
+    }
+    return std::move(t).value();
   }
   const auto kind = args.get("topo", "");
   if (kind == "fattree") {
@@ -178,8 +180,8 @@ int cmd_topo(const Args& args) {
   }
   if (args.has("save")) {
     const auto path = args.get("save", "");
-    if (!topo::save_topology(path, *t)) {
-      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    if (const auto st = topo::save_topology(path, *t); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
       return 1;
     }
     std::printf("saved to %s\n", path.c_str());

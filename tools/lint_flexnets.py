@@ -27,6 +27,13 @@ Rules (see docs/ARCHITECTURE.md, "Correctness tooling"):
                  propagation, and its drain-on-destruction guarantee;
                  route parallel work through ThreadPool /
                  core::run_indexed instead.
+  hard-exit      exit()/abort()/bare throw outside common/check.cpp and
+                 common/status.cpp. A grid point that exits or throws past
+                 the containment boundary kills a whole sweep; report
+                 expected failures as Status (common/status.hpp), raise
+                 internal-invariant failures through FLEXNETS_CHECK, and
+                 let throw_status carry a Status across a boundary that
+                 cannot return one.
   priority-queue std::priority_queue outside sim/event_queue and
                  flow/solver_internals. The hot paths use purpose-built
                  heaps (EventQueue: vector + push_heap with reserve() and
@@ -158,6 +165,23 @@ PRIORITY_QUEUE = [
     re.compile(r"\bstd::priority_queue\b"),
 ]
 
+# exit()/abort()/bare throw end the process (or escape containment) from
+# arbitrary engine code. `rethrow_exception` is fine: \bthrow\b cannot
+# match inside it, and the pool uses it to propagate a point's failure to
+# the thread that owns the grid.
+HARD_EXIT = [
+    re.compile(r"(?<![\w.])(?:std::|::)?(?:_?exit|quick_exit)\s*\("),
+    re.compile(r"(?<![\w.])(?:std::|::)?abort\s*\("),
+    re.compile(r"\bthrow\b"),
+]
+
+# The sanctioned homes: FLEXNETS_CHECK's kThrow/kAbort surface and the
+# StatusError carrier raised by throw_status.
+HARD_EXIT_EXEMPT_SUFFIXES = (
+    os.path.join("common", "check.cpp"),
+    os.path.join("common", "status.cpp"),
+)
+
 # The sanctioned heap homes: the event queue and the GK solver scratch.
 PRIORITY_QUEUE_EXEMPT_SUFFIXES = (
     os.path.join("sim", "event_queue.hpp"),
@@ -184,6 +208,11 @@ MESSAGES = {
                       "flow/solver_internals; use EventQueue or "
                       "DaryDijkstra (preallocated, reservable, move-out "
                       "pop) instead of growing a new ad-hoc hot loop",
+    "hard-exit": "exit/abort/throw outside common/check.cpp and "
+                 "common/status.cpp kills or escapes a contained sweep; "
+                 "return a Status (common/status.hpp), use FLEXNETS_CHECK "
+                 "for invariants, or throw_status at a boundary that "
+                 "cannot return one",
 }
 
 
@@ -230,6 +259,10 @@ def lint_file(path: str) -> list[Finding]:
             r.search(line) for r in PRIORITY_QUEUE
         ):
             emit("priority-queue")
+        if not path.endswith(HARD_EXIT_EXEMPT_SUFFIXES) and any(
+            r.search(line) for r in HARD_EXIT
+        ):
+            emit("hard-exit")
         if any(r.search(line) for r in WALL_CLOCK):
             emit("wall-clock")
         if any(r.search(line) for r in TIME_FLOAT_EQ):
