@@ -9,7 +9,7 @@
 // trajectory is recorded in git rather than enforced by flaky thresholds.
 //
 // Wall-clock timing lives here, in bench/, on purpose: the engines under
-// src/ are lint-banned from reading wall time (tools/lint_flexnets.py).
+// src/ are banned from reading wall time (flexnets_analyze, `wall-clock`).
 #pragma once
 
 #include <algorithm>

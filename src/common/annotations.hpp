@@ -1,0 +1,66 @@
+// Concurrency-contract annotations, machine-checked twice over:
+//
+//  - Under clang they expand to the thread-safety-analysis attributes, so
+//    `clang++ -Wthread-safety` verifies lock discipline at compile time
+//    (tools/ci.sh runs that step when clang is installed; its absence is
+//    not a failure — the container image ships gcc only).
+//  - Under any compiler, tools/analyze (`flexnets_analyze`, pass
+//    `lock-annotation`) heuristically verifies that fields annotated
+//    FLEXNETS_GUARDED_BY are only touched in scopes that hold the named
+//    mutex (or from functions annotated FLEXNETS_REQUIRES on it, or from
+//    constructors/destructors, where no other thread can hold a
+//    reference yet).
+//
+// The macros deliberately mirror the standard clang names
+// (GUARDED_BY -> guarded_by, REQUIRES -> exclusive_locks_required, ...),
+// so anyone who has read a clang-annotated codebase can read this one.
+//
+// Two further annotations cover shared state that is *not* lock-guarded:
+//
+//  - FLEXNETS_SHARED_READONLY marks fields that are built once and then
+//    only read, possibly from many threads (e.g. flow::ThroughputCache).
+//    No attribute exists for this; the analyzer enforces that such fields
+//    are only written inside the module that declares them (the builder),
+//    never by consumers.
+//  - FLEXNETS_ATOMIC_SHARED marks fields that cross threads without a
+//    lock because the type itself synchronizes (e.g. the cancellation
+//    token in flow::McfLimits). The analyzer checks the declared type
+//    actually mentions `atomic`, so the annotation cannot drift onto a
+//    plain field.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLEXNETS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLEXNETS_THREAD_ANNOTATION
+#define FLEXNETS_THREAD_ANNOTATION(x)  // no-op under gcc
+#endif
+
+// Field may only be read or written while holding `x`.
+#define FLEXNETS_GUARDED_BY(x) FLEXNETS_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the *pointee* is guarded by `x` (the pointer itself is
+// not).
+#define FLEXNETS_PT_GUARDED_BY(x) FLEXNETS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires `x` to be held on entry (caller locks).
+#define FLEXNETS_REQUIRES(x) \
+  FLEXNETS_THREAD_ANNOTATION(exclusive_locks_required(x))
+
+// Function must NOT be called with `x` held (it locks internally).
+#define FLEXNETS_EXCLUDES(x) FLEXNETS_THREAD_ANNOTATION(locks_excluded(x))
+
+// Escape hatch for code the analysis cannot follow; use with a comment.
+#define FLEXNETS_NO_THREAD_SAFETY_ANALYSIS \
+  FLEXNETS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Built once, then shared read-only across threads. No clang attribute;
+// enforced by flexnets_analyze (writes outside the declaring module are
+// findings).
+#define FLEXNETS_SHARED_READONLY
+
+// Crosses threads without a lock because the type synchronizes itself.
+// flexnets_analyze checks the declared type mentions `atomic`.
+#define FLEXNETS_ATOMIC_SHARED

@@ -37,7 +37,12 @@ enum class StatusCode : std::uint8_t {
 const char* status_code_name(StatusCode code) noexcept;
 std::optional<StatusCode> status_code_from_name(const std::string& name);
 
-class Status {
+// The class itself is [[nodiscard]]: any call returning a Status (or a
+// StatusOr below) that drops the result is a compiler warning — the
+// compile-time backstop to flexnets_analyze's status-discipline pass
+// (which additionally sees discards the type attribute cannot, e.g.
+// `.value()` with no dominating ok() check).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
   Status(StatusCode code, std::string message)
@@ -104,7 +109,7 @@ class StatusError : public std::runtime_error {
 // A value or a non-ok Status. Accessing value() on an error applies the
 // FLEXNETS_CHECK policy (abort in binaries, CheckFailure in tests).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)
       : status_(std::move(status)) {

@@ -43,7 +43,10 @@ ThreadPool::~ThreadPool() {
   cv_.notify_all();
   for (auto& w : workers_) w.join();
   // Workers only exit once the queue is empty, so every submitted task has
-  // run and published its result (or exception) by this point.
+  // run and published its result (or exception) by this point. The lock is
+  // not needed for correctness (all workers are joined) but keeps the
+  // guarded-field contract uniform.
+  const std::lock_guard<std::mutex> lock(mu_);
   FLEXNETS_CHECK(queue_.empty(), "thread pool destroyed with ",
                  queue_.size(), " undrained task(s)");
 }

@@ -18,7 +18,7 @@
 //    to completion before the workers are joined.
 //
 // This is the only file in the tree allowed to touch std::thread directly
-// (enforced by tools/lint_flexnets.py, rule `raw-thread`).
+// (enforced by flexnets_analyze, rule `raw-thread`).
 #pragma once
 
 #include <chrono>
@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/check.hpp"
 
 namespace flexnets {
@@ -107,8 +108,10 @@ class ThreadPool {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ FLEXNETS_GUARDED_BY(mu_);
+  bool stopping_ FLEXNETS_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by the destructor; no lock
+  // (workers never touch the vector itself).
   std::vector<std::thread> workers_;
 };
 

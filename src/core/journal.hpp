@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/status.hpp"
 
 namespace flexnets::core {
@@ -68,8 +69,15 @@ class Journal {
   // final line left by a kill mid-append is truncated away first so new
   // records never concatenate onto it.
   Status open(const std::string& path);
-  [[nodiscard]] bool is_open() const { return f_ != nullptr; }
-  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool is_open() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return f_ != nullptr;
+  }
+  // By value: a reference into guarded state would outlive the lock.
+  [[nodiscard]] std::string path() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+  }
 
   // Serializes, appends one line, flushes, fsyncs. No-op Status::ok when
   // the journal was never opened, so call sites can journal
@@ -79,9 +87,9 @@ class Journal {
   void close();
 
  private:
-  std::FILE* f_ = nullptr;
-  std::string path_;
-  std::mutex mu_;
+  std::FILE* f_ FLEXNETS_GUARDED_BY(mu_) = nullptr;
+  std::string path_ FLEXNETS_GUARDED_BY(mu_);
+  mutable std::mutex mu_;
 };
 
 // Reads every record of a journal file. The final line may be truncated

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/status.hpp"
 
 namespace flexnets::flow {
@@ -45,8 +46,10 @@ struct McfLimits {
   // Cooperative cancellation, observed at phase boundaries. src/ code may
   // not read wall clocks (determinism lint), so wall-clock budgets are the
   // caller's job: flip this token from outside and the solver returns
-  // kBudgetExhausted with its partial lambda.
-  const std::atomic<bool>* cancel = nullptr;
+  // kBudgetExhausted with its partial lambda. This is the one field of
+  // the limits that crosses threads mid-solve; the pointee being atomic
+  // is what makes that sound (checked by flexnets_analyze).
+  const std::atomic<bool>* cancel FLEXNETS_ATOMIC_SHARED = nullptr;
 };
 
 struct McfResult {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "flow/mcf.hpp"
 #include "flow/traffic_matrix.hpp"
 #include "topo/topology.hpp"
@@ -19,8 +20,8 @@
 namespace flexnets::flow {
 
 struct ThroughputOptions {
-  double eps = 0.1;   // GK approximation parameter
-  McfLimits limits;   // cooperative phase budget / cancellation (see mcf.hpp)
+  double eps = 0.1;      // GK approximation parameter
+  McfLimits limits = {};  // cooperative phase budget / cancellation (mcf.hpp)
 };
 
 // Returns lambda in [0, 1]; 0 for an empty TM.
@@ -43,9 +44,9 @@ struct ThroughputResult {
 // handoff is verified against the topology actually being evaluated, so a
 // sweep cannot silently reuse a cache across mismatched topologies.
 struct ThroughputCache {
-  int num_switches = 0;
-  std::vector<DirectedEdge> base_edges;
-  std::uint64_t topo_digest = 0;
+  int num_switches FLEXNETS_SHARED_READONLY = 0;
+  std::vector<DirectedEdge> base_edges FLEXNETS_SHARED_READONLY;
+  std::uint64_t topo_digest FLEXNETS_SHARED_READONLY = 0;
 };
 
 ThroughputCache build_throughput_cache(const topo::Topology& t);

@@ -26,7 +26,7 @@ NodeId SourceRouter::pick_via(const FlowRouteState& st) {
   }
 }
 
-void SourceRouter::stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
+void SourceRouter::stamp_ksp_route(FlowRouteState& st, Packet& pkt,
                                    bool new_flowlet) {
   if (st.src_tor == st.dst_tor) return;  // intra-rack: no network hops
   const auto& paths = ksp_->paths(st.src_tor, st.dst_tor);
@@ -41,7 +41,7 @@ void SourceRouter::stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
   const auto& path = paths[static_cast<std::size_t>(st.ksp_choice)];
   // path = [src_tor, ..., dst_tor]; stamp the hops after src_tor. Paths
   // longer than the source-route capacity fall back to plain ECMP.
-  if (path.size() - 1 > static_cast<std::size_t>(sim::kMaxSourceRouteHops)) {
+  if (path.size() - 1 > static_cast<std::size_t>(kMaxSourceRouteHops)) {
     return;
   }
   pkt.src_route_len = static_cast<std::int8_t>(path.size() - 1);
@@ -51,7 +51,7 @@ void SourceRouter::stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
   }
 }
 
-void SourceRouter::prepare(FlowRouteState& st, sim::Packet& pkt, TimeNs now) {
+void SourceRouter::prepare(FlowRouteState& st, Packet& pkt, TimeNs now) {
   bool new_flowlet = st.last_send < 0 || now - st.last_send > cfg_.flowlet_gap;
   if (cfg_.mode == RoutingMode::kSpray) {
     // Per-packet re-hash: every packet is its own flowlet.
@@ -84,7 +84,7 @@ void SourceRouter::prepare(FlowRouteState& st, sim::Packet& pkt, TimeNs now) {
 }
 
 std::span<const NodeId> SwitchForwarder::candidates(NodeId at,
-                                                    sim::Packet& pkt) const {
+                                                    Packet& pkt) const {
   // Source-routed packets follow their stamped path verbatim.
   if (pkt.src_route_len > 0) {
     if (at == pkt.dst_tor) return {};
@@ -102,7 +102,7 @@ std::span<const NodeId> SwitchForwarder::candidates(NodeId at,
   return table_.next_hops(target, at);
 }
 
-NodeId SwitchForwarder::choose_by_hash(NodeId at, const sim::Packet& pkt,
+NodeId SwitchForwarder::choose_by_hash(NodeId at, const Packet& pkt,
                                        std::span<const NodeId> hops) const {
   const std::uint64_t h = hash_words(
       salt_ ^ (static_cast<std::uint64_t>(pkt.flow_id) << 1 |
@@ -111,7 +111,7 @@ NodeId SwitchForwarder::choose_by_hash(NodeId at, const sim::Packet& pkt,
   return hops[h % hops.size()];
 }
 
-NodeId SwitchForwarder::next_hop(NodeId at, sim::Packet& pkt) const {
+NodeId SwitchForwarder::next_hop(NodeId at, Packet& pkt) const {
   const auto hops = candidates(at, pkt);
   if (hops.empty()) return graph::kInvalidNode;
   return choose_by_hash(at, pkt, hops);

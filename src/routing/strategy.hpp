@@ -28,7 +28,7 @@
 #include "common/units.hpp"
 #include "routing/ksp_table.hpp"
 #include "routing/routing_table.hpp"
-#include "sim/packet.hpp"
+#include "routing/packet.hpp"
 
 namespace flexnets::routing {
 
@@ -70,7 +70,7 @@ class SourceRouter {
 
   // Assigns flowlet id, VLB via, and/or source route to an outgoing data
   // packet and updates the flow's routing state.
-  void prepare(FlowRouteState& st, sim::Packet& pkt, TimeNs now);
+  void prepare(FlowRouteState& st, Packet& pkt, TimeNs now);
 
   [[nodiscard]] const SourceRouteConfig& config() const { return cfg_; }
 
@@ -84,7 +84,7 @@ class SourceRouter {
 
  private:
   [[nodiscard]] NodeId pick_via(const FlowRouteState& st);
-  void stamp_ksp_route(FlowRouteState& st, sim::Packet& pkt,
+  void stamp_ksp_route(FlowRouteState& st, Packet& pkt,
                        bool new_flowlet);
 
   SourceRouteConfig cfg_;
@@ -107,12 +107,12 @@ class SwitchForwarder {
       : table_(table), salt_(hash_salt) {}
 
   [[nodiscard]] std::span<const NodeId> candidates(NodeId at,
-                                                   sim::Packet& pkt) const;
-  [[nodiscard]] NodeId choose_by_hash(NodeId at, const sim::Packet& pkt,
+                                                   Packet& pkt) const;
+  [[nodiscard]] NodeId choose_by_hash(NodeId at, const Packet& pkt,
                                       std::span<const NodeId> hops) const;
 
   // Convenience for the default hash policy: kInvalidNode = deliver.
-  NodeId next_hop(NodeId at, sim::Packet& pkt) const;
+  NodeId next_hop(NodeId at, Packet& pkt) const;
 
  private:
   const EcmpTable& table_;

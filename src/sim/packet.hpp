@@ -1,46 +1,14 @@
-// The unit of work in the packet-level simulator.
-//
-// A single struct covers data and ACK packets; it carries the VLB
-// encapsulation target (`via_tor`) and the source-assigned flowlet id that
-// switches hash for ECMP path selection (paper section 6.3-6.4).
+// Forwarding header: the Packet struct moved to routing/packet.hpp so the
+// layering contract (tools/layering.json) holds — routing stamps packets
+// and must not include sim. Engine code keeps spelling the type
+// sim::Packet through the aliases below.
 #pragma once
 
-#include <array>
-#include <cstdint>
-
-#include "common/units.hpp"
-#include "graph/graph.hpp"
+#include "routing/packet.hpp"
 
 namespace flexnets::sim {
 
-// Maximum hops a source route can pin (expander diameters are <= 5 at the
-// scales simulated; 8 leaves headroom).
-constexpr int kMaxSourceRouteHops = 8;
-
-struct Packet {
-  std::int32_t flow_id = -1;
-  graph::NodeId dst_tor = graph::kInvalidNode;  // ToR of the receiving host
-  graph::NodeId via_tor = graph::kInvalidNode;  // VLB bounce point, if any
-  std::int32_t dst_host = -1;                   // sim-node id of destination
-  std::uint32_t flowlet = 0;
-
-  Bytes wire_size = 0;  // bytes occupying links/queues (payload + headers)
-  Bytes seq = 0;        // data: offset of first payload byte
-  Bytes payload = 0;    // data bytes carried (0 for pure ACKs)
-  Bytes ack_no = 0;     // ACK: next expected byte (cumulative)
-
-  bool is_ack = false;
-  bool ecn_ce = false;    // congestion-experienced mark (set by queues)
-  bool ecn_echo = false;  // ACK: echoes the data packet's CE mark
-
-  TimeNs sent_at = 0;  // sender timestamp, echoed on ACKs for RTT samples
-
-  // Optional source route (KSP routing): the switch-hop sequence after the
-  // source ToR, ending at dst_tor. src_route_len == 0 means "not source
-  // routed"; src_route_pos indexes the next hop to take.
-  std::array<graph::NodeId, kMaxSourceRouteHops> src_route{};
-  std::int8_t src_route_len = 0;
-  std::int8_t src_route_pos = 0;
-};
+using routing::kMaxSourceRouteHops;
+using routing::Packet;
 
 }  // namespace flexnets::sim

@@ -1,0 +1,6 @@
+// Bottom-layer stub: anyone may include this.
+#pragma once
+
+namespace flexnets {
+inline int base_value() { return 1; }
+}  // namespace flexnets

@@ -1,0 +1,14 @@
+// Consumer-layer file: reading the SHARED_READONLY field is fine, but
+// writing it from outside flow/ breaks the read-only sharing contract.
+#include "flow/cache_stub.hpp"
+
+namespace flexnets::core {
+
+int consume() {
+  flexnets::flow::CacheStub cache = flexnets::flow::build_cache();
+  const int n = cache.num_entries;  // read: fine
+  cache.num_entries = 9;            // EXPECT-LINT: lock-annotation
+  return n;
+}
+
+}  // namespace flexnets::core

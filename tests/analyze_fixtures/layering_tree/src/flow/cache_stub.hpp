@@ -1,0 +1,18 @@
+// Owner of a FLEXNETS_SHARED_READONLY field: built once inside flow/,
+// then shared immutably with higher layers.
+#pragma once
+
+namespace flexnets::flow {
+
+struct CacheStub {
+  int num_entries FLEXNETS_SHARED_READONLY = 0;
+};
+
+// Building the cache inside its own module writes the field legally.
+inline CacheStub build_cache() {
+  CacheStub cache;
+  cache.num_entries = 4;  // own module: fine
+  return cache;
+}
+
+}  // namespace flexnets::flow

@@ -1,0 +1,11 @@
+// Half of a deliberate include cycle (same module, so the layering check
+// itself is silent; the cycle detector must still catch it). The DFS
+// visits files in sorted order, so it enters here first and reports the
+// back edge in cyc_b.hpp.
+#pragma once
+
+#include "graph/cyc_b.hpp"
+
+namespace flexnets::graph {
+inline int a_value() { return 1; }
+}  // namespace flexnets::graph

@@ -1,0 +1,9 @@
+// Other half of the deliberate include cycle: this include goes back to
+// cyc_a.hpp, closing the loop.
+#pragma once
+
+#include "graph/cyc_a.hpp"  // EXPECT-LINT: include-cycle
+
+namespace flexnets::graph {
+inline int b_value() { return 2; }
+}  // namespace flexnets::graph

@@ -1,0 +1,11 @@
+// Deliberate layering violation: routing (layer below the engines) must
+// not reach up into sim/. The include of common/ is legal and must stay
+// silent.
+#pragma once
+
+#include "common/base_stub.hpp"  // lower layer: fine
+#include "sim/packet_stub.hpp"   // EXPECT-LINT: layering
+
+namespace flexnets::routing {
+inline int hops() { return 3; }
+}  // namespace flexnets::routing

@@ -1,0 +1,9 @@
+// Engine-layer stub, included (illegally) by routing/uses_sim.hpp. An
+// engine including downward is legal, so this file itself is silent.
+#pragma once
+
+namespace flexnets::sim {
+struct PacketStub {
+  int id = 0;
+};
+}  // namespace flexnets::sim

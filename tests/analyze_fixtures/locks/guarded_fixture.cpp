@@ -1,0 +1,59 @@
+// Lock-annotation fixture. Never compiled; the analyzer reads the
+// FLEXNETS_* annotation macros straight from the token stream, so neither
+// the macros nor <mutex> need to resolve.
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+class Counter {
+ public:
+  void locked_add(int d) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    total_ += d;                   // lock held: fine
+  }
+
+  void unlocked_add(int d) {
+    total_ += d;                   // EXPECT-LINT: lock-annotation
+  }
+
+  void locked_nested() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (total_ > 0) {              // lock held across nested scopes: fine
+      total_ = 0;
+    }
+  }
+
+  void presumed_locked(int d) FLEXNETS_REQUIRES(mu_) {
+    total_ += d;                   // caller holds mu_ by contract: fine
+  }
+
+  void wrong_contract(int d) FLEXNETS_REQUIRES(other_mu_) {
+    total_ += d;                   // EXPECT-LINT: lock-annotation
+  }
+
+  Counter() { total_ = 0; }        // constructor: single-threaded, fine
+
+  ~Counter() { total_ = -1; }      // destructor: single-threaded, fine
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::mutex other_mu_;
+  int total_ FLEXNETS_GUARDED_BY(mu_) = 0;
+};
+
+// A same-named field in an unrelated class is not policed.
+class Unrelated {
+ public:
+  void touch() { total_ = 9; }     // different class: fine
+
+ private:
+  int total_ = 0;
+};
+
+struct SharedFlags {
+  std::atomic<bool> cancel FLEXNETS_ATOMIC_SHARED{false};  // fine
+  bool done FLEXNETS_ATOMIC_SHARED = false;  // EXPECT-LINT: lock-annotation
+};

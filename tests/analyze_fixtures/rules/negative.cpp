@@ -1,0 +1,51 @@
+// Non-firing fixture: every construct here is a decoy that the old
+// regex lint could have flagged. The token-based analyzer must report
+// nothing in this file.
+//
+// Commented-out decoys, one per ported rule:
+//   std::rand(); std::srand(7); std::random_device rd;
+//   time(nullptr); std::chrono::steady_clock::now();
+//   if (now_sec == 0.0) {}
+//   for (auto& kv : unordered_thing) {}
+//   std::thread t([]{}); std::priority_queue<int> pq;
+//   exit(1); throw 1;
+/* block-comment decoys: std::jthread j; abort(); drand48(); */
+#include <string>
+#include <vector>
+
+// Raw-string decoys, one per ported rule: the lexer must swallow all of
+// this as a single string literal.
+const char* kRawDecoys = R"lint(
+  std::rand(); std::random_device rd; srand(1);
+  time(nullptr); clock(); std::chrono::system_clock::now();
+  now_sec == 1.0; done_at != 0.0;
+  for (auto& kv : unordered_rates) {} rates.begin();
+  std::thread t; std::jthread j;
+  std::priority_queue<int> pq;
+  exit(1); abort(); throw std::runtime_error("boom");
+)lint";
+
+// Plain-string decoys: rule keywords inside ordinary literals.
+const char* kMsg = "call exit(1), throw, or std::abort() to reproduce";
+
+// Identifier-substring decoys: 'rand', 'time', 'thread' as fragments.
+int strandify(int strand) { return strand; }
+int uptime_ms(int runtime_ms) { return runtime_ms; }
+int threadbare(int thread_count) { return thread_count; }
+
+void clean() {
+  std::vector<int> ordered = {3, 1, 2};
+  for (int x : ordered) {          // ordered container: fine
+    (void)x;
+  }
+  (void)ordered.begin();           // ordered container: fine
+  std::string time_str = kMsg;     // 'time' substring in a name: fine
+  (void)time_str;
+  (void)kRawDecoys;
+  double now_sec = 0.5;
+  if (now_sec < 1.0) {             // inequality on time: fine (only ==/!=)
+    now_sec += 0.25;
+  }
+  int done_at = 3;                 // plain assignment, not ==/!=: fine
+  (void)done_at;
+}

@@ -1,0 +1,31 @@
+// Firing fixture for the seven ported rules: each annotated line must
+// produce exactly the named finding under --self-test. This file is never
+// compiled; it only has to lex.
+#include <cstdlib>
+#include <ctime>
+#include <queue>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+void fire_everything() {
+  std::srand(42);                          // EXPECT-LINT: raw-rng
+  std::random_device seed_source;          // EXPECT-LINT: raw-rng
+  std::time_t wall = time(nullptr);        // EXPECT-LINT: wall-clock
+  (void)wall;
+  double now_sec = 1.0;
+  if (now_sec == 1.0) {                    // EXPECT-LINT: time-float-eq
+    now_sec = 0.0;
+  }
+  std::unordered_map<int, int> rate_by_port;
+  for (const auto& kv : rate_by_port) {    // EXPECT-LINT: unordered-iter
+    (void)kv;
+  }
+  auto it = rate_by_port.begin();          // EXPECT-LINT: unordered-iter
+  (void)it;
+  std::thread worker([] {});               // EXPECT-LINT: raw-thread
+  worker.join();
+  std::priority_queue<int> frontier;       // EXPECT-LINT: priority-queue
+  frontier.push(static_cast<int>(seed_source()));
+  exit(1);                                 // EXPECT-LINT: hard-exit
+}

@@ -1,0 +1,41 @@
+// Status-discipline fixture: discarded Status/StatusOr calls and
+// unchecked .value() must fire; consumed, explicitly discarded, and
+// dominated uses must not. Never compiled — the pass works from the
+// token stream, so the types need no definitions.
+
+struct Status {};
+template <typename T>
+struct StatusOr {};
+
+Status write_rows();
+StatusOr<int> parse_count(const char* text);
+
+struct Sink {
+  Status flush();
+};
+
+void firing_cases(Sink& sink) {
+  write_rows();                    // EXPECT-LINT: status-discard
+  sink.flush();                    // EXPECT-LINT: status-discard
+  parse_count("12");               // EXPECT-LINT: status-discard
+  auto n = parse_count("7");
+  int v = n.value();               // EXPECT-LINT: statusor-unchecked
+  (void)v;
+}
+
+Status quiet_cases(Sink& sink) {
+  (void)write_rows();              // explicit discard: fine
+  Status s = write_rows();         // consumed into a variable: fine
+  (void)s;
+  if (true) return sink.flush();   // returned: fine
+  auto n = parse_count("7");
+  if (n.ok()) {
+    int v = n.value();             // dominated by ok(): fine
+    (void)v;
+  }
+  auto m = parse_count("9");
+  (void)m.status();                // status() also counts as a check
+  int w = m.value();               // fine
+  (void)w;
+  return write_rows();
+}

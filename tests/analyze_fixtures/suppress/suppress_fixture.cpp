@@ -1,0 +1,13 @@
+// Suppression fixture: a used allow() silences its finding (and nothing
+// else appears); an allow() that suppresses nothing is itself a finding.
+#include <cstdlib>
+
+void sanctioned_randomness() {
+  // This fires raw-rng, and the same-line allow absorbs it — no finding,
+  // and the suppression registers as used.
+  std::srand(7);  // flexnets-lint: allow(raw-rng)
+}
+
+// A stale suppression: nothing on this line fires raw-thread, so the
+// allow() itself must be reported.
+void stale() {}  // flexnets-lint: allow(raw-thread) EXPECT-LINT: unused-suppression

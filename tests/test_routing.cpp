@@ -7,6 +7,7 @@
 #include "graph/algorithms.hpp"
 #include "routing/routing_table.hpp"
 #include "routing/strategy.hpp"
+#include "sim/packet.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/xpander.hpp"
 

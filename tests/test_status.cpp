@@ -53,7 +53,7 @@ TEST(StatusOr, HoldsError) {
   EXPECT_FALSE(e.ok());
   EXPECT_EQ(e.status().code(), StatusCode::kInvalidInput);
   CheckPolicyScope policy(CheckPolicy::kThrow);
-  EXPECT_THROW(e.value(), CheckFailure);
+  EXPECT_THROW((void)e.value(), CheckFailure);
 }
 
 TEST(StatusOr, ConstructingFromOkStatusIsAnError) {

@@ -1,0 +1,134 @@
+// Shared pass infrastructure for flexnets_analyze.
+//
+// A run lexes every file into a Corpus (so cross-TU passes see the whole
+// tree at once), then each pass emits findings through the Reporter,
+// which applies `// flexnets-lint: allow(<rule>)` suppressions and
+// tracks which of them actually suppressed something — an allow() that
+// never fires is itself a finding (`unused-suppression`), so stale
+// suppressions cannot accumulate.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace flexnets::analyze {
+
+struct Finding {
+  std::string path;  // repo-root-relative
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct FileData {
+  std::string abs_path;
+  std::string rel_path;  // relative to the analysis root
+  std::string module;    // "common", ..., "core", "tools", "tests", ...
+  LexResult lx;
+  // line -> rules allowed on that line (parsed from comments).
+  std::map<int, std::set<std::string>> allows;
+};
+
+struct Corpus {
+  std::string root;  // absolute analysis root
+  std::vector<FileData> files;  // sorted by rel_path
+};
+
+class Reporter {
+ public:
+  // Emits unless an allow(rule) comment sits on `line` of `file`; a
+  // suppressed finding marks that allow as used.
+  void emit(const FileData& file, int line, const std::string& rule,
+            const std::string& message);
+
+  // Converts every allow() that suppressed nothing into an
+  // `unused-suppression` finding. Call once, after all passes.
+  void finalize(const Corpus& corpus);
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+
+ private:
+  std::vector<Finding> findings_;
+  std::set<std::pair<std::string, int>> used_allows_;  // (rel_path, line)
+};
+
+// --- corpus construction --------------------------------------------------
+
+// Maps a root-relative path to its layering module: "src/<m>/..." -> <m>,
+// "<top>/..." -> <top> (tools, bench, tests, examples), "cli_x.cpp" in
+// tools/ stays "tools". Files directly under the root map to "".
+std::string module_of(const std::string& rel_path);
+
+// Loads and lexes every .cpp/.hpp/.cc/.h under `paths` (files or
+// directories), sorted for determinism. Returns std::nullopt and prints
+// to stderr on I/O failure.
+std::optional<Corpus> load_corpus(const std::string& root,
+                                  const std::vector<std::string>& paths);
+
+// --- token helpers shared by passes ---------------------------------------
+
+inline bool tok_is(const std::vector<Token>& t, std::size_t i,
+                   const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+// Index of the matching close for the open bracket at `i` ("(" or "{" or
+// "<"), or t.size() if unbalanced. For "<", a ">>" token closes two
+// levels and the search aborts on tokens that cannot appear in a
+// template-argument list (";", "{").
+std::size_t match_forward(const std::vector<Token>& t, std::size_t i);
+
+// Index of the "(" matching the ")" at `i`, or npos-like t.size().
+std::size_t match_back(const std::vector<Token>& t, std::size_t i);
+
+// For each token, the name of the innermost enclosing class/struct body
+// ("" outside any). One forward scan; `enum class` is not a class body.
+std::vector<std::string> class_context(const std::vector<Token>& t);
+
+// --- passes ---------------------------------------------------------------
+
+// Ported determinism/containment rules (raw-rng, wall-clock,
+// time-float-eq, unordered-iter, raw-thread, hard-exit, priority-queue).
+void run_rule_pass(const Corpus& corpus, Reporter& rep);
+
+// Include-graph layering + include-cycle detection against the contract.
+struct LayeringContract {
+  std::map<std::string, int> layer_of;  // module -> layer index (0 lowest)
+  int num_layers = 0;
+};
+std::optional<LayeringContract> load_layering(const std::string& json_path);
+void run_layering_pass(const Corpus& corpus, const LayeringContract& contract,
+                       Reporter& rep);
+
+// Status discipline: discarded Status/StatusOr-returning calls;
+// `.value()` with no dominating ok()/status() check.
+void run_status_pass(const Corpus& corpus, Reporter& rep);
+
+// Lock annotations: FLEXNETS_GUARDED_BY fields touched without the named
+// mutex held; FLEXNETS_ATOMIC_SHARED on non-atomic fields;
+// FLEXNETS_SHARED_READONLY fields written outside their declaring module.
+void run_lock_pass(const Corpus& corpus, Reporter& rep);
+
+// --- self-test ------------------------------------------------------------
+
+// Runs every pass over the fixture corpus under
+// <repo_root>/tests/analyze_fixtures (including the layering_tree mini
+// tree) and compares against EXPECT-LINT annotations. Returns 0 on
+// success, 1 on any mismatch.
+int run_self_test(const std::string& repo_root,
+                  const std::string& layering_path);
+
+}  // namespace flexnets::analyze

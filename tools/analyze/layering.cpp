@@ -1,0 +1,267 @@
+// Include-graph layering against tools/layering.json, plus file-level
+// include-cycle detection.
+//
+// The contract is a bottom-up list of layer groups; a module may include
+// headers from its own layer (sim <-> transport is legal) or any lower
+// layer, never a higher one. Modules absent from the contract (fixture
+// trees, scratch dirs) are unconstrained at the module level but still
+// participate in cycle detection.
+//
+// Module edges are judged from the include *target's* path prefix
+// ("routing/strategy.hpp" -> routing), so a violation is reported even
+// when the target header is not part of the scanned corpus. Cycles are
+// found on the resolved file graph with a DFS; the finding lands on the
+// back-edge's #include line, which is the edge a developer would cut.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace flexnets::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Minimal JSON reader for the two shapes layering.json uses: an object
+// with string keys whose values are arrays of strings or arrays of arrays
+// of strings. Anything else in the file is a hard error — the contract is
+// ours, so strictness beats generality.
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek_is(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out->push_back(s[i++]);
+    }
+    return eat('"');
+  }
+  bool string_array(std::vector<std::string>* out) {
+    if (!eat('[')) return false;
+    out->clear();
+    if (eat(']')) return true;
+    do {
+      std::string v;
+      if (!string(&v)) return false;
+      out->push_back(std::move(v));
+    } while (eat(','));
+    return eat(']');
+  }
+};
+
+std::string module_of_include(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  return target.substr(0, slash);
+}
+
+struct CycleFinder {
+  // Adjacency over corpus file indices, each edge tagged with the include
+  // line that created it.
+  struct Edge {
+    std::size_t to;
+    int line;
+  };
+  const Corpus& corpus;
+  Reporter& rep;
+  std::vector<std::vector<Edge>> adj;
+  // 0 = unvisited, 1 = on the current DFS stack, 2 = done.
+  std::vector<int> state;
+
+  void dfs(std::size_t u) {
+    state[u] = 1;
+    for (const Edge& e : adj[u]) {
+      if (state[e.to] == 1) {
+        rep.emit(corpus.files[u], e.line, "include-cycle",
+                 "including \"" + corpus.files[e.to].rel_path +
+                     "\" closes an include cycle; break the cycle with a "
+                     "forward declaration or by moving the shared type "
+                     "down a layer");
+      } else if (state[e.to] == 0) {
+        dfs(e.to);
+      }
+    }
+    state[u] = 2;
+  }
+};
+
+}  // namespace
+
+std::optional<LayeringContract> load_layering(const std::string& json_path) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "flexnets_analyze: cannot read layering contract: %s\n",
+                 json_path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonCursor c{text};
+  if (!c.eat('{')) {
+    std::fprintf(stderr, "flexnets_analyze: %s: expected a JSON object\n",
+                 json_path.c_str());
+    return std::nullopt;
+  }
+  LayeringContract contract;
+  bool saw_layers = false;
+  if (!c.peek_is('}')) {
+    do {
+      std::string key;
+      if (!c.string(&key) || !c.eat(':')) {
+        std::fprintf(stderr, "flexnets_analyze: %s: malformed object key\n",
+                     json_path.c_str());
+        return std::nullopt;
+      }
+      if (key == "layers") {
+        if (!c.eat('[')) {
+          std::fprintf(stderr,
+                       "flexnets_analyze: %s: \"layers\" must be an array\n",
+                       json_path.c_str());
+          return std::nullopt;
+        }
+        saw_layers = true;
+        if (!c.peek_is(']')) {
+          do {
+            std::vector<std::string> group;
+            if (!c.string_array(&group)) {
+              std::fprintf(
+                  stderr,
+                  "flexnets_analyze: %s: each layer must be a string array\n",
+                  json_path.c_str());
+              return std::nullopt;
+            }
+            for (const std::string& m : group) {
+              if (contract.layer_of.count(m) > 0) {
+                std::fprintf(stderr,
+                             "flexnets_analyze: %s: module \"%s\" appears in "
+                             "two layers\n",
+                             json_path.c_str(), m.c_str());
+                return std::nullopt;
+              }
+              contract.layer_of[m] = contract.num_layers;
+            }
+            ++contract.num_layers;
+          } while (c.eat(','));
+        }
+        if (!c.eat(']')) return std::nullopt;
+      } else {
+        // "comment" and any future metadata: a string array we ignore.
+        std::vector<std::string> ignored;
+        std::string ignored_str;
+        if (!c.string_array(&ignored) && !c.string(&ignored_str)) {
+          std::fprintf(stderr,
+                       "flexnets_analyze: %s: unsupported value for \"%s\"\n",
+                       json_path.c_str(), key.c_str());
+          return std::nullopt;
+        }
+      }
+    } while (c.eat(','));
+  }
+  if (!c.eat('}') || !saw_layers || contract.layer_of.empty()) {
+    std::fprintf(stderr,
+                 "flexnets_analyze: %s: missing or empty \"layers\" array\n",
+                 json_path.c_str());
+    return std::nullopt;
+  }
+  return contract;
+}
+
+void run_layering_pass(const Corpus& corpus, const LayeringContract& contract,
+                       Reporter& rep) {
+  // --- module-level layer check, from include-target prefixes ---
+  for (const FileData& f : corpus.files) {
+    const auto from = contract.layer_of.find(f.module);
+    if (from == contract.layer_of.end()) continue;  // unconstrained module
+    for (const PpLine& pp : f.lx.pp) {
+      if (pp.include_target.empty() || !pp.include_quoted) continue;
+      const std::string to_mod = module_of_include(pp.include_target);
+      if (to_mod.empty() || to_mod == f.module) continue;
+      const auto to = contract.layer_of.find(to_mod);
+      if (to == contract.layer_of.end()) continue;
+      if (to->second > from->second) {
+        rep.emit(f, pp.line, "layering",
+                 "\"" + f.module + "\" (layer " +
+                     std::to_string(from->second) + ") must not include \"" +
+                     pp.include_target + "\" from higher layer \"" + to_mod +
+                     "\" (layer " + std::to_string(to->second) +
+                     "); see tools/layering.json");
+      }
+    }
+  }
+
+  // --- file-level include-cycle detection ---
+  // Resolve each quoted include to a corpus file: <root>/src/<target>,
+  // <root>/<target>, then sibling-relative. Unresolved targets (system
+  // headers, generated files) simply contribute no edge.
+  std::map<std::string, std::size_t> by_abs;
+  for (std::size_t k = 0; k < corpus.files.size(); ++k) {
+    by_abs[corpus.files[k].abs_path] = k;
+  }
+  auto resolve = [&](const FileData& f,
+                     const std::string& target) -> std::size_t {
+    std::error_code ec;
+    const fs::path root(corpus.root);
+    const fs::path candidates[] = {
+        root / "src" / target,
+        root / target,
+        fs::path(f.abs_path).parent_path() / target,
+    };
+    for (const fs::path& p : candidates) {
+      const std::string abs = fs::weakly_canonical(p, ec).string();
+      if (ec) continue;
+      const auto it = by_abs.find(abs);
+      if (it != by_abs.end()) return it->second;
+    }
+    return corpus.files.size();
+  };
+
+  CycleFinder cf{corpus, rep, {}, {}};
+  cf.adj.resize(corpus.files.size());
+  cf.state.assign(corpus.files.size(), 0);
+  for (std::size_t u = 0; u < corpus.files.size(); ++u) {
+    for (const PpLine& pp : corpus.files[u].lx.pp) {
+      if (pp.include_target.empty() || !pp.include_quoted) continue;
+      const std::size_t v = resolve(corpus.files[u], pp.include_target);
+      if (v < corpus.files.size() && v != u) {
+        cf.adj[u].push_back({v, pp.line});
+      }
+    }
+  }
+  // corpus.files is sorted by rel_path, so DFS roots are deterministic.
+  for (std::size_t u = 0; u < corpus.files.size(); ++u) {
+    if (cf.state[u] == 0) cf.dfs(u);
+  }
+}
+
+}  // namespace flexnets::analyze

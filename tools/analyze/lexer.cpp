@@ -1,0 +1,291 @@
+#include "token.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace flexnets::analyze {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first within each leading char.
+// (">>" and "<<" stay single tokens; template-argument skipping treats a
+// ">>" as closing two levels.)
+const char* const kMultiOps[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+struct Lexer {
+  const std::string& s;
+  std::size_t i = 0;
+  int line = 1;
+  LexResult out;
+
+  explicit Lexer(const std::string& text) : s(text) {}
+
+  char cur() const { return i < s.size() ? s[i] : '\0'; }
+  char peek(std::size_t k = 1) const {
+    return i + k < s.size() ? s[i + k] : '\0';
+  }
+
+  void advance() {
+    if (cur() == '\n') ++line;
+    ++i;
+  }
+
+  void push(TokKind kind, std::string text, int at_line) {
+    out.tokens.push_back(Token{kind, std::move(text), at_line});
+  }
+
+  // --- comments ----------------------------------------------------------
+
+  void line_comment() {
+    const int at = line;
+    i += 2;
+    std::string text;
+    while (i < s.size() && s[i] != '\n') text.push_back(s[i++]);
+    out.comments.push_back(Comment{at, std::move(text)});
+  }
+
+  void block_comment() {
+    const int at = line;
+    i += 2;
+    std::string text;
+    while (i < s.size() && !(s[i] == '*' && peek() == '/')) {
+      text.push_back(cur());
+      advance();
+    }
+    if (i < s.size()) i += 2;  // past */
+    out.comments.push_back(Comment{at, std::move(text)});
+  }
+
+  // --- literals ----------------------------------------------------------
+
+  // `i` is at the opening quote. An unterminated literal stops at newline
+  // (best effort; real compilers reject the TU anyway).
+  void quoted(char quote, TokKind kind) {
+    const int at = line;
+    advance();  // opening quote
+    std::string text;
+    while (i < s.size() && s[i] != quote && s[i] != '\n') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        text.push_back(s[i]);
+        advance();
+      }
+      text.push_back(cur());
+      advance();
+    }
+    if (cur() == quote) advance();
+    push(kind, std::move(text), at);
+  }
+
+  // `i` is at the R of R"delim( ... )delim".
+  void raw_string() {
+    const int at = line;
+    ++i;  // R
+    ++i;  // "
+    std::string delim;
+    while (i < s.size() && s[i] != '(' && delim.size() < 16) {
+      delim.push_back(s[i++]);
+    }
+    if (cur() == '(') advance();
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (i < s.size() && s.compare(i, closer.size(), closer) != 0) {
+      text.push_back(cur());
+      advance();
+    }
+    if (i < s.size()) i += closer.size();
+    push(TokKind::kString, std::move(text), at);
+  }
+
+  // True if the identifier starting at `i` is a raw/encoded string prefix
+  // immediately followed by a quote (R"..., u8R"..., L"...", etc.).
+  bool string_prefix(std::size_t* quote_at, bool* raw) const {
+    std::size_t k = i;
+    while (k < s.size() && is_ident_char(s[k]) && k - i <= 3) ++k;
+    if (k >= s.size() || s[k] != '"') return false;
+    const std::string prefix = s.substr(i, k - i);
+    static const char* const kPrefixes[] = {"u8", "u", "U", "L"};
+    static const char* const kRawPrefixes[] = {"R",  "u8R", "uR",
+                                               "UR", "LR"};
+    for (const char* p : kRawPrefixes) {
+      if (prefix == p) {
+        *quote_at = k;
+        *raw = true;
+        return true;
+      }
+    }
+    for (const char* p : kPrefixes) {
+      if (prefix == p) {
+        *quote_at = k;
+        *raw = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- preprocessor ------------------------------------------------------
+
+  // `i` is at '#' and it is the first non-whitespace on the line. Collects
+  // the logical line (joining backslash continuations), extracts any
+  // #include target, and still records // comments inside it so
+  // suppressions work on include lines.
+  void pp_line() {
+    const int at = line;
+    std::string text;
+    while (i < s.size()) {
+      if (s[i] == '\\' && peek() == '\n') {
+        text.push_back(' ');
+        advance();
+        advance();
+        continue;
+      }
+      if (s[i] == '\n') break;
+      if (s[i] == '/' && peek() == '/') {
+        line_comment();
+        break;
+      }
+      if (s[i] == '/' && peek() == '*') {
+        block_comment();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(cur());
+      advance();
+    }
+    PpLine pp{at, text, "", false};
+    std::size_t p = text.find_first_not_of(" \t", 1);  // past '#'
+    if (p != std::string::npos && text.compare(p, 7, "include") == 0) {
+      p = text.find_first_not_of(" \t", p + 7);
+      if (p != std::string::npos && (text[p] == '"' || text[p] == '<')) {
+        const char close = text[p] == '"' ? '"' : '>';
+        const std::size_t end = text.find(close, p + 1);
+        if (end != std::string::npos) {
+          pp.include_target = text.substr(p + 1, end - p - 1);
+          pp.include_quoted = text[p] == '"';
+        }
+      }
+    }
+    out.pp.push_back(std::move(pp));
+  }
+
+  // --- main loop ---------------------------------------------------------
+
+  void run() {
+    bool at_line_start = true;  // only whitespace seen so far on this line
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '\n') {
+        at_line_start = true;
+        advance();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      if (c == '\\' && peek() == '\n') {  // splice outside pp: skip
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '/' && peek() == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek() == '*') {
+        block_comment();
+        at_line_start = false;
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        pp_line();
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      if (c == '"') {
+        quoted('"', TokKind::kString);
+        continue;
+      }
+      if (c == '\'') {
+        // Could be a digit separator only inside a number, which the
+        // number scanner consumes; a bare ' here starts a char literal.
+        quoted('\'', TokKind::kChar);
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t quote_at = 0;
+        bool raw = false;
+        if (string_prefix(&quote_at, &raw)) {
+          if (raw) {
+            // Reposition to R (the char before the quote) for raw_string.
+            i = quote_at - 1;
+            raw_string();
+          } else {
+            i = quote_at;
+            quoted('"', TokKind::kString);
+          }
+          continue;
+        }
+        const int at = line;
+        std::string text;
+        while (i < s.size() && is_ident_char(s[i])) text.push_back(s[i++]);
+        push(TokKind::kIdent, std::move(text), at);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+        const int at = line;
+        std::string text;
+        while (i < s.size() &&
+               (is_ident_char(s[i]) || s[i] == '.' || s[i] == '\'' ||
+                ((s[i] == '+' || s[i] == '-') && i > 0 &&
+                 (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                  s[i - 1] == 'P')))) {
+          text.push_back(s[i++]);
+        }
+        push(TokKind::kNumber, std::move(text), at);
+        continue;
+      }
+      // Punctuation: longest multi-char operator first.
+      {
+        const int at = line;
+        bool matched = false;
+        for (const char* op : kMultiOps) {
+          const std::size_t len = std::char_traits<char>::length(op);
+          if (s.compare(i, len, op) == 0) {
+            push(TokKind::kPunct, op, at);
+            i += len;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          push(TokKind::kPunct, std::string(1, c), at);
+          advance();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+LexResult lex(const std::string& text) {
+  Lexer lx(text);
+  lx.run();
+  return std::move(lx.out);
+}
+
+}  // namespace flexnets::analyze

@@ -1,0 +1,366 @@
+// Lock-annotation verification (heuristic).
+//
+// Under clang the FLEXNETS_* macros expand to real thread-safety
+// attributes and -Wthread-safety is the precise checker; this pass is the
+// portable approximation that also runs under gcc, where the macros are
+// no-ops. Three checks:
+//
+//   FLEXNETS_GUARDED_BY(mu)   every use of the field inside a member
+//                             function of the owning class must have a
+//                             lock_guard/unique_lock/scoped_lock on `mu`
+//                             (or `mu.lock()`) visible in an enclosing
+//                             scope, or the function must be annotated
+//                             FLEXNETS_REQUIRES(mu). Constructors and
+//                             destructors are exempt (single-threaded
+//                             phases by contract).
+//   FLEXNETS_ATOMIC_SHARED    the declared type must mention `atomic` —
+//                             the annotation documents lock-free sharing,
+//                             so a plain field wearing it is a lie.
+//   FLEXNETS_SHARED_READONLY  built once, read many: variables of the
+//                             owning class may not have the field
+//                             assigned/mutated outside the class's own
+//                             module.
+//
+// The scope walk is backward from the use site: a brace-depth counter
+// finds each enclosing `{`; tokens in enclosing scopes are searched for a
+// lock acquisition naming the mutex; lambdas and control-flow blocks are
+// transparent; the walk ends at the function header, where the name,
+// qualifier, and FLEXNETS_REQUIRES trailer are read.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace flexnets::analyze {
+
+namespace {
+
+struct GuardedField {
+  std::string name;
+  std::string mutex;
+  std::string owner_class;  // "" if not inside a class body
+};
+
+struct ReadonlyField {
+  std::string name;
+  std::string owner_class;
+  std::string owner_module;
+};
+
+struct Annotations {
+  std::vector<GuardedField> guarded;
+  std::vector<ReadonlyField> readonly;
+  // class name -> variable names declared with that class type, corpus-wide
+  std::map<std::string, std::set<std::string>> vars_of_class;
+};
+
+bool is_specifier(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" ||
+         s == "final" || s == "mutable" || s == "inline" || s == "virtual";
+}
+
+// True if the declared type of the field at token `i` (walking back to the
+// start of its declaration) mentions atomic.
+bool decl_mentions_atomic(const std::vector<Token>& t, std::size_t i) {
+  for (std::size_t k = i; k-- > 0;) {
+    const std::string& y = t[k].text;
+    if (y == ";" || y == "{" || y == "}") break;
+    if (t[k].kind == TokKind::kIdent &&
+        y.find("atomic") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Annotations collect_annotations(const Corpus& corpus, Reporter& rep) {
+  Annotations ann;
+  for (const FileData& f : corpus.files) {
+    const auto& t = f.lx.tokens;
+    const std::vector<std::string> ctx = class_context(t);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& x = t[i].text;
+      if (x == "FLEXNETS_GUARDED_BY" || x == "FLEXNETS_PT_GUARDED_BY") {
+        if (i == 0 || t[i - 1].kind != TokKind::kIdent) continue;
+        if (!tok_is(t, i + 1, "(") || i + 2 >= t.size()) continue;
+        GuardedField g;
+        g.name = t[i - 1].text;
+        g.mutex = t[i + 2].text;
+        g.owner_class = ctx[i];
+        ann.guarded.push_back(std::move(g));
+      } else if (x == "FLEXNETS_ATOMIC_SHARED") {
+        if (i == 0 || t[i - 1].kind != TokKind::kIdent) continue;
+        if (!decl_mentions_atomic(t, i - 1)) {
+          rep.emit(f, t[i].line, "lock-annotation",
+                   "field `" + t[i - 1].text +
+                       "` is annotated FLEXNETS_ATOMIC_SHARED but its "
+                       "declared type does not mention std::atomic; the "
+                       "annotation promises lock-free sharing");
+        }
+      } else if (x == "FLEXNETS_SHARED_READONLY") {
+        if (i == 0 || t[i - 1].kind != TokKind::kIdent) continue;
+        ReadonlyField r;
+        r.name = t[i - 1].text;
+        r.owner_class = ctx[i];
+        r.owner_module = f.module;
+        ann.readonly.push_back(std::move(r));
+      }
+    }
+  }
+  // Variable names declared with an annotated class type (for the
+  // SHARED_READONLY receiver check): `ThroughputCache x`, `const
+  // ThroughputCache& x`, `ThroughputCache* x`.
+  std::set<std::string> classes;
+  for (const ReadonlyField& r : ann.readonly) {
+    if (!r.owner_class.empty()) classes.insert(r.owner_class);
+  }
+  for (const FileData& f : corpus.files) {
+    const auto& t = f.lx.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || classes.count(t[i].text) == 0) {
+        continue;
+      }
+      std::size_t k = i + 1;
+      while (tok_is(t, k, "&") || tok_is(t, k, "*") || tok_is(t, k, "&&")) {
+        ++k;
+      }
+      if (k < t.size() && t[k].kind == TokKind::kIdent &&
+          !is_specifier(t[k].text)) {
+        ann.vars_of_class[t[i].text].insert(t[k].text);
+      }
+    }
+  }
+  return ann;
+}
+
+// --- guarded-field use verification ---------------------------------------
+
+bool is_mutator_name(const std::string& s) {
+  return s == "push_back" || s == "pop_back" || s == "push_front" ||
+         s == "pop_front" || s == "clear" || s == "resize" ||
+         s == "insert" || s == "erase" || s == "emplace" ||
+         s == "emplace_back" || s == "assign" || s == "reserve" ||
+         s == "swap";
+}
+
+bool is_assign_op(const std::string& s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+         s == ">>=" || s == "++" || s == "--";
+}
+
+// Does the token window [from, to) acquire `mutex`? Looks for
+// lock_guard/unique_lock/scoped_lock with the mutex among its constructor
+// arguments (within a short window, no `;` crossed), or `mutex.lock()`.
+bool window_acquires(const std::vector<Token>& t, std::size_t at,
+                     const std::string& mutex) {
+  const std::string& x = t[at].text;
+  if (x == "lock_guard" || x == "unique_lock" || x == "scoped_lock") {
+    for (std::size_t k = at + 1; k < t.size() && k < at + 14; ++k) {
+      if (t[k].text == ";") break;
+      if (t[k].kind == TokKind::kIdent && t[k].text == mutex) return true;
+    }
+  }
+  if (x == mutex && tok_is(t, at + 1, ".") && tok_is(t, at + 2, "lock") &&
+      tok_is(t, at + 3, "(")) {
+    return true;
+  }
+  return false;
+}
+
+struct HeaderInfo {
+  bool found = false;
+  std::string fname;
+  std::string qualifier;       // `Cls` from `Cls::fname`, "" otherwise
+  bool requires_mutex = false; // FLEXNETS_REQUIRES names the mutex
+  bool is_ctor_dtor = false;
+};
+
+// `body_open` is the index of a `{` suspected to open a function body.
+// Reads the header to its left. Returns found=false if this `{` is not a
+// function body (control block, lambda, plain scope, class, namespace...).
+HeaderInfo read_header(const std::vector<Token>& t, std::size_t body_open,
+                       const std::string& mutex) {
+  HeaderInfo h;
+  std::size_t j = body_open;
+  // Walk left over trailing specifiers, REQUIRES macros, and the
+  // constructor member-initializer list, down to the parameter list.
+  while (j > 0) {
+    const std::string& y = t[j - 1].text;
+    if (t[j - 1].kind == TokKind::kIdent && is_specifier(y)) {
+      --j;
+      continue;
+    }
+    if (y != ")") return h;  // not a function header
+    const std::size_t open = match_back(t, j - 1);
+    if (open == t.size() || open == 0) return h;
+    const std::size_t before = open - 1;
+    if (t[before].kind != TokKind::kIdent) {
+      // `](...)` would be a lambda; anything else is not a header.
+      return h;
+    }
+    const std::string& name = t[before].text;
+    if (name.rfind("FLEXNETS_", 0) == 0) {
+      if (name == "FLEXNETS_REQUIRES") {
+        for (std::size_t k = open + 1; k < j - 1; ++k) {
+          if (t[k].text == mutex) h.requires_mutex = true;
+        }
+      }
+      j = before;
+      continue;
+    }
+    if (name == "if" || name == "for" || name == "while" ||
+        name == "switch" || name == "catch") {
+      return h;  // control block, not a function
+    }
+    const std::string prev = before > 0 ? t[before - 1].text : "";
+    if (prev == "," || (prev == ":" && before >= 2 && t[before - 2].text == ")")) {
+      // Member-initializer entry `..., name(expr)`: keep walking left from
+      // just before it.
+      j = before - 1;
+      continue;
+    }
+    // The parameter list: `name` is the function.
+    h.found = true;
+    h.fname = name;
+    if (prev == "~") {
+      h.is_ctor_dtor = true;
+      if (before >= 3 && t[before - 2].text == "::") {
+        h.qualifier = t[before - 3].text;
+      }
+    } else if (prev == "::" && before >= 2) {
+      h.qualifier = t[before - 2].text;
+      if (h.qualifier == h.fname) h.is_ctor_dtor = true;
+    }
+    return h;
+  }
+  return h;
+}
+
+// For a use of a guarded field at token `i`, walk outward through
+// enclosing scopes looking for a lock acquisition; on reaching the
+// function header, decide.
+void check_guarded_use(const FileData& f, const std::vector<Token>& t,
+                       const std::vector<std::string>& ctx, std::size_t i,
+                       const GuardedField& g, Reporter& rep) {
+  int depth = 0;
+  for (std::size_t k = i; k-- > 0;) {
+    const std::string& y = t[k].text;
+    if (y == "}") {
+      --depth;
+      continue;
+    }
+    if (y == "{") {
+      if (++depth < 1) continue;  // closes a sibling scope we skipped over
+      depth = 0;  // crossed into the enclosing scope
+      // Function body? Read the header. Control blocks, lambdas, and
+      // plain scopes are transparent: keep walking outward.
+      HeaderInfo h = read_header(t, k, g.mutex);
+      if (!h.found) {
+        // `class X {` / `namespace X {`: the use is at class scope (a
+        // default member initializer or the declaration itself) — out of
+        // scope for the lock check.
+        if (k > 0 && (t[k - 1].kind == TokKind::kIdent ||
+                      t[k - 1].text == ":")) {
+          for (std::size_t m = k; m-- > 0;) {
+            const std::string& z = t[m].text;
+            if (z == ";" || z == "{" || z == "}") break;
+            if (z == "class" || z == "struct" || z == "namespace") return;
+          }
+        }
+        continue;
+      }
+      if (h.requires_mutex || h.is_ctor_dtor) return;
+      // Scope the check to the owning class: a same-named field of an
+      // unrelated class is not ours to police.
+      const std::string use_class =
+          !h.qualifier.empty() ? h.qualifier : ctx[i];
+      if (!g.owner_class.empty() && use_class != g.owner_class) return;
+      if (h.fname == g.owner_class || (!h.qualifier.empty() &&
+                                       h.qualifier == h.fname)) {
+        return;  // constructor spelled without qualifier
+      }
+      rep.emit(f, t[i].line, "lock-annotation",
+               "`" + g.name + "` is FLEXNETS_GUARDED_BY(" + g.mutex +
+                   ") but `" + h.fname +
+                   "` touches it with no lock on `" + g.mutex +
+                   "` in scope; take a lock_guard or annotate the "
+                   "function FLEXNETS_REQUIRES(" + g.mutex + ")");
+      return;
+    }
+    if (depth == 0 && t[k].kind == TokKind::kIdent &&
+        window_acquires(t, k, g.mutex)) {
+      return;  // lock visibly held in an enclosing scope
+    }
+  }
+}
+
+void check_file(const FileData& f, const Annotations& ann, Reporter& rep) {
+  const auto& t = f.lx.tokens;
+  const std::vector<std::string> ctx = class_context(t);
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& x = t[i].text;
+
+    // --- guarded fields ---
+    for (const GuardedField& g : ann.guarded) {
+      if (x != g.name) continue;
+      // Skip the declaration itself (next token is the annotation macro).
+      if (i + 1 < t.size() &&
+          t[i + 1].text.rfind("FLEXNETS_", 0) == 0) {
+        continue;
+      }
+      // Member access on some other object is untrackable; `this->` is us.
+      if (i > 0) {
+        const std::string& p = t[i - 1].text;
+        if (p == "::") continue;
+        if ((p == "." || p == "->") &&
+            !(i >= 2 && t[i - 2].text == "this")) {
+          continue;
+        }
+      }
+      check_guarded_use(f, t, ctx, i, g, rep);
+    }
+
+    // --- SHARED_READONLY writes outside the owning module ---
+    for (const ReadonlyField& r : ann.readonly) {
+      if (f.module == r.owner_module) continue;
+      if (x != r.name || i < 2) continue;
+      const std::string& p = t[i - 1].text;
+      if (p != "." && p != "->") continue;
+      const auto vars = ann.vars_of_class.find(r.owner_class);
+      if (vars == ann.vars_of_class.end() ||
+          vars->second.count(t[i - 2].text) == 0) {
+        continue;  // receiver is not a known variable of the owning class
+      }
+      bool writes = false;
+      if (i + 1 < t.size() && is_assign_op(t[i + 1].text)) writes = true;
+      if (i + 2 < t.size() && t[i + 1].text == "." &&
+          is_mutator_name(t[i + 2].text)) {
+        writes = true;
+      }
+      if (writes) {
+        rep.emit(f, t[i].line, "lock-annotation",
+                 "`" + r.name + "` is FLEXNETS_SHARED_READONLY (built once "
+                     "by " + r.owner_module +
+                     "/, then shared immutably); writing it from " +
+                     (f.module.empty() ? std::string("outside") : f.module) +
+                     "/ breaks the read-only sharing contract");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_lock_pass(const Corpus& corpus, Reporter& rep) {
+  Annotations ann = collect_annotations(corpus, rep);
+  for (const FileData& f : corpus.files) check_file(f, ann, rep);
+}
+
+}  // namespace flexnets::analyze

@@ -1,0 +1,116 @@
+// flexnets_analyze — cross-TU static analyzer for the flexnets tree.
+//
+// Usage:
+//   flexnets_analyze [paths...] [--repo-root DIR] [--layering FILE]
+//   flexnets_analyze --self-test [--repo-root DIR]
+//
+// Passes (each suppressible per line with `// flexnets-lint: allow(rule)`):
+//   layering, include-cycle   include-graph contract (tools/layering.json)
+//   status-discard,           Status/StatusOr discipline
+//   statusor-unchecked
+//   lock-annotation           FLEXNETS_GUARDED_BY / _ATOMIC_SHARED /
+//                             _SHARED_READONLY verification
+//   raw-rng, wall-clock, time-float-eq, unordered-iter, raw-thread,
+//   hard-exit, priority-queue ported determinism/containment rules
+//   unused-suppression        an allow() that suppressed nothing
+//
+// Exit codes: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace flexnets::analyze;
+
+// The repo root is wherever tools/layering.json lives: the given (or
+// current) directory, else the nearest ancestor.
+std::string find_repo_root(const std::string& start) {
+  std::error_code ec;
+  fs::path p = fs::weakly_canonical(fs::path(start), ec);
+  if (ec) p = fs::path(start);
+  for (int up = 0; up < 8; ++up) {
+    if (fs::is_regular_file(p / "tools" / "layering.json", ec)) {
+      return p.string();
+    }
+    if (!p.has_parent_path() || p.parent_path() == p) break;
+    p = p.parent_path();
+  }
+  return start;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [paths...] [--repo-root DIR] [--layering FILE] "
+               "[--self-test]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string repo_root;
+  std::string layering_path;
+  bool self_test = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--self-test") == 0) {
+      self_test = true;
+    } else if (std::strcmp(a, "--repo-root") == 0 && i + 1 < argc) {
+      repo_root = argv[++i];
+    } else if (std::strcmp(a, "--layering") == 0 && i + 1 < argc) {
+      layering_path = argv[++i];
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(a);
+    }
+  }
+
+  if (repo_root.empty()) repo_root = find_repo_root(".");
+  std::error_code ec;
+  const std::string root =
+      fs::weakly_canonical(fs::path(repo_root), ec).string();
+  if (layering_path.empty()) {
+    layering_path = (fs::path(root) / "tools" / "layering.json").string();
+  }
+
+  if (self_test) return run_self_test(root, layering_path);
+
+  const auto contract = load_layering(layering_path);
+  if (!contract) return 2;
+
+  if (paths.empty()) paths.push_back((fs::path(root) / "src").string());
+  const auto corpus = load_corpus(root, paths);
+  if (!corpus) return 2;
+
+  Reporter rep;
+  run_rule_pass(*corpus, rep);
+  run_layering_pass(*corpus, *contract, rep);
+  run_status_pass(*corpus, rep);
+  run_lock_pass(*corpus, rep);
+  rep.finalize(*corpus);
+
+  for (const Finding& f : rep.findings()) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!rep.findings().empty()) {
+    std::fprintf(stderr, "flexnets_analyze: %zu finding(s)\n",
+                 rep.findings().size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis.hpp"
+
+namespace flexnets::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* const kSourceExtensions[] = {".cpp", ".hpp", ".cc", ".h"};
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  for (const char* e : kSourceExtensions) {
+    if (ext == e) return true;
+  }
+  return false;
+}
+
+// Parses "flexnets-lint: allow(rule-a, rule-b)" out of one comment.
+std::set<std::string> parse_allow(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::size_t tag = comment.find("flexnets-lint:");
+  if (tag == std::string::npos) return rules;
+  std::size_t p = comment.find("allow", tag);
+  if (p == std::string::npos) return rules;
+  p = comment.find('(', p);
+  const std::size_t end = comment.find(')', p);
+  if (p == std::string::npos || end == std::string::npos) return rules;
+  std::string inside = comment.substr(p + 1, end - p - 1);
+  std::string rule;
+  std::istringstream ss(inside);
+  while (std::getline(ss, rule, ',')) {
+    const std::size_t a = rule.find_first_not_of(" \t");
+    const std::size_t b = rule.find_last_not_of(" \t");
+    if (a != std::string::npos) rules.insert(rule.substr(a, b - a + 1));
+  }
+  return rules;
+}
+
+}  // namespace
+
+void Reporter::emit(const FileData& file, int line, const std::string& rule,
+                    const std::string& message) {
+  const auto it = file.allows.find(line);
+  if (it != file.allows.end() && it->second.count(rule) > 0) {
+    used_allows_.insert({file.rel_path, line});
+    return;
+  }
+  findings_.push_back(Finding{file.rel_path, line, rule, message});
+}
+
+void Reporter::finalize(const Corpus& corpus) {
+  for (const FileData& f : corpus.files) {
+    for (const auto& [line, rules] : f.allows) {
+      if (used_allows_.count({f.rel_path, line}) > 0) continue;
+      findings_.push_back(Finding{
+          f.rel_path, line, "unused-suppression",
+          "this flexnets-lint: allow(...) no longer suppresses anything; "
+          "delete it (stale suppressions hide future regressions)"});
+    }
+  }
+  std::sort(findings_.begin(), findings_.end());
+}
+
+std::string module_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string top = rel_path.substr(0, slash);
+  if (top != "src") return top;
+  const std::size_t slash2 = rel_path.find('/', slash + 1);
+  if (slash2 == std::string::npos) return "";
+  return rel_path.substr(slash + 1, slash2 - slash - 1);
+}
+
+std::optional<Corpus> load_corpus(const std::string& root,
+                                  const std::vector<std::string>& paths) {
+  Corpus corpus;
+  std::error_code ec;
+  corpus.root = fs::weakly_canonical(fs::path(root), ec).string();
+  if (ec) corpus.root = root;
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path path(p);
+    if (fs::is_regular_file(path, ec)) {
+      files.push_back(fs::weakly_canonical(path, ec).string());
+    } else if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && is_source_file(it->path())) {
+          files.push_back(fs::weakly_canonical(it->path(), ec).string());
+        }
+      }
+    } else {
+      std::fprintf(stderr, "flexnets_analyze: no such path: %s\n", p.c_str());
+      return std::nullopt;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& abs : files) {
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "flexnets_analyze: cannot read: %s\n",
+                   abs.c_str());
+      return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    FileData fd;
+    fd.abs_path = abs;
+    fd.rel_path =
+        fs::relative(fs::path(abs), fs::path(corpus.root), ec).generic_string();
+    if (ec || fd.rel_path.empty() || fd.rel_path.front() == '.') {
+      fd.rel_path = abs;  // outside the root: keep absolute
+    }
+    fd.module = module_of(fd.rel_path);
+    fd.lx = lex(buf.str());
+    for (const Comment& c : fd.lx.comments) {
+      std::set<std::string> rules = parse_allow(c.text);
+      if (!rules.empty()) {
+        fd.allows[c.line].insert(rules.begin(), rules.end());
+      }
+    }
+    corpus.files.push_back(std::move(fd));
+  }
+  std::sort(corpus.files.begin(), corpus.files.end(),
+            [](const FileData& a, const FileData& b) {
+              return a.rel_path < b.rel_path;
+            });
+  return corpus;
+}
+
+std::size_t match_forward(const std::vector<Token>& t, std::size_t i) {
+  if (i >= t.size()) return t.size();
+  const std::string& open = t[i].text;
+  const bool angle = open == "<";
+  const char* close = open == "(" ? ")" : open == "{" ? "}" : ">";
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    const std::string& x = t[k].text;
+    if (x == open) {
+      ++depth;
+    } else if (x == close) {
+      if (--depth == 0) return k;
+    } else if (angle) {
+      if (x == ">>") {
+        depth -= 2;
+        if (depth <= 0) return k;
+      } else if (x == ";" || x == "{") {
+        return t.size();  // not a template-argument list after all
+      }
+    }
+  }
+  return t.size();
+}
+
+std::vector<std::string> class_context(const std::vector<Token>& t) {
+  std::vector<std::string> ctx(t.size());
+  std::vector<std::string> stack;  // one entry per open `{`; "" = non-class
+  std::string current;             // innermost class name, "" outside
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ctx[i] = current;
+    const std::string& x = t[i].text;
+    if (x == "{") {
+      std::string opens;
+      // Was this `{` opened by `class`/`struct` NAME [final] [: bases]?
+      for (std::size_t k = i; k-- > 0;) {
+        const std::string& y = t[k].text;
+        if (y == ";" || y == "{" || y == "}" || y == ")") break;
+        if ((y == "class" || y == "struct") &&
+            !(k > 0 && t[k - 1].text == "enum")) {
+          // Name: last plain ident between the keyword and `{` / `:`.
+          for (std::size_t m = k + 1; m < i; ++m) {
+            if (t[m].text == ":") break;
+            if (t[m].kind == TokKind::kIdent && t[m].text != "final" &&
+                t[m].text != "alignas" && t[m].text != "nodiscard") {
+              opens = t[m].text;
+            }
+          }
+          break;
+        }
+      }
+      stack.push_back(opens);
+      if (!opens.empty()) current = opens;
+    } else if (x == "}") {
+      if (!stack.empty()) {
+        stack.pop_back();
+        current.clear();
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          if (!it->empty()) {
+            current = *it;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return ctx;
+}
+
+std::size_t match_back(const std::vector<Token>& t, std::size_t i) {
+  if (i >= t.size() || t[i].text != ")") return t.size();
+  int depth = 0;
+  for (std::size_t k = i + 1; k-- > 0;) {
+    if (t[k].text == ")") ++depth;
+    if (t[k].text == "(") {
+      if (--depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+}  // namespace flexnets::analyze

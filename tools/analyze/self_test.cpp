@@ -1,0 +1,145 @@
+// --self-test: every pass runs over the seeded fixture corpus and the
+// result must match the `EXPECT-LINT: rule[, rule]` annotations exactly —
+// expected findings that do not fire AND findings nobody expected both
+// fail. Two scans:
+//
+//   1. tests/analyze_fixtures/{rules,status,locks,suppress} analyzed with
+//      the repo root as analysis root (all passes; the layering pass runs
+//      but these files live in the top layer, so it must stay silent).
+//   2. tests/analyze_fixtures/layering_tree analyzed as its own root — a
+//      miniature src/ tree holding a deliberate layering violation, an
+//      include cycle, and a cross-module SHARED_READONLY write, judged
+//      against the real tools/layering.json contract.
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace flexnets::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Key = std::tuple<std::string, int, std::string>;  // (path, line, rule)
+
+// Parses "EXPECT-LINT: rule-a, rule-b" out of a comment.
+std::vector<std::string> parse_expect(const std::string& comment) {
+  std::vector<std::string> rules;
+  std::size_t p = comment.find("EXPECT-LINT:");
+  if (p == std::string::npos) return rules;
+  p += 12;
+  while (p < comment.size()) {
+    while (p < comment.size() &&
+           (comment[p] == ' ' || comment[p] == '\t' || comment[p] == ',')) {
+      ++p;
+    }
+    std::string rule;
+    while (p < comment.size() &&
+           ((comment[p] >= 'a' && comment[p] <= 'z') || comment[p] == '-')) {
+      rule.push_back(comment[p++]);
+    }
+    if (rule.empty()) break;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+// Runs every pass over `corpus` and returns the finalized findings.
+std::vector<Finding> run_all(const Corpus& corpus,
+                             const LayeringContract& contract) {
+  Reporter rep;
+  run_rule_pass(corpus, rep);
+  run_layering_pass(corpus, contract, rep);
+  run_status_pass(corpus, rep);
+  run_lock_pass(corpus, rep);
+  rep.finalize(corpus);
+  return rep.findings();
+}
+
+// Compares findings against the corpus's EXPECT-LINT annotations.
+// Returns the number of expectations on success via *num_expected.
+bool compare(const Corpus& corpus, const std::vector<Finding>& findings,
+             const char* label, std::size_t* num_expected) {
+  std::set<Key> expected;
+  for (const FileData& f : corpus.files) {
+    for (const Comment& c : f.lx.comments) {
+      for (const std::string& rule : parse_expect(c.text)) {
+        expected.insert({f.rel_path, c.line, rule});
+      }
+    }
+  }
+  std::set<Key> got;
+  for (const Finding& f : findings) {
+    got.insert({f.path, f.line, f.rule});
+  }
+  bool ok = true;
+  for (const Key& k : expected) {
+    if (got.count(k) == 0) {
+      std::printf("self-test[%s]: expected finding did not fire: "
+                  "%s:%d [%s]\n",
+                  label, std::get<0>(k).c_str(), std::get<1>(k),
+                  std::get<2>(k).c_str());
+      ok = false;
+    }
+  }
+  for (const Key& k : got) {
+    if (expected.count(k) == 0) {
+      std::printf("self-test[%s]: unexpected finding: %s:%d [%s]\n", label,
+                  std::get<0>(k).c_str(), std::get<1>(k),
+                  std::get<2>(k).c_str());
+      ok = false;
+    }
+  }
+  *num_expected += expected.size();
+  return ok;
+}
+
+}  // namespace
+
+int run_self_test(const std::string& repo_root,
+                  const std::string& layering_path) {
+  const auto contract = load_layering(layering_path);
+  if (!contract) return 1;
+
+  const fs::path fixtures =
+      fs::path(repo_root) / "tests" / "analyze_fixtures";
+  std::vector<std::string> flat_paths;
+  for (const char* sub : {"rules", "status", "locks", "suppress"}) {
+    const fs::path p = fixtures / sub;
+    std::error_code ec;
+    if (!fs::is_directory(p, ec)) {
+      std::fprintf(stderr, "flexnets_analyze: missing fixture dir %s\n",
+                   p.string().c_str());
+      return 1;
+    }
+    flat_paths.push_back(p.string());
+  }
+
+  bool ok = true;
+  std::size_t num_expected = 0;
+
+  const auto flat = load_corpus(repo_root, flat_paths);
+  if (!flat) return 1;
+  ok &= compare(*flat, run_all(*flat, *contract), "fixtures", &num_expected);
+
+  const fs::path tree = fixtures / "layering_tree";
+  const auto tree_corpus = load_corpus(tree.string(), {tree.string()});
+  if (!tree_corpus) return 1;
+  ok &= compare(*tree_corpus, run_all(*tree_corpus, *contract),
+                "layering-tree", &num_expected);
+
+  if (ok) {
+    std::printf("self-test OK: %zu expected findings fired across "
+                "tests/analyze_fixtures\n",
+                num_expected);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace flexnets::analyze

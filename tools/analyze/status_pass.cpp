@@ -1,0 +1,293 @@
+// Status discipline, cross-TU.
+//
+// Phase 1 walks the whole corpus collecting the names of functions whose
+// declared return type is Status or StatusOr<...> (free functions and
+// methods alike — declarations in headers make callers in other TUs
+// checkable, which is the point of corpus-wide collection).
+//
+// Phase 2 then flags:
+//   status-discard      a call to such a function used as a bare
+//                       expression statement — the Status is dropped on
+//                       the floor. `(void)f(...)` is an explicit,
+//                       greppable discard and stays legal.
+//   statusor-unchecked  `x.value()` on a variable initialized from a
+//                       StatusOr-returning call with no `x.ok()` /
+//                       `x.status()` sighted since the initialization.
+//
+// This is a heuristic, not a dataflow engine: the [[nodiscard]] attribute
+// on Status/StatusOr (common/status.hpp) is the compile-time backstop;
+// this pass catches the cross-TU and `.value()`-dominance shapes the
+// compiler attribute cannot express.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace flexnets::analyze {
+
+namespace {
+
+bool is_status_type(const std::vector<Token>& t, std::size_t i,
+                    std::size_t* after) {
+  // Accepts `Status`, `StatusOr<...>`, optionally `flexnets::`-qualified.
+  std::size_t k = i;
+  if (tok_is(t, k, "flexnets") && tok_is(t, k + 1, "::")) k += 2;
+  if (!(tok_is(t, k, "Status") || tok_is(t, k, "StatusOr"))) return false;
+  const bool is_or = t[k].text == "StatusOr";
+  ++k;
+  if (is_or) {
+    if (!tok_is(t, k, "<")) return false;
+    k = match_forward(t, k);
+    if (k >= t.size()) return false;
+    ++k;
+  }
+  *after = k;
+  return true;
+}
+
+// Collects names of functions declared/defined to return Status or
+// StatusOr. Pattern: <status-type> [&]* [Qualifier::]* name ( — where the
+// type is not preceded by tokens that make it a parameter or a variable
+// declaration (`(`, `,`) and `name(` is a declarator, not a call (calls
+// have `.`/`->` receivers or are themselves preceded by idents only when
+// declaring).
+void collect_status_functions(const Corpus& corpus,
+                              std::set<std::string>* status_fns,
+                              std::set<std::string>* statusor_fns) {
+  for (const FileData& f : corpus.files) {
+    const auto& t = f.lx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!(tok_is(t, i, "Status") || tok_is(t, i, "StatusOr"))) continue;
+      // The type must start a declaration: previous token is not a
+      // member-access/scope operator (that would be an expression) and not
+      // `<` (nested template argument).
+      if (i > 0) {
+        const std::string& p = t[i - 1].text;
+        if (p == "." || p == "->" || p == "<" || p == ",") continue;
+        if (p == "::" && !(i >= 2 && t[i - 2].text == "flexnets")) continue;
+      }
+      std::size_t k;
+      std::size_t start = i;
+      if (i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "flexnets") {
+        start = i - 2;
+      }
+      if (!is_status_type(t, start, &k)) continue;
+      const bool is_or = t[start].text == "StatusOr" ||
+                         (start + 2 < t.size() && t[start + 2].text == "StatusOr");
+      // Skip references/pointers in the declarator.
+      while (tok_is(t, k, "&") || tok_is(t, k, "*")) ++k;
+      // Walk `Qualifier::` chains to the terminal name.
+      std::size_t name = t.size();
+      while (k + 1 < t.size() && t[k].kind == TokKind::kIdent) {
+        if (t[k + 1].text == "::") {
+          k += 2;
+          continue;
+        }
+        name = k;
+        break;
+      }
+      if (name >= t.size() || !tok_is(t, name + 1, "(")) continue;
+      if (is_or) {
+        statusor_fns->insert(t[name].text);
+      } else {
+        status_fns->insert(t[name].text);
+      }
+    }
+  }
+}
+
+// Walks back from the first token of a call chain to decide whether the
+// full expression statement begins there. Returns true when the token
+// before `start` ends a statement / begins a block — i.e. the call's
+// result cannot be consumed by anything.
+bool starts_statement(const std::vector<Token>& t, std::size_t start) {
+  if (start == 0) return true;
+  const std::string& p = t[start - 1].text;
+  if (p == ";" || p == "{" || p == "}" || p == ":") return true;
+  if (p == "else" || p == "do") return true;
+  if (p == ")") {
+    // `if (...) f();` — still a discard. But `(void) f();` is the
+    // sanctioned explicit discard; recognize the exact (void) form:
+    // `(` at start-3, `void` at start-2, `)` at start-1.
+    const std::size_t open = match_back(t, start - 1);
+    if (open + 3 == start && tok_is(t, open + 1, "void")) return false;
+    return true;
+  }
+  return false;
+}
+
+// From a call's name token, walk back over the receiver chain
+// (`a.b->c::name`) including `)`-returning sub-calls, to the chain start.
+std::size_t chain_start(const std::vector<Token>& t, std::size_t name) {
+  std::size_t k = name;
+  while (k >= 2) {
+    const std::string& p = t[k - 1].text;
+    if (p != "." && p != "->" && p != "::") break;
+    std::size_t recv = k - 2;
+    if (t[recv].text == ")") {
+      const std::size_t open = match_back(t, recv);
+      if (open == t.size() || open == 0) break;
+      recv = open - 1;  // the callee name of the sub-call
+      if (t[recv].kind != TokKind::kIdent) break;
+    } else if (t[recv].kind != TokKind::kIdent) {
+      break;
+    }
+    k = recv;
+  }
+  return k;
+}
+
+// Variables/parameters in this file declared with a std:: type
+// (`std::string* out`, `std::ofstream log`). A method call through such a
+// receiver can never return our Status — `out->append(...)` is
+// std::string::append, not Journal::append — so name-based matching must
+// not flag it.
+std::set<std::string> collect_std_vars(const std::vector<Token>& t) {
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(tok_is(t, i, "std") && tok_is(t, i + 1, "::") &&
+          t[i + 2].kind == TokKind::kIdent)) {
+      continue;
+    }
+    std::size_t k = i + 3;
+    if (tok_is(t, k, "<")) {
+      k = match_forward(t, k);
+      if (k >= t.size()) continue;
+      ++k;
+    }
+    while (tok_is(t, k, "&") || tok_is(t, k, "*") || tok_is(t, k, "&&")) ++k;
+    if (k + 1 < t.size() && t[k].kind == TokKind::kIdent) {
+      const std::string& after = t[k + 1].text;
+      if (after == ";" || after == "=" || after == "," || after == ")" ||
+          after == "{" || after == "(") {
+        vars.insert(t[k].text);
+      }
+    }
+  }
+  return vars;
+}
+
+void run_file(const FileData& f, const std::set<std::string>& status_fns,
+              const std::set<std::string>& statusor_fns, Reporter& rep) {
+  const auto& t = f.lx.tokens;
+  const std::set<std::string> std_vars = collect_std_vars(t);
+
+  // Variables holding a StatusOr in this file, in token order:
+  // name -> index of the last `.ok()`/`.status()` sighting (or the decl).
+  std::set<std::string> statusor_vars;
+  std::set<std::string> checked_vars;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& x = t[i].text;
+    const bool returns_status = status_fns.count(x) > 0;
+    const bool returns_statusor = statusor_fns.count(x) > 0;
+
+    // --- track StatusOr-holding variables -------------------------------
+    // `auto v = f(...)` / `auto v = obj.f(...)` / `StatusOr<T> v = ...;`
+    if ((x == "auto" || x == "StatusOr") && i + 1 < t.size()) {
+      std::size_t name = i + 1;
+      if (x == "StatusOr") {
+        if (!tok_is(t, name, "<")) continue;
+        name = match_forward(t, name);
+        if (name >= t.size()) continue;
+        ++name;
+      }
+      if (name < t.size() && t[name].kind == TokKind::kIdent &&
+          tok_is(t, name + 1, "=")) {
+        bool from_statusor = t[i].text == "StatusOr";
+        // Scan the initializer up to `;` for a StatusOr-returning call.
+        for (std::size_t k = name + 2; k < t.size() && t[k].text != ";";
+             ++k) {
+          if (t[k].kind == TokKind::kIdent &&
+              statusor_fns.count(t[k].text) > 0 && tok_is(t, k + 1, "(")) {
+            from_statusor = true;
+            break;
+          }
+        }
+        if (from_statusor) {
+          statusor_vars.insert(t[name].text);
+          checked_vars.erase(t[name].text);
+        }
+        continue;
+      }
+    }
+
+    // `v.ok()` / `v.status()` marks v checked from here on.
+    if ((x == "ok" || x == "status") && tok_is(t, i + 1, "(") && i >= 2 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") &&
+        t[i - 2].kind == TokKind::kIdent &&
+        statusor_vars.count(t[i - 2].text) > 0) {
+      checked_vars.insert(t[i - 2].text);
+    }
+
+    // `v.value()` (incl. `std::move(v).value()`) on an unchecked v.
+    if (x == "value" && tok_is(t, i + 1, "(") && i >= 2 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->")) {
+      std::string var;
+      if (t[i - 2].kind == TokKind::kIdent) {
+        var = t[i - 2].text;
+      } else if (t[i - 2].text == ")") {
+        // std::move(v).value()
+        const std::size_t open = match_back(t, i - 2);
+        if (open != t.size() && open >= 1 && tok_is(t, open - 1, "move") &&
+            open + 1 < t.size() &&
+            t[open + 1].kind == TokKind::kIdent &&
+            tok_is(t, open + 2, ")")) {
+          var = t[open + 1].text;
+        }
+      }
+      if (!var.empty() && statusor_vars.count(var) > 0 &&
+          checked_vars.count(var) == 0) {
+        rep.emit(f, t[i].line, "statusor-unchecked",
+                 "`" + var +
+                     ".value()` without a dominating `" + var +
+                     ".ok()` / `" + var +
+                     ".status()` check aborts on error paths; check first "
+                     "or propagate with FLEXNETS_RETURN_IF_ERROR");
+      }
+    }
+
+    // --- discarded Status/StatusOr-returning calls ----------------------
+    if (!(returns_status || returns_statusor)) continue;
+    if (!tok_is(t, i + 1, "(")) continue;
+    // A declaration (`Status name(...)`) has a type ident directly before
+    // the name; a call's previous token is punctuation or a keyword-like
+    // statement head. Two adjacent idents can only be declarations.
+    if (i > 0 && t[i - 1].kind == TokKind::kIdent &&
+        t[i - 1].text != "return" && t[i - 1].text != "else" &&
+        t[i - 1].text != "do" && t[i - 1].text != "co_return") {
+      continue;
+    }
+    const std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size() || !tok_is(t, close + 1, ";")) continue;
+    // Calls through a std::-typed receiver are std library methods that
+    // happen to share a name with a Status-returning function.
+    if (i >= 2 && (t[i - 1].text == "." || t[i - 1].text == "->") &&
+        t[i - 2].kind == TokKind::kIdent &&
+        std_vars.count(t[i - 2].text) > 0) {
+      continue;
+    }
+    const std::size_t start = chain_start(t, i);
+    if (!starts_statement(t, start)) continue;
+    rep.emit(f, t[i].line, "status-discard",
+             "result of `" + t[i].text +
+                 "(...)` (returns Status/StatusOr) is discarded; handle "
+                 "it, propagate it, or discard explicitly with `(void)`");
+  }
+}
+
+}  // namespace
+
+void run_status_pass(const Corpus& corpus, Reporter& rep) {
+  std::set<std::string> status_fns;
+  std::set<std::string> statusor_fns;
+  collect_status_functions(corpus, &status_fns, &statusor_fns);
+  for (const FileData& f : corpus.files) {
+    run_file(f, status_fns, statusor_fns, rep);
+  }
+}
+
+}  // namespace flexnets::analyze

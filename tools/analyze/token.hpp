@@ -1,0 +1,55 @@
+// Token model and C++ lexer for flexnets_analyze.
+//
+// The lexer is what kills the regex lint's false-positive class: rules
+// downstream see a token stream with comments, string/char literals
+// (including raw strings), and preprocessor lines already separated out,
+// so `// std::thread` in a comment or "exit(1)" in a log string can never
+// trip a rule again.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexnets::analyze {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. separators/suffixes, consumed whole)
+  kPunct,   // operators/punctuation; multi-char operators are one token
+  kString,  // string literal (text excludes quotes; raw strings unwrapped)
+  kChar,    // character literal
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+// A comment, attributed to the line it starts on. Suppressions
+// (`flexnets-lint: allow(...)`) and fixture expectations (`EXPECT-LINT:`)
+// are parsed from these.
+struct Comment {
+  int line;
+  std::string text;  // without the // or /* */ delimiters
+};
+
+// One logical preprocessor line (backslash continuations joined).
+struct PpLine {
+  int line;            // line of the '#'
+  std::string text;    // full directive text
+  std::string include_target;  // for #include: the path between "" or <>
+  bool include_quoted = false;  // "" (project) vs <> (system)
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<PpLine> pp;
+};
+
+// Lexes a whole translation unit. Never fails: malformed input degrades to
+// best-effort tokens (an unterminated literal runs to end of line).
+LexResult lex(const std::string& text);
+
+}  // namespace flexnets::analyze

@@ -4,7 +4,12 @@
 #   2. fault:  the live fault-injection suite (`ctest -L fault`) and the
 #      bench_failures_live smoke run (dip + reconvergence + zero
 #      post-repair blackholes acceptance checks)
-#   3. lint:   tools/lint_flexnets.py self-test + src/ scan
+#   3. lint:   flexnets_analyze (via the lint_flexnets.py wrapper)
+#      fixture self-test + src/ scan — the cross-TU static analyzer
+#      enforcing the ported determinism rules, include-graph layering
+#      (tools/layering.json), Status discipline, and lock annotations.
+#      A violation is proven fatal by seeding a transient layering
+#      probe and requiring the analyzer to reject it.
 #   4. resilience gate: bench_fig2 --journal is SIGKILLed mid-grid and
 #      resumed with --resume; the resumed "digest fig2:" line must be
 #      bit-identical to an uninterrupted run's
@@ -58,8 +63,44 @@ step "live-failure smoke: bench_failures_live"
 ./build/bench/bench_failures_live
 
 step "lint: rule self-test + src/ scan"
-python3 tools/lint_flexnets.py --self-test
-python3 tools/lint_flexnets.py
+ANALYZE_BIN="build/tools/analyze/flexnets_analyze"
+python3 tools/lint_flexnets.py --bin "$ANALYZE_BIN" --self-test
+python3 tools/lint_flexnets.py --bin "$ANALYZE_BIN"
+
+# The layering contract must have teeth: seed a transient upward include
+# (graph/ reaching into core/) and require the analyzer to reject it.
+step "analyze: seeded layering violation must be fatal"
+PROBE="src/graph/__layering_probe.cpp"
+trap 'rm -f "$REPO_ROOT/$PROBE"' EXIT
+printf '#include "core/journal.hpp"\n' > "$PROBE"
+if "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null 2>&1; then
+  rm -f "$PROBE"
+  echo "analyze gate: seeded layering violation was NOT rejected"
+  exit 1
+fi
+rm -f "$PROBE"
+"$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
+echo "seeded violation rejected; clean tree passes"
+
+# Optional: under clang the FLEXNETS_* lock annotations expand to real
+# thread-safety attributes; verify the annotated TUs under
+# -Wthread-safety -Werror. clang's absence is not a failure (the
+# container ships gcc only).
+if command -v clang++ >/dev/null 2>&1; then
+  step "clang -Wthread-safety on annotated TUs"
+  TS_FLAGS=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror)
+  # Under libstdc++, std::mutex is not attribute-annotated as a
+  # capability; silence only the attribute-noise warning in that case.
+  if ! clang++ "${TS_FLAGS[@]}" -x c++ - <<<'#include <mutex>
+struct S { std::mutex m; int v __attribute__((guarded_by(m))); };' \
+      >/dev/null 2>&1; then
+    TS_FLAGS+=(-Wno-thread-safety-attributes)
+  fi
+  clang++ "${TS_FLAGS[@]}" src/common/thread_pool.cpp src/core/journal.cpp
+  echo "thread-safety analysis clean on annotated TUs"
+else
+  step "clang not installed; skipping -Wthread-safety (annotations are no-ops under gcc)"
+fi
 
 # Resilience gate: a journaled sweep SIGKILLed mid-grid, then resumed,
 # must reproduce the uninterrupted run's digest bit for bit. The digest

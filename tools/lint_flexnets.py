@@ -1,345 +1,73 @@
 #!/usr/bin/env python3
-"""flexnets-specific lint pass: bans determinism and correctness hazards
-that generic tooling does not know about.
+"""Compatibility wrapper for the flexnets static analyzer.
 
-Rules (see docs/ARCHITECTURE.md, "Correctness tooling"):
+The regex lint that used to live here has been superseded by
+flexnets_analyze (tools/analyze/), a real C++ lexer with per-TU and
+cross-TU passes: the seven ported determinism/containment rules
+(raw-rng, wall-clock, time-float-eq, unordered-iter, raw-thread,
+hard-exit, priority-queue), include-graph layering against
+tools/layering.json, Status/StatusOr discipline, and lock-annotation
+verification. Suppressions are unchanged (`// flexnets-lint:
+allow(rule)`), and an allow() that no longer suppresses anything is
+itself reported.
 
-  raw-rng        rand()/srand()/std::random_device/std::random_shuffle in
-                 simulation code. Every stochastic draw must come from the
-                 seeded splittable RNG (src/common/rng.hpp) so whole
-                 experiments replay from one integer.
-  wall-clock     Wall-clock reads (std::chrono clocks, time(), clock(),
-                 gettimeofday, ...) inside the engines. Simulated time is
-                 integer TimeNs; wall time silently breaks replay.
-  time-float-eq  == / != on floating-point simulated-time values
-                 (to_seconds()/to_millis()/to_micros() results, *_sec
-                 variables). Exact comparison of derived doubles is a
-                 rounding bug waiting to happen; compare integer TimeNs or
-                 use an epsilon.
-  unordered-iter Iteration over std::unordered_{map,set,...}. Iteration
-                 order is implementation-defined, so anything it feeds
-                 (routing tables, event schedules, output rows) loses
-                 determinism. Keyed lookup is fine; iterate a sorted
-                 container instead.
-  raw-thread     std::thread / std::jthread outside common/thread_pool.
-                 Ad-hoc threads bypass the pool's determinism contract
-                 (indexed work, seed-per-index), its exception
-                 propagation, and its drain-on-destruction guarantee;
-                 route parallel work through ThreadPool /
-                 core::run_indexed instead.
-  hard-exit      exit()/abort()/bare throw outside common/check.cpp and
-                 common/status.cpp. A grid point that exits or throws past
-                 the containment boundary kills a whole sweep; report
-                 expected failures as Status (common/status.hpp), raise
-                 internal-invariant failures through FLEXNETS_CHECK, and
-                 let throw_status carry a Status across a boundary that
-                 cannot return one.
-  priority-queue std::priority_queue outside sim/event_queue and
-                 flow/solver_internals. The hot paths use purpose-built
-                 heaps (EventQueue: vector + push_heap with reserve() and
-                 move-out pop; DaryDijkstra: preallocated 4-ary heap);
-                 a raw priority_queue in engine code usually means a new
-                 hot loop bypassing both. Use those abstractions, or
-                 suppress with a measurement-backed justification.
+This script only locates the built binary and execs it, so existing
+recipes (`lint_flexnets.py src/`, `lint_flexnets.py --self-test`) keep
+working. Exit codes are the analyzer's: 0 clean, 1 findings, 2 usage/IO.
 
-Suppression: append  // flexnets-lint: allow(<rule>)  to the offending
-line. Use sparingly and say why.
-
-Usage:
-  lint_flexnets.py [paths...]          lint .cpp/.hpp files (default: src/)
-  lint_flexnets.py --self-test         run against the seeded negative
-                                       fixture and verify every expected
-                                       finding fires (and nothing else)
-
-Exit status: 0 clean, 1 findings (or failed self-test), 2 usage error.
+Binary resolution order:
+  1. --bin PATH            (what ctest passes)
+  2. $FLEXNETS_ANALYZE_BIN
+  3. <repo>/build*/tools/analyze/flexnets_analyze (newest build first)
 """
 
-from __future__ import annotations
-
-import argparse
 import os
-import re
+import subprocess
 import sys
-from dataclasses import dataclass
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_PATHS = [os.path.join(REPO_ROOT, "src")]
-FIXTURE = os.path.join(REPO_ROOT, "tests", "lint_fixtures", "negative.cpp")
-
-SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
-
-ALLOW_RE = re.compile(r"flexnets-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-EXPECT_RE = re.compile(r"EXPECT-LINT:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
 
 
-@dataclass(frozen=True)
-class Finding:
-    path: str
-    line: int  # 1-based
-    rule: str
-    message: str
-
-
-# ---------------------------------------------------------------------------
-# Comment / string stripping (keeps line structure so line numbers survive).
-
-def strip_comments_and_strings(text: str) -> str:
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-        elif c == "/" and nxt == "*":
-            i += 2
-            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
-                if text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i = min(i + 2, n)
-        elif c == '"' or c == "'":
-            quote = c
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    i += 1
-                elif text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-# ---------------------------------------------------------------------------
-# Rules. Each is (rule id, [regexes], message). Matching happens on
-# comment/string-stripped lines.
-
-RAW_RNG = [
-    re.compile(r"\bstd::s?rand\b"),
-    re.compile(r"(?<![\w:.])rand\s*\("),
-    re.compile(r"(?<![\w:.])srand\s*\("),
-    re.compile(r"\brandom_device\b"),
-    re.compile(r"\bstd::random_shuffle\b"),
-    re.compile(r"\bdrand48\b|\blrand48\b|\bmrand48\b"),
-]
-
-WALL_CLOCK = [
-    re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
-    re.compile(r"\bgettimeofday\s*\("),
-    re.compile(r"\bclock_gettime\s*\("),
-    re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
-    re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-    re.compile(r"\blocaltime\s*\(|\bgmtime\s*\("),
-]
-
-_TIME_CALL = r"(?:to_seconds|to_millis|to_micros)\s*\([^()]*\)"
-_TIME_NAME = r"(?:[A-Za-z_]\w*_sec(?:s|onds?)?|now_sec|done_at|next_event)"
-TIME_FLOAT_EQ = [
-    re.compile(_TIME_CALL + r"\s*[=!]="),
-    re.compile(r"[=!]=\s*" + _TIME_CALL),
-    re.compile(r"\b" + _TIME_NAME + r"\b\s*(?:==|!=)"),
-    re.compile(r"(?:==|!=)\s*\b" + _TIME_NAME + r"\b"),
-]
-
-UNORDERED_RANGE_FOR = re.compile(r"for\s*\([^;)]*:\s*[^);]*unordered")
-UNORDERED_DECL = re.compile(r"\bstd::unordered_\w+\s*<[^;{}]*?>\s+(\w+)\s*[;({=]")
-
-# std::thread member calls like std::thread::hardware_concurrency() are
-# fine anywhere; constructing/declaring threads is what the rule bans.
-RAW_THREAD = [
-    re.compile(r"\bstd::j?thread\b(?!\s*::)"),
-]
-
-# The one sanctioned home for raw threads (see src/common/thread_pool.hpp).
-RAW_THREAD_EXEMPT_SUFFIXES = (
-    os.path.join("common", "thread_pool.hpp"),
-    os.path.join("common", "thread_pool.cpp"),
-)
-
-PRIORITY_QUEUE = [
-    re.compile(r"\bstd::priority_queue\b"),
-]
-
-# exit()/abort()/bare throw end the process (or escape containment) from
-# arbitrary engine code. `rethrow_exception` is fine: \bthrow\b cannot
-# match inside it, and the pool uses it to propagate a point's failure to
-# the thread that owns the grid.
-HARD_EXIT = [
-    re.compile(r"(?<![\w.])(?:std::|::)?(?:_?exit|quick_exit)\s*\("),
-    re.compile(r"(?<![\w.])(?:std::|::)?abort\s*\("),
-    re.compile(r"\bthrow\b"),
-]
-
-# The sanctioned homes: FLEXNETS_CHECK's kThrow/kAbort surface and the
-# StatusError carrier raised by throw_status.
-HARD_EXIT_EXEMPT_SUFFIXES = (
-    os.path.join("common", "check.cpp"),
-    os.path.join("common", "status.cpp"),
-)
-
-# The sanctioned heap homes: the event queue and the GK solver scratch.
-PRIORITY_QUEUE_EXEMPT_SUFFIXES = (
-    os.path.join("sim", "event_queue.hpp"),
-    os.path.join("sim", "event_queue.cpp"),
-    os.path.join("flow", "solver_internals.hpp"),
-    os.path.join("flow", "solver_internals.cpp"),
-)
-
-MESSAGES = {
-    "raw-rng": "raw libc/std randomness; use the seeded splittable Rng "
-               "(src/common/rng.hpp) so runs replay from one seed",
-    "wall-clock": "wall-clock read inside simulation code; use simulated "
-                  "TimeNs (src/common/units.hpp)",
-    "time-float-eq": "exact ==/!= on floating-point simulated time; compare "
-                     "integer TimeNs or use an epsilon",
-    "unordered-iter": "iteration over an unordered container feeds "
-                      "implementation-defined order into deterministic "
-                      "output; iterate a sorted container instead",
-    "raw-thread": "raw std::thread outside common/thread_pool; route "
-                  "parallel work through ThreadPool / core::run_indexed "
-                  "(exception propagation, drain-on-destruction, "
-                  "deterministic indexed scheduling)",
-    "priority-queue": "std::priority_queue outside sim/event_queue and "
-                      "flow/solver_internals; use EventQueue or "
-                      "DaryDijkstra (preallocated, reservable, move-out "
-                      "pop) instead of growing a new ad-hoc hot loop",
-    "hard-exit": "exit/abort/throw outside common/check.cpp and "
-                 "common/status.cpp kills or escapes a contained sweep; "
-                 "return a Status (common/status.hpp), use FLEXNETS_CHECK "
-                 "for invariants, or throw_status at a boundary that "
-                 "cannot return one",
-}
-
-
-def lint_file(path: str) -> list[Finding]:
-    with open(path, encoding="utf-8", errors="replace") as f:
-        original = f.read()
-    stripped = strip_comments_and_strings(original)
-    original_lines = original.splitlines()
-    stripped_lines = stripped.splitlines()
-
-    # Names of locally declared unordered containers (whole-file scan).
-    unordered_names = set()
-    for line in stripped_lines:
-        for m in UNORDERED_DECL.finditer(line):
-            unordered_names.add(m.group(1))
-    unordered_use = (
-        re.compile(
-            r"(?:for\s*\([^;)]*:\s*(?:" + "|".join(map(re.escape, sorted(unordered_names))) + r")\b"
-            r"|\b(?:" + "|".join(map(re.escape, sorted(unordered_names))) + r")\s*\.\s*begin\s*\(\))"
-        )
-        if unordered_names
-        else None
-    )
-
-    findings: list[Finding] = []
-    for lineno, line in enumerate(stripped_lines, start=1):
-        orig = original_lines[lineno - 1] if lineno <= len(original_lines) else ""
-        allowed = set()
-        m = ALLOW_RE.search(orig)
-        if m:
-            allowed = {r.strip() for r in m.group(1).split(",")}
-
-        def emit(rule: str) -> None:
-            if rule not in allowed:
-                findings.append(Finding(path, lineno, rule, MESSAGES[rule]))
-
-        if any(r.search(line) for r in RAW_RNG):
-            emit("raw-rng")
-        if not path.endswith(RAW_THREAD_EXEMPT_SUFFIXES) and any(
-            r.search(line) for r in RAW_THREAD
-        ):
-            emit("raw-thread")
-        if not path.endswith(PRIORITY_QUEUE_EXEMPT_SUFFIXES) and any(
-            r.search(line) for r in PRIORITY_QUEUE
-        ):
-            emit("priority-queue")
-        if not path.endswith(HARD_EXIT_EXEMPT_SUFFIXES) and any(
-            r.search(line) for r in HARD_EXIT
-        ):
-            emit("hard-exit")
-        if any(r.search(line) for r in WALL_CLOCK):
-            emit("wall-clock")
-        if any(r.search(line) for r in TIME_FLOAT_EQ):
-            emit("time-float-eq")
-        if UNORDERED_RANGE_FOR.search(line) or (
-            unordered_use and unordered_use.search(line)
-        ):
-            emit("unordered-iter")
-    return findings
-
-
-def collect_sources(paths: list[str]) -> list[str]:
-    files = []
-    for p in paths:
-        if os.path.isfile(p):
-            files.append(p)
-        elif os.path.isdir(p):
-            for root, _dirs, names in os.walk(p):
-                for name in sorted(names):
-                    if name.endswith(SOURCE_EXTENSIONS):
-                        files.append(os.path.join(root, name))
-        else:
-            print(f"lint_flexnets: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return sorted(files)
-
-
-def self_test() -> int:
-    """The negative fixture must trip exactly its annotated findings."""
-    if not os.path.isfile(FIXTURE):
-        print(f"lint_flexnets: missing fixture {FIXTURE}", file=sys.stderr)
-        return 1
-    expected = set()
-    with open(FIXTURE, encoding="utf-8") as f:
-        for lineno, line in enumerate(f, start=1):
-            m = EXPECT_RE.search(line)
-            if m:
-                for rule in m.group(1).split(","):
-                    expected.add((lineno, rule.strip()))
-    got = {(f.line, f.rule) for f in lint_file(FIXTURE)}
-    ok = True
-    for miss in sorted(expected - got):
-        print(f"self-test: expected finding did not fire: "
-              f"{FIXTURE}:{miss[0]} [{miss[1]}]")
-        ok = False
-    for extra in sorted(got - expected):
-        print(f"self-test: unexpected finding: "
-              f"{FIXTURE}:{extra[0]} [{extra[1]}]")
-        ok = False
-    if ok:
-        print(f"self-test OK: {len(expected)} expected findings fired on "
-              f"{os.path.relpath(FIXTURE, REPO_ROOT)}")
-    return 0 if ok else 1
+def find_binary() -> str | None:
+    env = os.environ.get("FLEXNETS_ANALYZE_BIN")
+    if env and os.path.isfile(env) and os.access(env, os.X_OK):
+        return env
+    candidates = []
+    for entry in sorted(os.listdir(REPO_ROOT)):
+        if not entry.startswith("build"):
+            continue
+        path = os.path.join(REPO_ROOT, entry, "tools", "analyze",
+                            "flexnets_analyze")
+        if os.path.isfile(path) and os.access(path, os.X_OK):
+            candidates.append(path)
+    if not candidates:
+        return None
+    candidates.sort(key=os.path.getmtime, reverse=True)
+    return candidates[0]
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("paths", nargs="*", help="files or directories (default: src/)")
-    ap.add_argument("--self-test", action="store_true",
-                    help="verify the rules against the seeded negative fixture")
-    args = ap.parse_args()
-
-    if args.self_test:
-        return self_test()
-
-    paths = args.paths or DEFAULT_PATHS
-    findings: list[Finding] = []
-    for path in collect_sources(paths):
-        findings.extend(lint_file(path))
-    for f in findings:
-        rel = os.path.relpath(f.path, REPO_ROOT)
-        print(f"{rel}:{f.line}: [{f.rule}] {f.message}")
-    if findings:
-        print(f"lint_flexnets: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+    args = sys.argv[1:]
+    binary = None
+    if "--bin" in args:
+        i = args.index("--bin")
+        if i + 1 >= len(args):
+            print("lint_flexnets: --bin needs a path", file=sys.stderr)
+            return 2
+        binary = args[i + 1]
+        del args[i:i + 2]
+    if binary is None:
+        binary = find_binary()
+    if binary is None or not os.path.isfile(binary):
+        print(
+            "lint_flexnets: flexnets_analyze binary not found; build it "
+            "(cmake --build build --target flexnets_analyze) or pass "
+            "--bin / set FLEXNETS_ANALYZE_BIN",
+            file=sys.stderr,
+        )
+        return 2
+    cmd = [binary, "--repo-root", REPO_ROOT] + args
+    return subprocess.call(cmd)
 
 
 if __name__ == "__main__":
