@@ -20,11 +20,13 @@ int main(int argc, char** argv) {
                 "throughput proportionality vs fat-tree inflexibility");
   const int threads = bench::parse_threads(argc, argv);
   const auto flags = bench::parse_resilient_flags(argc, argv);
+  const auto shard = bench::parse_shard_flags(argc, argv);
   std::string json_path;
   const bool json = bench::parse_json_flag(argc, argv, "BENCH_FIG2.json",
                                            &json_path);
   bench::ResilientState state;
-  bench::init_resilient_state(flags, &state);
+  // Workers never journal: the coordinator alone writes the merged file.
+  if (shard.worker_grid.empty()) bench::init_resilient_state(flags, &state);
 
   // Section 2.1's running example: a k=64 fat-tree oversubscribed to 50%.
   const flow::FatTreeModel ft{64, 0.5};
@@ -39,8 +41,8 @@ int main(int argc, char** argv) {
   for (double x = 0.01; x <= 1.0 + 1e-9; x += (x < 0.1 ? 0.01 : 0.05)) {
     xs.push_back(x);
   }
-  const auto records = bench::run_grid_resilient(
-      xs.size(), threads, "fig2", &state, flags.point_sleep_ms,
+  const auto records = bench::run_grid_resilient_sharded(
+      argc, argv, xs.size(), threads, "fig2", &state, flags, shard,
       [&](std::size_t i) {
         return std::vector<std::pair<std::string, double>>{
             {"throughput_proportional", flow::tp_curve(alpha, xs[i])},

@@ -26,8 +26,10 @@ int main(int argc, char** argv) {
                 "Jellyfish");
   const int threads = bench::parse_threads(argc, argv);
   const auto flags = bench::parse_resilient_flags(argc, argv);
+  const auto shard = bench::parse_shard_flags(argc, argv);
   bench::ResilientState state;
-  bench::init_resilient_state(flags, &state);
+  // Workers never journal: the coordinator alone writes the merged file.
+  if (shard.worker_grid.empty()) bench::init_resilient_state(flags, &state);
 
   const bool full = core::repro_full();
   const int q = full ? 13 : 5;  // q=17 (paper) is feasible but hours-long on one core
@@ -48,8 +50,8 @@ int main(int argc, char** argv) {
   const topo::Topology* grid[] = {&jf, &sf.topo};
   const char* prefixes[] = {"fig5a/jellyfish", "fig5a/slimfly"};
   const auto sweeps = bench::run_grid(2, threads, [&](std::size_t i) {
-    return bench::sweep_with_flags(*grid[i], opts, prefixes[i], &state,
-                                   flags.point_sleep_ms);
+    return bench::sweep_with_flags_sharded(argc, argv, *grid[i], opts,
+                                           prefixes[i], &state, flags, shard);
   });
   const auto& jf_series = sweeps[0];
   const auto& sf_series = sweeps[1];

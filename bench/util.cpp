@@ -7,6 +7,9 @@
 #include <thread>
 
 #include "common/digest.hpp"
+#include "flow/throughput.hpp"
+#include "sweep/coordinator.hpp"
+#include "sweep/worker.hpp"
 #include "topo/xpander.hpp"
 
 namespace flexnets::bench {
@@ -54,9 +57,9 @@ ResilientFlags parse_resilient_flags(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
       flags.journal_path = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--resume") == 0) {
-      flags.resume_path = want_value(i, "--resume");
+      flags.resume_paths.emplace_back(want_value(i, "--resume"));
     } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
-      flags.resume_path = argv[i] + 9;
+      flags.resume_paths.emplace_back(argv[i] + 9);
     } else if (std::strcmp(argv[i], "--point-sleep-ms") == 0 ||
                std::strncmp(argv[i], "--point-sleep-ms=", 17) == 0) {
       const char* value = argv[i][16] == '='
@@ -70,25 +73,26 @@ ResilientFlags parse_resilient_flags(int argc, char** argv) {
       }
     }
   }
-  // Resuming continues the same file unless a different journal was named.
-  if (!flags.resume_path.empty() && flags.journal_path.empty()) {
-    flags.journal_path = flags.resume_path;
+  // Resuming continues the newest named file unless a different journal
+  // was named.
+  if (!flags.resume_paths.empty() && flags.journal_path.empty()) {
+    flags.journal_path = flags.resume_paths.back();
   }
   return flags;
 }
 
 void init_resilient_state(const ResilientFlags& flags,
                           ResilientState* state) {
-  if (!flags.resume_path.empty()) {
-    const auto records = core::load_journal(flags.resume_path);
+  if (!flags.resume_paths.empty()) {
+    const auto records = core::merge_journals(flags.resume_paths);
     if (!records.ok()) {
       std::fprintf(stderr, "error: cannot resume: %s\n",
                    records.status().to_string().c_str());
       std::exit(2);
     }
     state->completed = core::index_by_key(*records);
-    std::printf("resume: %zu journaled points in %s\n",
-                state->completed.size(), flags.resume_path.c_str());
+    std::printf("resume: %zu journaled points in %zu file(s)\n",
+                state->completed.size(), flags.resume_paths.size());
   }
   if (!flags.journal_path.empty()) {
     const auto st = state->journal.open(flags.journal_path);
@@ -160,6 +164,160 @@ std::vector<core::JournalRecord> run_grid_resilient(
     }
   }
   return out;
+}
+
+ShardFlags parse_shard_flags(int argc, char** argv) {
+  ShardFlags flags;
+  const auto want_int = [](const char* value, const char* name) -> int {
+    const int n = std::atoi(value);
+    if (n <= 0) {
+      std::fprintf(stderr, "error: %s wants a positive integer, got '%s'\n",
+                   name, value);
+      std::exit(2);
+    }
+    return n;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      flags.workers = want_int(argv[i + 1], "--workers");
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      flags.workers = want_int(argv[i] + 10, "--workers");
+    } else if (std::strcmp(argv[i], "--max-attempts") == 0 && i + 1 < argc) {
+      flags.max_attempts = want_int(argv[i + 1], "--max-attempts");
+    } else if (std::strncmp(argv[i], "--max-attempts=", 15) == 0) {
+      flags.max_attempts = want_int(argv[i] + 15, "--max-attempts");
+    } else if (std::strncmp(argv[i], "--sweep-worker=", 15) == 0) {
+      flags.worker_grid = argv[i] + 15;
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> worker_args(int argc, char** argv,
+                                     const std::string& key_prefix) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--workers" || a == "--max-attempts" || a == "--journal" ||
+        a == "--resume") {
+      ++i;  // the flag's value is coordinator-only too
+      continue;
+    }
+    if (a.rfind("--workers=", 0) == 0 || a.rfind("--max-attempts=", 0) == 0 ||
+        a.rfind("--journal=", 0) == 0 || a.rfind("--resume=", 0) == 0 ||
+        a.rfind("--sweep-worker=", 0) == 0) {
+      continue;
+    }
+    if (a == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;  // optional path
+      continue;
+    }
+    out.push_back(a);
+  }
+  out.push_back("--sweep-worker=" + key_prefix);
+  return out;
+}
+
+namespace {
+
+// Shared coordinator-side launch: spawn workers off this binary, run the
+// grid to completion, die loudly if orchestration itself broke (per-point
+// failures are structured records, not orchestration errors).
+std::vector<core::JournalRecord> run_coordinator(
+    int argc, char** argv, std::size_t n, const std::string& key_prefix,
+    ResilientState* state, const ShardFlags& sflags) {
+  sweep::ShardedOptions sopts;
+  sopts.exec_path = "/proc/self/exe";
+  sopts.args = worker_args(argc, argv, key_prefix);
+  sopts.workers = sflags.workers;
+  sopts.max_attempts = sflags.max_attempts;
+  sopts.journal = &state->journal;
+  sopts.completed = &state->completed;
+  sopts.key_prefix = key_prefix;
+  auto result = sweep::run_sharded(n, sopts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: sharded sweep '%s' failed: %s\n",
+                 key_prefix.c_str(), result.status().to_string().c_str());
+    std::exit(2);
+  }
+  std::printf(
+      "sharded %s: %d workers | %zu computed, %zu restored, %zu retries, "
+      "%zu quarantined, %zu worker deaths\n",
+      key_prefix.c_str(), sflags.workers, result->computed, result->restored,
+      result->retries, result->quarantined, result->worker_deaths);
+  return std::move(result->records);
+}
+
+}  // namespace
+
+std::vector<core::JournalRecord> run_grid_resilient_sharded(
+    int argc, char** argv, std::size_t n, int threads,
+    const std::string& key_prefix, ResilientState* state,
+    const ResilientFlags& rflags, const ShardFlags& sflags,
+    const std::function<std::vector<std::pair<std::string, double>>(
+        std::size_t)>& fn) {
+  if (!sflags.worker_grid.empty()) {
+    if (sflags.worker_grid != key_prefix) {
+      // A worker targeting another grid of this binary: placeholder
+      // records keep control flow moving toward the target grid.
+      std::vector<core::JournalRecord> out(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i].key = key_prefix + "/" + std::to_string(i);
+      }
+      return out;
+    }
+    sweep::WorkerOptions wopts;
+    wopts.num_points = n;
+    wopts.key_prefix = key_prefix;
+    wopts.fn = [&](std::size_t i) {
+      sleep_point(rflags.point_sleep_ms);
+      core::JournalRecord rec;
+      rec.key = key_prefix + "/" + std::to_string(i);
+      rec.values = fn(i);
+      return rec;
+    };
+    std::exit(sweep::run_worker(wopts));
+  }
+  if (sflags.workers > 1) {
+    return run_coordinator(argc, argv, n, key_prefix, state, sflags);
+  }
+  return run_grid_resilient(n, threads, key_prefix, state,
+                            rflags.point_sleep_ms, fn);
+}
+
+std::vector<core::FluidPointRecord> sweep_with_flags_sharded(
+    int argc, char** argv, const topo::Topology& topo,
+    core::FluidSweepOptions opts, const std::string& key_prefix,
+    ResilientState* state, const ResilientFlags& rflags,
+    const ShardFlags& sflags) {
+  const std::size_t n = opts.fractions.size();
+  if (!sflags.worker_grid.empty()) {
+    if (sflags.worker_grid != key_prefix) {
+      return std::vector<core::FluidPointRecord>(n);
+    }
+    const auto cache = flow::build_throughput_cache(topo);
+    sweep::WorkerOptions wopts;
+    wopts.num_points = n;
+    wopts.key_prefix = key_prefix;
+    wopts.fn = [&](std::size_t i) {
+      sleep_point(rflags.point_sleep_ms);
+      return core::to_journal_record(
+          key_prefix, i, core::fluid_sweep_point(topo, cache, opts, i));
+    };
+    std::exit(sweep::run_worker(wopts));
+  }
+  if (sflags.workers > 1) {
+    const auto records =
+        run_coordinator(argc, argv, n, key_prefix, state, sflags);
+    std::vector<core::FluidPointRecord> out;
+    out.reserve(records.size());
+    for (const auto& rec : records) {
+      out.push_back(core::from_journal_record(rec));
+    }
+    return out;
+  }
+  return sweep_with_flags(topo, std::move(opts), key_prefix, state,
+                          rflags.point_sleep_ms);
 }
 
 std::uint64_t grid_digest(const std::vector<core::JournalRecord>& records) {

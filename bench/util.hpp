@@ -54,11 +54,37 @@ std::vector<T> run_grid(std::size_t n, int threads, F&& fn) {
 //                           CI kill-mid-sweep test a window to SIGKILL in
 struct ResilientFlags {
   std::string journal_path;
-  std::string resume_path;
+  // --resume may repeat: partial journals (e.g. a killed coordinator's
+  // merged file plus an older run's) are merged last-path-wins
+  // (core::merge_journals) before any point is skipped.
+  std::vector<std::string> resume_paths;
   int point_sleep_ms = 0;
 };
 // Exits with usage on a malformed value, like parse_threads.
 ResilientFlags parse_resilient_flags(int argc, char** argv);
+
+// ---------------------------------------------------------------------------
+// Sharded execution flags (src/sweep): the grid is partitioned into
+// single-point leases served by worker subprocesses — this same binary
+// re-exec'ed with --sweep-worker=<grid>.
+//   --workers N        coordinator mode with N worker subprocesses
+//   --max-attempts N   retries before a crashy point is quarantined
+//   --sweep-worker=G   (internal) serve grid G's leases over fds 3/4
+struct ShardFlags {
+  int workers = 0;  // 0/1 = in-process execution (no subprocesses)
+  int max_attempts = 3;
+  std::string worker_grid;  // nonempty: this process IS a sweep worker
+};
+// Exits with usage on a malformed value, like parse_threads.
+ShardFlags parse_shard_flags(int argc, char** argv);
+
+// This process's argv rebuilt for a worker: coordinator-only flags
+// (--workers, --max-attempts, --journal, --resume, --json) are stripped
+// and --sweep-worker=<key_prefix> appended. Everything else — scale,
+// seeds, --threads, --point-sleep-ms — passes through unchanged so the
+// worker rebuilds the exact same grid.
+std::vector<std::string> worker_args(int argc, char** argv,
+                                     const std::string& key_prefix);
 
 // The journal writer plus the completed-point index a resumed run skips.
 // Inactive (no-op journal, empty index) when the flags are empty.
@@ -87,6 +113,28 @@ std::vector<core::JournalRecord> run_grid_resilient(
     ResilientState* state, int point_sleep_ms,
     const std::function<std::vector<std::pair<std::string, double>>(
         std::size_t)>& fn);
+
+// run_grid_resilient behind the sharding switch: with --workers N the
+// grid runs across N worker subprocesses (sweep::run_sharded) and the
+// coordinator alone writes the merged journal; in worker mode this call
+// serves leases for its grid and exits the process. fn(i) must depend
+// only on i — that is what makes the merged result bit-identical to the
+// in-process run for ANY worker count, kill schedule, or retry history.
+std::vector<core::JournalRecord> run_grid_resilient_sharded(
+    int argc, char** argv, std::size_t n, int threads,
+    const std::string& key_prefix, ResilientState* state,
+    const ResilientFlags& rflags, const ShardFlags& sflags,
+    const std::function<std::vector<std::pair<std::string, double>>(
+        std::size_t)>& fn);
+
+// sweep_with_flags behind the same switch, for the fluid-sweep benches:
+// workers evaluate core::fluid_sweep_point per lease, so the sharded
+// digest equals the serial fluid_sweep_digest bit for bit.
+std::vector<core::FluidPointRecord> sweep_with_flags_sharded(
+    int argc, char** argv, const topo::Topology& topo,
+    core::FluidSweepOptions opts, const std::string& key_prefix,
+    ResilientState* state, const ResilientFlags& rflags,
+    const ShardFlags& sflags);
 
 // Order-sensitive digest over every record's values (exact double bits) —
 // the analytic-grid analogue of core::fluid_sweep_digest.

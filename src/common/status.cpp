@@ -1,5 +1,7 @@
 #include "common/status.hpp"
 
+#include <iterator>
+
 namespace flexnets {
 
 const char* status_code_name(StatusCode code) noexcept {
@@ -28,6 +30,37 @@ std::optional<StatusCode> status_code_from_name(const std::string& name) {
     if (name == status_code_name(code)) return code;
   }
   return std::nullopt;
+}
+
+namespace {
+
+// One row per StatusCode, in enum order so the lookup is an array index.
+// Kept as an explicit table (not a switch) so adding a code forces a
+// conscious retry decision here — the static_assert below trips when the
+// enum grows past the table.
+struct RetryRow {
+  StatusCode code;
+  bool retryable;
+};
+constexpr RetryRow kRetryTable[] = {
+    {StatusCode::kOk, false},
+    {StatusCode::kInvalidInput, false},    // same input -> same rejection
+    {StatusCode::kBudgetExhausted, false}, // partial result already valid
+    {StatusCode::kNonConverged, false},    // deterministic in the input
+    {StatusCode::kPartitioned, false},     // topology fact, not transient
+    {StatusCode::kInternal, true},         // crash/OOM/poisoned worker
+};
+
+}  // namespace
+
+bool status_code_retryable(StatusCode code) noexcept {
+  const auto i = static_cast<std::size_t>(code);
+  static_assert(std::size(kRetryTable) ==
+                static_cast<std::size_t>(StatusCode::kInternal) + 1);
+  if (i >= std::size(kRetryTable)) return false;
+  FLEXNETS_DCHECK(kRetryTable[i].code == code,
+                  "retry table out of sync with StatusCode order");
+  return kRetryTable[i].retryable;
 }
 
 std::string Status::to_string() const {

@@ -37,6 +37,17 @@ enum class StatusCode : std::uint8_t {
 const char* status_code_name(StatusCode code) noexcept;
 std::optional<StatusCode> status_code_from_name(const std::string& name);
 
+// Retry classification, table-driven per code (status.cpp holds the
+// table). This is the single retry predicate of the sweep orchestrator
+// (src/sweep): only kInternal is retryable — a crash, an escaped check,
+// or an unexpected exception may be environmental (OOM kill, poisoned
+// worker state) and deserves a fresh worker. Everything else is a
+// deterministic function of the input: kInvalidInput and kPartitioned
+// would fail identically on any worker, and kBudgetExhausted /
+// kNonConverged already carry their valid partial result, so retrying
+// only burns the budget again.
+[[nodiscard]] bool status_code_retryable(StatusCode code) noexcept;
+
 // The class itself is [[nodiscard]]: any call returning a Status (or a
 // StatusOr below) that drops the result is a compiler warning — the
 // compile-time backstop to flexnets_analyze's status-discipline pass
@@ -56,6 +67,12 @@ class [[nodiscard]] Status {
 
   // "ok" or "<code-name>: <message>".
   [[nodiscard]] std::string to_string() const;
+
+  // status_code_retryable(code()): whether a sweep orchestrator should
+  // rerun the operation on a fresh worker rather than quarantine it.
+  [[nodiscard]] bool retryable() const noexcept {
+    return status_code_retryable(code_);
+  }
 
   bool operator==(const Status&) const = default;
 

@@ -55,6 +55,13 @@ FluidPointRecord compute_point(const topo::Topology& topo,
 
 }  // namespace
 
+FluidPointRecord fluid_sweep_point(const topo::Topology& topo,
+                                   const flow::ThroughputCache& cache,
+                                   const FluidSweepOptions& opts,
+                                   std::size_t index) {
+  return compute_point(topo, cache, opts, topo.tors().size(), index);
+}
+
 std::vector<FluidPoint> fluid_sweep(const topo::Topology& topo,
                                     const FluidSweepOptions& opts) {
   const auto num_tors = topo.tors().size();

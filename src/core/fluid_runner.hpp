@@ -72,6 +72,16 @@ struct FluidPointRecord {
   Status status;
 };
 
+// One grid point of a sweep, exactly as fluid_sweep computes it: the
+// point's sub-seed is hash_words(opts.seed, index), so any executor —
+// serial loop, thread pool, or a sweep-orchestrator worker process — that
+// evaluates index i gets bit-identical results. `cache` is the shared
+// read-only throughput cache from flow::build_throughput_cache(topo).
+FluidPointRecord fluid_sweep_point(const topo::Topology& topo,
+                                   const flow::ThroughputCache& cache,
+                                   const FluidSweepOptions& opts,
+                                   std::size_t index);
+
 struct ResilientSweepOptions {
   FluidSweepOptions sweep;
   // Journal integration (both optional, typically used together by the

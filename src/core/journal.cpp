@@ -4,7 +4,10 @@
 
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#include "core/jsonl.hpp"
 
 namespace flexnets::core {
 
@@ -12,8 +15,9 @@ namespace {
 
 const char kHexDigits[] = "0123456789abcdef";
 
-// JSON string escaping for the few characters our keys/messages can carry.
-void append_escaped(std::string* out, const std::string& s) {
+}  // namespace
+
+void append_json_escaped(std::string* out, const std::string& s) {
   for (const char c : s) {
     if (c == '"' || c == '\\') {
       out->push_back('\\');
@@ -27,87 +31,6 @@ void append_escaped(std::string* out, const std::string& s) {
     }
   }
 }
-
-// Minimal cursor parser for the exact line shape to_json_line emits
-// (fields may come in any order; whitespace between tokens is tolerated).
-struct Cursor {
-  const std::string& s;
-  std::size_t i = 0;
-
-  void ws() {
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
-  }
-  bool eat(char c) {
-    ws();
-    if (i < s.size() && s[i] == c) {
-      ++i;
-      return true;
-    }
-    return false;
-  }
-  bool peek(char c) {
-    ws();
-    return i < s.size() && s[i] == c;
-  }
-  bool parse_string(std::string* out) {
-    if (!eat('"')) return false;
-    out->clear();
-    while (i < s.size()) {
-      const char c = s[i++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (i >= s.size()) return false;
-        const char e = s[i++];
-        if (e == '"' || e == '\\' || e == '/') {
-          out->push_back(e);
-        } else if (e == 'n') {
-          out->push_back('\n');
-        } else if (e == 't') {
-          out->push_back('\t');
-        } else if (e == 'r') {
-          out->push_back('\r');
-        } else if (e == 'u') {
-          if (i + 4 > s.size()) return false;
-          unsigned v = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = s[i++];
-            v <<= 4;
-            if (h >= '0' && h <= '9') {
-              v |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              v |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              v |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return false;
-            }
-          }
-          if (v > 0x7f) return false;  // the writer never emits these
-          out->push_back(static_cast<char>(v));
-        } else {
-          return false;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;  // unterminated
-  }
-  // The decimal rendering of a value is advisory; skip it.
-  bool skip_number() {
-    ws();
-    const std::size_t begin = i;
-    while (i < s.size() &&
-           (std::strchr("+-.eE", s[i]) != nullptr ||
-            (s[i] >= '0' && s[i] <= '9') || s[i] == 'n' || s[i] == 'a' ||
-            s[i] == 'i' || s[i] == 'f')) {
-      ++i;  // also accepts nan/inf spellings
-    }
-    return i > begin;
-  }
-};
-
-}  // namespace
 
 double JournalRecord::value(const std::string& name) const {
   for (const auto& [n, v] : values) {
@@ -147,16 +70,24 @@ bool bits_hex_to_double(const std::string& hex, double* out) {
 
 std::string to_json_line(const JournalRecord& rec) {
   std::string out = "{\"key\":\"";
-  append_escaped(&out, rec.key);
+  append_json_escaped(&out, rec.key);
   out += "\",\"code\":\"";
   out += status_code_name(rec.code);
   out += "\",\"message\":\"";
-  append_escaped(&out, rec.message);
-  out += "\",\"values\":[";
+  append_json_escaped(&out, rec.message);
+  out += "\",";
+  if (rec.attempt > 0) {
+    // Only retried sweeps carry attempt metadata; single-shot lines stay
+    // byte-identical to the pre-orchestrator format.
+    out += "\"attempt\":";
+    out += std::to_string(rec.attempt);
+    out += ",";
+  }
+  out += "\"values\":[";
   for (std::size_t i = 0; i < rec.values.size(); ++i) {
     if (i > 0) out.push_back(',');
     out += "[\"";
-    append_escaped(&out, rec.values[i].first);
+    append_json_escaped(&out, rec.values[i].first);
     char dec[40];
     std::snprintf(dec, sizeof(dec), "%.17g", rec.values[i].second);
     out += "\",";
@@ -170,7 +101,7 @@ std::string to_json_line(const JournalRecord& rec) {
 }
 
 StatusOr<JournalRecord> parse_json_line(const std::string& line) {
-  Cursor c{line};
+  JsonCursor c{line};
   JournalRecord rec;
   bool have_key = false;
   bool have_code = false;
@@ -202,6 +133,12 @@ StatusOr<JournalRecord> parse_json_line(const std::string& line) {
         if (!c.parse_string(&rec.message)) {
           return invalid_input_error("journal record: malformed message");
         }
+      } else if (field == "attempt") {
+        std::uint64_t attempt = 0;
+        if (!c.parse_uint(&attempt) || attempt > 1000000) {
+          return invalid_input_error("journal record: malformed attempt");
+        }
+        rec.attempt = static_cast<int>(attempt);
       } else if (field == "values") {
         if (!c.eat('[')) {
           return invalid_input_error("journal record: malformed values");
@@ -330,7 +267,36 @@ StatusOr<std::vector<JournalRecord>> load_journal(const std::string& path) {
     }
     records.push_back(std::move(rec).value());
   }
-  return records;
+  return dedup_last_write_wins(std::move(records));
+}
+
+std::vector<JournalRecord> dedup_last_write_wins(
+    std::vector<JournalRecord> records) {
+  std::map<std::string, std::size_t> first_slot;
+  std::vector<JournalRecord> out;
+  out.reserve(records.size());
+  for (auto& rec : records) {
+    const auto [it, inserted] = first_slot.try_emplace(rec.key, out.size());
+    if (inserted) {
+      out.push_back(std::move(rec));
+    } else {
+      // A later record for the same key — the retry after a killed
+      // worker's append — supersedes the earlier one in place.
+      out[it->second] = std::move(rec);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<JournalRecord>> merge_journals(
+    const std::vector<std::string>& paths) {
+  std::vector<JournalRecord> all;
+  for (const auto& path : paths) {
+    auto records = load_journal(path);
+    if (!records.ok()) return records.status();
+    for (auto& rec : *records) all.push_back(std::move(rec));
+  }
+  return dedup_last_write_wins(std::move(all));
 }
 
 std::map<std::string, JournalRecord> index_by_key(

@@ -38,6 +38,12 @@ struct JournalRecord {
   StatusCode code = StatusCode::kOk;
   std::string message;  // empty when ok
   std::vector<std::pair<std::string, double>> values;
+  // Which attempt produced this record (sweep orchestrator metadata):
+  // 0 = single-shot (serial sweeps never retry), k >= 1 = the k-th lease
+  // of the point. Serialized only when nonzero so pre-orchestrator
+  // journal lines are byte-identical; never mixed into digests. Last so
+  // the established {key, code, message, values} aggregate init holds.
+  int attempt = 0;
 
   [[nodiscard]] bool ok() const { return code == StatusCode::kOk; }
   // First value with this name; 0.0 when absent (journal writers always
@@ -95,7 +101,26 @@ class Journal {
 // Reads every record of a journal file. The final line may be truncated
 // (killed mid-append) and is then ignored; any other malformed line is
 // kInvalidInput naming it. A missing file is kInvalidInput.
+//
+// Repeated keys are deduplicated last-write-wins: a point journaled by a
+// killed worker and journaled again by its retry yields one record — the
+// retry's — at the position of the key's *first* appearance, so record
+// order stays stable for order-sensitive consumers.
 StatusOr<std::vector<JournalRecord>> load_journal(const std::string& path);
+
+// Last-write-wins dedup by key, preserving first-appearance order. The
+// building block of load_journal and merge_journals, exposed for the
+// orchestrator's in-memory ingest path.
+std::vector<JournalRecord> dedup_last_write_wins(
+    std::vector<JournalRecord> records);
+
+// Loads several (partial) journals — e.g. the merged journal of a killed
+// coordinator run plus stray per-worker spills — and merges them into one
+// deduplicated record list. Later paths win on key collisions, and within
+// a path later lines win, matching load_journal. Every path must load
+// cleanly; the first failure is returned as-is.
+StatusOr<std::vector<JournalRecord>> merge_journals(
+    const std::vector<std::string>& paths);
 
 // Later records win (a rerun that re-journals a key supersedes the old
 // record). Keyed lookup only -- callers iterate their own grid, not the

@@ -1,0 +1,110 @@
+// Minimal cursor parser for the one-object-per-line JSON dialect the
+// sweep journal (core/journal.cpp) and the worker wire protocol
+// (sweep/wire.cpp) emit. This is deliberately not a general JSON parser:
+// it accepts exactly the shapes our writers produce (fields in any
+// order, whitespace between tokens) and rejects everything else with a
+// plain `false`, which the callers convert into a structured
+// kInvalidInput naming the line.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace flexnets::core {
+
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    out->clear();
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        if (e == '"' || e == '\\' || e == '/') {
+          out->push_back(e);
+        } else if (e == 'n') {
+          out->push_back('\n');
+        } else if (e == 't') {
+          out->push_back('\t');
+        } else if (e == 'r') {
+          out->push_back('\r');
+        } else if (e == 'u') {
+          if (i + 4 > s.size()) return false;
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (v > 0x7f) return false;  // the writers never emit these
+          out->push_back(static_cast<char>(v));
+        } else {
+          return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  // A non-negative integer literal (frame indices, attempt counters).
+  bool parse_uint(std::uint64_t* out) {
+    ws();
+    const std::size_t begin = i;
+    std::uint64_t v = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+      ++i;
+    }
+    if (i == begin || i - begin > 19) return false;
+    *out = v;
+    return true;
+  }
+  // The decimal rendering of a journal value is advisory; skip it.
+  bool skip_number() {
+    ws();
+    const std::size_t begin = i;
+    while (i < s.size() &&
+           (std::strchr("+-.eE", s[i]) != nullptr ||
+            (s[i] >= '0' && s[i] <= '9') || s[i] == 'n' || s[i] == 'a' ||
+            s[i] == 'i' || s[i] == 'f')) {
+      ++i;  // also accepts nan/inf spellings
+    }
+    return i > begin;
+  }
+};
+
+// JSON string escaping for the few characters our keys/messages can
+// carry; inverse of JsonCursor::parse_string.
+void append_json_escaped(std::string* out, const std::string& s);
+
+}  // namespace flexnets::core

@@ -1,0 +1,105 @@
+#include "sweep/lease_table.hpp"
+
+#include <algorithm>
+
+namespace flexnets::sweep {
+
+namespace {
+
+constexpr std::int64_t kBackoffCapMs = 30000;
+
+}  // namespace
+
+LeaseTable::LeaseTable(std::size_t n, int max_attempts, int backoff_base_ms)
+    : entries_(n),
+      max_attempts_(std::max(1, max_attempts)),
+      backoff_base_ms_(std::max(0, backoff_base_ms)) {}
+
+void LeaseTable::restore(std::size_t i) {
+  FLEXNETS_CHECK_LT(i, entries_.size(), "restore out of range");
+  Entry& e = entries_[i];
+  FLEXNETS_CHECK(e.state == PointState::kPending,
+                 "restore of a non-pending point ", i);
+  e.state = PointState::kDone;
+  ++done_;
+}
+
+std::optional<LeaseTable::Lease> LeaseTable::acquire(std::int64_t now_ms) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.state != PointState::kPending || e.not_before_ms > now_ms) continue;
+    e.state = PointState::kLeased;
+    ++e.attempts;
+    if (e.attempts > 1) ++retries_;
+    return Lease{i, e.attempts};
+  }
+  return std::nullopt;
+}
+
+PointState LeaseTable::settle(std::size_t i, StatusCode code,
+                              std::int64_t now_ms) {
+  FLEXNETS_CHECK_LT(i, entries_.size(), "settle out of range");
+  Entry& e = entries_[i];
+  FLEXNETS_CHECK(e.state == PointState::kLeased,
+                 "settle of a non-leased point ", i);
+  if (!status_code_retryable(code)) {
+    // ok, or a failure retrying cannot fix: the verdict is final either
+    // way — the record (with its structured Status) is what gets kept.
+    e.state = PointState::kDone;
+    ++done_;
+    return e.state;
+  }
+  if (e.attempts >= max_attempts_) {
+    e.state = PointState::kQuarantined;
+    ++quarantined_;
+    return e.state;
+  }
+  // Retryable with budget left: exponential backoff keyed on the attempt
+  // just burned, so a crashy point cannot hot-loop a fresh worker.
+  const int shift = std::min(e.attempts - 1, 20);
+  const std::int64_t backoff =
+      std::min<std::int64_t>(kBackoffCapMs,
+                             static_cast<std::int64_t>(backoff_base_ms_)
+                                 << shift);
+  e.not_before_ms = now_ms + backoff;
+  e.state = PointState::kPending;
+  return e.state;
+}
+
+void LeaseTable::release(std::size_t i) {
+  FLEXNETS_CHECK_LT(i, entries_.size(), "release out of range");
+  Entry& e = entries_[i];
+  FLEXNETS_CHECK(e.state == PointState::kLeased,
+                 "release of a non-leased point ", i);
+  e.state = PointState::kPending;
+  e.not_before_ms = 0;
+  --e.attempts;  // the lease never ran; give the attempt back
+  if (e.attempts >= 1) --retries_;
+}
+
+PointState LeaseTable::state(std::size_t i) const {
+  FLEXNETS_CHECK_LT(i, entries_.size(), "state out of range");
+  return entries_[i].state;
+}
+
+int LeaseTable::attempts(std::size_t i) const {
+  FLEXNETS_CHECK_LT(i, entries_.size(), "attempts out of range");
+  return entries_[i].attempts;
+}
+
+bool LeaseTable::all_settled() const {
+  return done_ + quarantined_ == entries_.size();
+}
+
+std::optional<std::int64_t> LeaseTable::next_ready_ms(
+    std::int64_t now_ms) const {
+  std::optional<std::int64_t> earliest;
+  for (const Entry& e : entries_) {
+    if (e.state != PointState::kPending) continue;
+    if (e.not_before_ms <= now_ms) return std::nullopt;  // ready right now
+    if (!earliest || e.not_before_ms < *earliest) earliest = e.not_before_ms;
+  }
+  return earliest;
+}
+
+}  // namespace flexnets::sweep

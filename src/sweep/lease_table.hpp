@@ -1,0 +1,85 @@
+// Lease bookkeeping for the sharded sweep coordinator: which grid points
+// are pending / leased / done / quarantined, how many attempts each has
+// burned, and when a retried point becomes ready again (exponential
+// backoff). Pure state machine — no I/O, no clock reads; the coordinator
+// feeds it timestamps — so every transition is unit-testable
+// (tests/sweep/test_lease_table.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace flexnets::sweep {
+
+enum class PointState : std::uint8_t {
+  kPending,      // waiting for a lease (possibly in retry backoff)
+  kLeased,       // assigned to a live worker
+  kDone,         // result recorded (ok or a non-retryable failure)
+  kQuarantined,  // retryable failures exhausted max_attempts
+};
+
+class LeaseTable {
+ public:
+  // n points, all pending. A point is quarantined after `max_attempts`
+  // retryable failures; the k-th retry becomes ready
+  // `backoff_base_ms << (k-1)` after the failure (capped at 30s).
+  LeaseTable(std::size_t n, int max_attempts, int backoff_base_ms);
+
+  // Marks a point done without leasing it (restored from a journal).
+  void restore(std::size_t i);
+
+  // Lowest-index pending point whose backoff has elapsed, or nullopt.
+  // The point moves to kLeased and its attempt counter increments; the
+  // returned attempt (1-based) travels with the lease so stale frames
+  // from a previous attempt are detectable.
+  struct Lease {
+    std::size_t index = 0;
+    int attempt = 1;
+  };
+  std::optional<Lease> acquire(std::int64_t now_ms);
+
+  // A leased point finished with `code`. Returns the resulting state:
+  // kDone (recorded — ok or non-retryable failure), kPending (retryable,
+  // requeued with backoff), or kQuarantined (retries exhausted).
+  // Status::retryable (common/status.hpp) is the single retry predicate.
+  PointState settle(std::size_t i, StatusCode code, std::int64_t now_ms);
+
+  // A lease evaporated without a verdict (shutdown path): back to pending,
+  // immediately ready, without burning the attempt.
+  void release(std::size_t i);
+
+  [[nodiscard]] PointState state(std::size_t i) const;
+  [[nodiscard]] int attempts(std::size_t i) const;
+
+  // True when every point is kDone or kQuarantined.
+  [[nodiscard]] bool all_settled() const;
+  [[nodiscard]] std::size_t done() const { return done_; }
+  [[nodiscard]] std::size_t quarantined() const { return quarantined_; }
+  // Total retries granted so far (attempts beyond each point's first).
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+
+  // Earliest not_before among pending points still in backoff, or nullopt
+  // when some pending point is ready now (or nothing is pending). Bounds
+  // the coordinator's poll timeout so backoff never oversleeps.
+  [[nodiscard]] std::optional<std::int64_t> next_ready_ms(
+      std::int64_t now_ms) const;
+
+ private:
+  struct Entry {
+    PointState state = PointState::kPending;
+    int attempts = 0;
+    std::int64_t not_before_ms = 0;
+  };
+  std::vector<Entry> entries_;
+  int max_attempts_;
+  int backoff_base_ms_;
+  std::size_t done_ = 0;
+  std::size_t quarantined_ = 0;
+  std::size_t retries_ = 0;
+};
+
+}  // namespace flexnets::sweep

@@ -1,0 +1,258 @@
+#include "sweep/process_supervisor.hpp"
+
+#include "sweep/wire.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace flexnets::sweep {
+
+namespace {
+
+// Process-wide SIGPIPE suppression, refcounted so nested/concurrent
+// coordinators compose; the original disposition returns when the last
+// supervisor dies.
+std::mutex g_sigpipe_mu;
+int g_sigpipe_refs = 0;
+struct sigaction g_sigpipe_prev;
+
+void sigpipe_acquire() {
+  const std::lock_guard<std::mutex> lock(g_sigpipe_mu);
+  if (g_sigpipe_refs++ == 0) {
+    struct sigaction ignore{};
+    ignore.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ignore, &g_sigpipe_prev);
+  }
+}
+
+void sigpipe_release() {
+  const std::lock_guard<std::mutex> lock(g_sigpipe_mu);
+  if (--g_sigpipe_refs == 0) {
+    sigaction(SIGPIPE, &g_sigpipe_prev, nullptr);
+  }
+}
+
+}  // namespace
+
+ProcessSupervisor::ProcessSupervisor() { sigpipe_acquire(); }
+
+ProcessSupervisor::~ProcessSupervisor() { sigpipe_release(); }
+
+StatusOr<WorkerProcess> ProcessSupervisor::spawn(
+    const std::string& exec_path, const std::vector<std::string>& args) {
+  // O_CLOEXEC on the parent ends so a concurrently spawned sibling cannot
+  // inherit them; the child's ends are re-homed by dup2 (which clears
+  // close-on-exec on the duplicate).
+  int lease[2];
+  int result[2];
+  if (pipe2(lease, O_CLOEXEC) != 0) {
+    return internal_error("pipe2(lease): ", std::strerror(errno));
+  }
+  if (pipe2(result, O_CLOEXEC) != 0) {
+    const int saved = errno;
+    close(lease[0]);
+    close(lease[1]);
+    return internal_error("pipe2(result): ", std::strerror(saved));
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exec_path.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    const int saved = errno;
+    close(lease[0]);
+    close(lease[1]);
+    close(result[0]);
+    close(result[1]);
+    return internal_error("fork: ", std::strerror(saved));
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec: the parent may be
+    // multi-threaded (coordinators run on the shared thread pool).
+    // Die with the coordinator: a SIGKILLed parent must not leak workers
+    // that keep burning CPU and holding the journal's points.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // Re-home the pipe ends onto the protocol fds. Two traps here:
+    // dup2(fd, fd) does NOT clear O_CLOEXEC (exec would close the
+    // channel), and an end already sitting on the OTHER slot would be
+    // clobbered by the first dup2 — move it above the slots first.
+    int lfd = lease[0];
+    int rfd = result[1];
+    if (lfd == kWorkerResultFd) lfd = fcntl(lfd, F_DUPFD, 10);
+    if (rfd == kWorkerLeaseFd) rfd = fcntl(rfd, F_DUPFD, 10);
+    if (lfd < 0 || rfd < 0) {
+      _exit(127);  // flexnets-lint: allow(hard-exit) -- forked child, pre-exec: nothing to contain
+    }
+    if (lfd == kWorkerLeaseFd) {
+      fcntl(lfd, F_SETFD, 0);
+    } else if (dup2(lfd, kWorkerLeaseFd) < 0) {
+      _exit(127);  // flexnets-lint: allow(hard-exit) -- forked child, pre-exec: nothing to contain
+    }
+    if (rfd == kWorkerResultFd) {
+      fcntl(rfd, F_SETFD, 0);
+    } else if (dup2(rfd, kWorkerResultFd) < 0) {
+      _exit(127);  // flexnets-lint: allow(hard-exit) -- forked child, pre-exec: nothing to contain
+    }
+    // Workers share the parent's terminal otherwise; their human output
+    // is meaningless mid-protocol, so silence stdout (stderr stays for
+    // crash diagnostics).
+    const int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      dup2(devnull, STDOUT_FILENO);
+      if (devnull != STDOUT_FILENO) close(devnull);
+    }
+    execv(exec_path.c_str(), argv.data());
+    _exit(127);  // flexnets-lint: allow(hard-exit) -- exec failed; parent sees an immediate death
+  }
+
+  // Parent: close the child's ends.
+  close(lease[0]);
+  close(result[1]);
+  WorkerProcess w;
+  w.pid = static_cast<int>(pid);
+  w.lease_wr = lease[1];
+  w.result_rd = result[0];
+  return w;
+}
+
+void ProcessSupervisor::kill_and_reap(WorkerProcess* w) {
+  if (w->pid > 0) {
+    kill(w->pid, SIGKILL);
+    int wstatus = 0;
+    while (waitpid(w->pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    w->pid = -1;
+  }
+  close_fd(w->lease_wr);
+  close_fd(w->result_rd);
+  w->lease_wr = -1;
+  w->result_rd = -1;
+}
+
+void ProcessSupervisor::kill_only(const WorkerProcess& w) {
+  if (w.pid > 0) kill(w.pid, SIGKILL);
+}
+
+bool ProcessSupervisor::try_reap(WorkerProcess* w, std::string* detail) {
+  if (w->pid <= 0) return false;
+  int wstatus = 0;
+  pid_t r;
+  while ((r = waitpid(w->pid, &wstatus, WNOHANG)) < 0 && errno == EINTR) {
+  }
+  if (r != w->pid) return false;
+  if (WIFSIGNALED(wstatus)) {
+    *detail = "killed by signal " + std::to_string(WTERMSIG(wstatus));
+  } else {
+    *detail =
+        "exited with status " + std::to_string(WEXITSTATUS(wstatus));
+  }
+  w->pid = -1;
+  return true;
+}
+
+std::int64_t ProcessSupervisor::now_ms() {
+  struct timespec ts {};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // flexnets-lint: allow(wall-clock) -- process supervision (heartbeats, backoff) is real time by definition; never feeds simulated results
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+         ts.tv_nsec / 1000000;
+}
+
+std::vector<std::size_t> ProcessSupervisor::poll_readable(
+    const std::vector<int>& fds, int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  std::vector<std::size_t> owner;
+  pfds.reserve(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i] < 0) continue;
+    pfds.push_back({fds[i], POLLIN, 0});
+    owner.push_back(i);
+  }
+  std::vector<std::size_t> ready;
+  if (pfds.empty()) {
+    // Nothing to watch: honor the timeout as a plain sleep so backoff
+    // waits do not busy-spin.
+    if (timeout_ms > 0) poll(nullptr, 0, timeout_ms);
+    return ready;
+  }
+  int r;
+  while ((r = poll(pfds.data(), pfds.size(), timeout_ms)) < 0 &&
+         errno == EINTR) {
+  }
+  if (r <= 0) return ready;
+  for (std::size_t k = 0; k < pfds.size(); ++k) {
+    if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ready.push_back(owner[k]);
+    }
+  }
+  return ready;
+}
+
+std::ptrdiff_t ProcessSupervisor::read_some(int fd, char* buf,
+                                            std::size_t n) {
+  ssize_t r;
+  while ((r = read(fd, buf, n)) < 0 && errno == EINTR) {
+  }
+  return r;
+}
+
+bool ProcessSupervisor::write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = write(fd, data.data() + off, data.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE: the peer died; the caller reschedules
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void ProcessSupervisor::close_fd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+bool ProcessSupervisor::injection_hit(const char* env_var, std::size_t index,
+                                      int attempt) {
+  if (attempt > 1) return false;  // injected faults recover on retry
+  const char* spec = std::getenv(env_var);
+  if (spec == nullptr || *spec == '\0') return false;
+  const char* p = spec;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) break;  // malformed tail: ignore the rest
+    if (v == index) return true;
+    p = end;
+    while (*p == ',' || *p == ' ') ++p;
+  }
+  return false;
+}
+
+void ProcessSupervisor::hard_crash() {
+  raise(SIGKILL);
+  // raise cannot return for SIGKILL, but the compiler cannot know that.
+  _exit(137);  // flexnets-lint: allow(hard-exit) -- crash injection must not unwind
+}
+
+void ProcessSupervisor::hang_forever() {
+  for (;;) pause();
+}
+
+}  // namespace flexnets::sweep

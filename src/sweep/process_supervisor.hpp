@@ -1,0 +1,97 @@
+// Process lifecycle for the sharded sweep orchestrator. This is the ONE
+// file pair in the tree allowed to touch process-control APIs — fork,
+// exec, waitpid, kill, raise — enforced by flexnets_analyze's
+// `process-api` rule, so crash containment, zombie reaping, pipe
+// lifetime, and fault injection all live in a single audited place.
+//
+// A spawned worker gets its lease pipe on fd 3 and its result pipe on
+// fd 4 (sweep/wire.hpp), stdout redirected to /dev/null (stderr stays
+// inherited for crash diagnostics), and PDEATHSIG=SIGKILL so a
+// SIGKILLed coordinator cannot leak computing orphans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace flexnets::sweep {
+
+struct WorkerProcess {
+  int pid = -1;
+  int lease_wr = -1;   // coordinator writes lease frames here
+  int result_rd = -1;  // coordinator reads result frames here
+
+  [[nodiscard]] bool alive() const { return pid > 0; }
+};
+
+// Instance-scoped so concurrent coordinators (two sharded grids on one
+// thread pool) do not share mutable state. SIGPIPE is ignored for the
+// process while any supervisor is alive: a worker dying mid-lease-write
+// must surface as EPIPE on the coordinator's write, not kill it.
+class ProcessSupervisor {
+ public:
+  ProcessSupervisor();
+  ~ProcessSupervisor();
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  // fork+exec of `exec_path` with `args` (argv[1..]); wires the pipes to
+  // fds 3/4 in the child. kInternal when the pipes or the fork fail; an
+  // unexecutable path surfaces later as an immediate worker death.
+  StatusOr<WorkerProcess> spawn(const std::string& exec_path,
+                                const std::vector<std::string>& args);
+
+  // SIGKILL + blocking reap + close both pipe fds. Safe on a worker that
+  // already died (reaps the zombie) or was never spawned (no-op).
+  void kill_and_reap(WorkerProcess* w);
+
+  // SIGKILL only — no reap, fds stay open. Chaos injection uses this so
+  // the death is discovered through the coordinator's real detection path
+  // (pipe hangup, then try_reap), exactly like an organic crash.
+  void kill_only(const WorkerProcess& w);
+
+  // Non-blocking exit check. True when the worker has exited; *detail
+  // gets "exited with status N" / "killed by signal N". fds stay open
+  // (the result pipe may still hold unread frames) — kill_and_reap
+  // closes them.
+  bool try_reap(WorkerProcess* w, std::string* detail);
+
+  // Monotonic milliseconds for heartbeat deadlines and retry backoff.
+  // Real time is banned in src/ at large (the engines must never key on
+  // it); process supervision is the sanctioned exception.
+  static std::int64_t now_ms();
+
+  // poll(2) over result fds: indices of entries that are readable or
+  // hung up. timeout_ms < 0 blocks. Entries with fd < 0 are skipped.
+  static std::vector<std::size_t> poll_readable(const std::vector<int>& fds,
+                                                int timeout_ms);
+
+  // Raw-fd helpers shared by both protocol endpoints. read_some returns
+  // bytes read, 0 on EOF, -1 on error (EINTR retried internally).
+  static std::ptrdiff_t read_some(int fd, char* buf, std::size_t n);
+  // False on any write failure (EPIPE: the peer died).
+  static bool write_all(int fd, const std::string& data);
+  static void close_fd(int fd);
+
+  // --- deterministic fault injection (tests, ci.sh chaos gate) ---------
+
+  // True when the comma-separated index list in environment variable
+  // `env_var` (e.g. FLEXNETS_CRASH_AT=3,7) contains `index` AND this is
+  // the point's first attempt. Retries (attempt >= 2) never re-trigger,
+  // so an injected fault is recovered deterministically, keeping the
+  // merged digest equal to the uninterrupted serial run's.
+  static bool injection_hit(const char* env_var, std::size_t index,
+                            int attempt);
+
+  // Dies like a real crash: raise(SIGKILL) — no atexit, no unwinding, no
+  // flushing, the exact footprint of a segfaulting worker.
+  [[noreturn]] static void hard_crash();
+
+  // Never returns (worker hang injection for deadline-detection tests).
+  [[noreturn]] static void hang_forever();
+};
+
+}  // namespace flexnets::sweep

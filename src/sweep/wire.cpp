@@ -1,0 +1,193 @@
+#include "sweep/wire.hpp"
+
+#include "core/jsonl.hpp"
+
+namespace flexnets::sweep {
+
+namespace {
+
+using core::JsonCursor;
+
+struct TypeRow {
+  FrameType type;
+  const char* name;
+  bool wants_index;   // index + attempt required
+  bool wants_record;  // record string required
+  bool wants_message; // message string required
+};
+constexpr TypeRow kTypes[] = {
+    {FrameType::kLease, "lease", true, false, false},
+    {FrameType::kShutdown, "shutdown", false, false, false},
+    {FrameType::kReady, "ready", false, false, false},
+    {FrameType::kStart, "start", true, false, false},
+    {FrameType::kResult, "result", true, true, false},
+    {FrameType::kError, "error", false, false, true},
+};
+
+const TypeRow* row_by_name(const std::string& name) {
+  for (const TypeRow& r : kTypes) {
+    if (name == r.name) return &r;
+  }
+  return nullptr;
+}
+
+const TypeRow& row_of(FrameType type) {
+  for (const TypeRow& r : kTypes) {
+    if (r.type == type) return r;
+  }
+  return kTypes[0];  // unreachable: every FrameType has a row
+}
+
+std::string head(FrameType type) {
+  std::string out = "{\"type\":\"";
+  out += row_of(type).name;
+  out += "\"";
+  return out;
+}
+
+void append_index(std::string* out, std::size_t index, int attempt) {
+  *out += ",\"index\":";
+  *out += std::to_string(index);
+  *out += ",\"attempt\":";
+  *out += std::to_string(attempt);
+}
+
+}  // namespace
+
+StatusOr<WireFrame> parse_wire_frame(const std::string& line) {
+  JsonCursor c{line};
+  WireFrame frame;
+  const TypeRow* row = nullptr;
+  bool have_index = false;
+  bool have_attempt = false;
+  bool have_record = false;
+  bool have_message = false;
+  if (!c.eat('{')) return invalid_input_error("wire frame: expected '{'");
+  if (!c.peek('}')) {
+    do {
+      std::string field;
+      if (!c.parse_string(&field) || !c.eat(':')) {
+        return invalid_input_error("wire frame: malformed field name");
+      }
+      if (field == "type") {
+        if (row != nullptr) {
+          return invalid_input_error("wire frame: repeated type");
+        }
+        std::string name;
+        if (!c.parse_string(&name)) {
+          return invalid_input_error("wire frame: malformed type");
+        }
+        row = row_by_name(name);
+        if (row == nullptr) {
+          return invalid_input_error("wire frame: unknown type '", name, "'");
+        }
+        frame.type = row->type;
+      } else if (field == "index") {
+        std::uint64_t v = 0;
+        if (have_index || !c.parse_uint(&v)) {
+          return invalid_input_error("wire frame: malformed index");
+        }
+        frame.index = static_cast<std::size_t>(v);
+        have_index = true;
+      } else if (field == "attempt") {
+        std::uint64_t v = 0;
+        if (have_attempt || !c.parse_uint(&v) || v == 0 || v > 1000000) {
+          return invalid_input_error("wire frame: malformed attempt");
+        }
+        frame.attempt = static_cast<int>(v);
+        have_attempt = true;
+      } else if (field == "record") {
+        if (have_record || !c.parse_string(&frame.record)) {
+          return invalid_input_error("wire frame: malformed record");
+        }
+        have_record = true;
+      } else if (field == "message") {
+        if (have_message || !c.parse_string(&frame.message)) {
+          return invalid_input_error("wire frame: malformed message");
+        }
+        have_message = true;
+      } else {
+        return invalid_input_error("wire frame: unknown field '", field, "'");
+      }
+    } while (c.eat(','));
+  }
+  if (!c.eat('}')) return invalid_input_error("wire frame: expected '}'");
+  c.ws();
+  if (c.i != line.size()) {
+    return invalid_input_error("wire frame: trailing garbage");
+  }
+  if (row == nullptr) return invalid_input_error("wire frame: missing type");
+  if (row->wants_index != have_index || row->wants_index != have_attempt) {
+    return invalid_input_error("wire frame: '", row->name,
+                               "' needs index+attempt exactly when defined");
+  }
+  if (row->wants_record != have_record) {
+    return invalid_input_error("wire frame: '", row->name,
+                               have_record ? "' forbids record"
+                                           : "' requires record");
+  }
+  if (row->wants_message != have_message) {
+    return invalid_input_error("wire frame: '", row->name,
+                               have_message ? "' forbids message"
+                                            : "' requires message");
+  }
+  return frame;
+}
+
+std::string format_lease_frame(std::size_t index, int attempt) {
+  std::string out = head(FrameType::kLease);
+  append_index(&out, index, attempt);
+  out += "}";
+  return out;
+}
+
+std::string format_shutdown_frame() { return head(FrameType::kShutdown) + "}"; }
+
+std::string format_ready_frame() { return head(FrameType::kReady) + "}"; }
+
+std::string format_start_frame(std::size_t index, int attempt) {
+  std::string out = head(FrameType::kStart);
+  append_index(&out, index, attempt);
+  out += "}";
+  return out;
+}
+
+std::string format_result_frame(std::size_t index, int attempt,
+                                const core::JournalRecord& rec) {
+  std::string out = head(FrameType::kResult);
+  append_index(&out, index, attempt);
+  out += ",\"record\":\"";
+  core::append_json_escaped(&out, core::to_json_line(rec));
+  out += "\"}";
+  return out;
+}
+
+std::string format_error_frame(const std::string& message) {
+  std::string out = head(FrameType::kError);
+  out += ",\"message\":\"";
+  core::append_json_escaped(&out, message);
+  out += "\"}";
+  return out;
+}
+
+Status validate_frame_order(const WireFrame& frame,
+                            const std::optional<std::size_t>& leased_index,
+                            int leased_attempt) {
+  if (frame.type != FrameType::kStart && frame.type != FrameType::kResult) {
+    return {};
+  }
+  if (!leased_index.has_value()) {
+    return invalid_input_error("out-of-order frame: ", row_of(frame.type).name,
+                               " for point ", frame.index,
+                               " with no lease outstanding");
+  }
+  if (frame.index != *leased_index || frame.attempt != leased_attempt) {
+    return invalid_input_error(
+        "out-of-order frame: ", row_of(frame.type).name, " for point ",
+        frame.index, " attempt ", frame.attempt, ", expected point ",
+        *leased_index, " attempt ", leased_attempt);
+  }
+  return {};
+}
+
+}  // namespace flexnets::sweep

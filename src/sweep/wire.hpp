@@ -1,0 +1,76 @@
+// Worker wire protocol for the sharded sweep orchestrator.
+//
+// The coordinator (sweep/coordinator.hpp) and its worker subprocesses
+// (sweep/worker.hpp) speak newline-delimited JSON frames over two pipes:
+// leases flow coordinator -> worker on the worker's fd 3, results flow
+// worker -> coordinator on the worker's fd 4. stdout stays free for the
+// host binary's human output (the coordinator redirects worker stdout to
+// /dev/null so N workers cannot interleave garbage into the parent's).
+//
+//   coordinator -> worker:
+//     {"type":"lease","index":I,"attempt":K}   compute point I (K-th try)
+//     {"type":"shutdown"}                      drain and exit 0
+//   worker -> coordinator:
+//     {"type":"ready"}                         protocol loop entered
+//     {"type":"start","index":I,"attempt":K}   point I begun (heartbeat)
+//     {"type":"result","index":I,"attempt":K,"record":"<json>"}
+//                                              finished; `record` is the
+//                                              point's JournalRecord line
+//                                              (core/journal.hpp), escaped
+//                                              as a JSON string
+//     {"type":"error","message":"..."}         protocol failure; worker
+//                                              exits right after
+//
+// Every parse failure is a structured kInvalidInput naming what broke —
+// never a crash — because frames cross a process boundary and a dying
+// worker can truncate one mid-byte (tests/corrupt_inputs/*.frames).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/journal.hpp"
+
+namespace flexnets::sweep {
+
+// The fds a spawned worker finds its pipes on (dup2'ed by the supervisor
+// before exec, chosen to leave stdin/stdout/stderr alone).
+inline constexpr int kWorkerLeaseFd = 3;
+inline constexpr int kWorkerResultFd = 4;
+
+enum class FrameType { kLease, kShutdown, kReady, kStart, kResult, kError };
+
+struct WireFrame {
+  FrameType type = FrameType::kShutdown;
+  std::size_t index = 0;   // lease/start/result
+  int attempt = 0;         // lease/start/result
+  std::string record;      // result: embedded JournalRecord JSON line
+  std::string message;     // error
+
+  bool operator==(const WireFrame&) const = default;
+};
+
+// Strict parser for one frame line: required fields per type, unknown
+// fields and trailing bytes rejected. kInvalidInput on any malformation.
+StatusOr<WireFrame> parse_wire_frame(const std::string& line);
+
+// Formatters (no trailing newline; the writers append it).
+std::string format_lease_frame(std::size_t index, int attempt);
+std::string format_shutdown_frame();
+std::string format_ready_frame();
+std::string format_start_frame(std::size_t index, int attempt);
+std::string format_result_frame(std::size_t index, int attempt,
+                                const core::JournalRecord& rec);
+std::string format_error_frame(const std::string& message);
+
+// Protocol-order validation shared by both endpoints: a start/result
+// frame must name the peer's single outstanding lease (index AND attempt)
+// — a frame for any other point is out of order, e.g. a stale result from
+// a worker that was already rescheduled. kInvalidInput when violated.
+Status validate_frame_order(const WireFrame& frame,
+                            const std::optional<std::size_t>& leased_index,
+                            int leased_attempt);
+
+}  // namespace flexnets::sweep

@@ -33,6 +33,28 @@ int strandify(int strand) { return strand; }
 int uptime_ms(int runtime_ms) { return runtime_ms; }
 int threadbare(int thread_count) { return thread_count; }
 
+// process-api decoys: method calls on supervisor-style wrappers, other
+// namespaces' wrappers, and identifier substrings must not fire.
+struct FakeSupervisor {
+  void kill(int) {}
+  int fork() { return 0; }
+  void raise(int) {}
+};
+namespace procwrap {
+inline void kill(int, int) {}
+}  // namespace procwrap
+int killall_count(int killall) { return killall; }  // substring decoy
+int forklift(int pitchfork) { return pitchfork; }   // substring decoy
+void supervised(FakeSupervisor* sup) {
+  FakeSupervisor local;
+  local.kill(1);                   // method, not libc: fine
+  (void)sup->fork();               // method, not libc: fine
+  procwrap::kill(1, 9);            // namespaced wrapper: fine
+  // fork(); execv("x", nullptr); waitpid(0, nullptr, 0);  (comment decoy)
+  const char* banner = "never call fork() or kill(pid, 9) directly";
+  (void)banner;
+}
+
 void clean() {
   std::vector<int> ordered = {3, 1, 2};
   for (int x : ordered) {          // ordered container: fine

@@ -1,4 +1,4 @@
-// Firing fixture for the seven ported rules: each annotated line must
+// Firing fixture for the ported rules: each annotated line must
 // produce exactly the named finding under --self-test. This file is never
 // compiled; it only has to lex.
 #include <cstdlib>
@@ -6,6 +6,7 @@
 #include <queue>
 #include <random>
 #include <thread>
+#include <unistd.h>
 #include <unordered_map>
 
 void fire_everything() {
@@ -27,5 +28,12 @@ void fire_everything() {
   worker.join();
   std::priority_queue<int> frontier;       // EXPECT-LINT: priority-queue
   frontier.push(static_cast<int>(seed_source()));
+  const int pid = fork();                  // EXPECT-LINT: process-api
+  char* const argv[] = {nullptr};
+  execvp("ls", argv);                      // EXPECT-LINT: process-api
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);               // EXPECT-LINT: process-api
+  ::kill(pid, 9);                          // EXPECT-LINT: process-api
+  std::system("true");                     // EXPECT-LINT: process-api
   exit(1);                                 // EXPECT-LINT: hard-exit
 }

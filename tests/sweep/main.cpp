@@ -1,0 +1,24 @@
+// Custom gtest main: the sweep e2e tests spawn THIS binary as their
+// worker subprocesses, so --sweep-worker=swt must short-circuit gtest and
+// serve the synthetic grid over fds 3/4 (sweep/wire.hpp). Checked before
+// InitGoogleTest so gtest never sees (and rejects) the flag.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sweep/worker.hpp"
+#include "test_grid.hpp"
+
+int main(int argc, char** argv) {
+  std::string grid;
+  if (flexnets::sweep::worker_grid_flag(argc, argv, &grid)) {
+    if (grid != flexnets::sweep::testgrid::kPrefix) return 2;
+    flexnets::sweep::WorkerOptions opts;
+    opts.num_points = flexnets::sweep::testgrid::kPoints;
+    opts.key_prefix = flexnets::sweep::testgrid::kPrefix;
+    opts.fn = [](std::size_t i) { return flexnets::sweep::testgrid::point(i); };
+    return flexnets::sweep::run_worker(opts);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,37 @@
+// Synthetic sweep grid shared by the sweep test binary's worker mode
+// (main.cpp) and the e2e tests that spawn it. Point i's record depends
+// only on i — the same determinism contract real grids satisfy — so the
+// coordinator's merged output is comparable field-for-field against a
+// serial loop regardless of worker count or kill schedule.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/journal.hpp"
+
+namespace flexnets::sweep::testgrid {
+
+inline constexpr std::size_t kPoints = 32;
+inline constexpr char kPrefix[] = "swt";
+
+inline core::JournalRecord point(std::size_t i) {
+  const std::string key = std::string(kPrefix) + "/" + std::to_string(i);
+  // FLEXNETS_TEST_INVALID_AT=<i>: that point reports a non-retryable
+  // kInvalidInput — the policy test that such verdicts are final on the
+  // first attempt (no retry, no quarantine).
+  if (const char* s = std::getenv("FLEXNETS_TEST_INVALID_AT");
+      s != nullptr && *s != '\0' &&
+      std::strtoull(s, nullptr, 10) == static_cast<unsigned long long>(i)) {
+    return {key, StatusCode::kInvalidInput, "synthetic bad point", {}};
+  }
+  const std::uint64_t h = hash_words(1234567, i);
+  return {key,
+          StatusCode::kOk,
+          "",
+          {{"v", static_cast<double>(h % 100000) / 7.0},
+           {"w", static_cast<double>(i)}}};
+}
+
+}  // namespace flexnets::sweep::testgrid

@@ -1,0 +1,152 @@
+// LeaseTable state-machine unit tests: lease ordering, the retry/backoff
+// schedule, quarantine, and the release-without-verdict path. The table
+// is clock-free (timestamps are parameters), so every transition is
+// exercised deterministically.
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "sweep/lease_table.hpp"
+
+namespace flexnets::sweep {
+namespace {
+
+TEST(LeaseTable, AcquiresLowestPendingIndexFirst) {
+  LeaseTable t(3, /*max_attempts=*/3, /*backoff_base_ms=*/50);
+  const auto a = t.acquire(0);
+  const auto b = t.acquire(0);
+  const auto c = t.acquire(0);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->index, 0u);
+  EXPECT_EQ(b->index, 1u);
+  EXPECT_EQ(c->index, 2u);
+  EXPECT_EQ(a->attempt, 1);
+  // Everything is leased: nothing left to acquire.
+  EXPECT_FALSE(t.acquire(0).has_value());
+  EXPECT_FALSE(t.all_settled());
+}
+
+TEST(LeaseTable, OkSettleIsDone) {
+  LeaseTable t(2, 3, 50);
+  ASSERT_TRUE(t.acquire(0));
+  EXPECT_EQ(t.settle(0, StatusCode::kOk, 0), PointState::kDone);
+  EXPECT_EQ(t.state(0), PointState::kDone);
+  EXPECT_EQ(t.done(), 1u);
+  EXPECT_FALSE(t.all_settled());
+  ASSERT_TRUE(t.acquire(0));
+  EXPECT_EQ(t.settle(1, StatusCode::kOk, 0), PointState::kDone);
+  EXPECT_TRUE(t.all_settled());
+  EXPECT_EQ(t.retries(), 0u);
+}
+
+TEST(LeaseTable, RetryableFailureRequeuesWithExponentialBackoff) {
+  LeaseTable t(1, /*max_attempts=*/4, /*backoff_base_ms=*/50);
+  ASSERT_TRUE(t.acquire(0));
+  // First failure at t=100: ready again at 100 + 50ms (first retry).
+  EXPECT_EQ(t.settle(0, StatusCode::kInternal, 100), PointState::kPending);
+  EXPECT_FALSE(t.acquire(100).has_value());
+  EXPECT_FALSE(t.acquire(149).has_value());
+  const auto ready = t.next_ready_ms(100);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(*ready, 150);
+  auto l = t.acquire(150);
+  ASSERT_TRUE(l);
+  EXPECT_EQ(l->attempt, 2);
+  EXPECT_EQ(t.retries(), 1u);
+  // Second failure: the backoff doubles (100ms).
+  EXPECT_EQ(t.settle(0, StatusCode::kInternal, 200), PointState::kPending);
+  EXPECT_FALSE(t.acquire(299).has_value());
+  l = t.acquire(300);
+  ASSERT_TRUE(l);
+  EXPECT_EQ(l->attempt, 3);
+}
+
+TEST(LeaseTable, QuarantinesAfterMaxAttempts) {
+  LeaseTable t(2, /*max_attempts=*/3, /*backoff_base_ms=*/0);
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const auto l = t.acquire(0);
+    ASSERT_TRUE(l);
+    EXPECT_EQ(l->index, 0u);
+    EXPECT_EQ(l->attempt, attempt);
+    const auto state = t.settle(0, StatusCode::kInternal, 0);
+    EXPECT_EQ(state, attempt < 3 ? PointState::kPending
+                                 : PointState::kQuarantined);
+    // Point 1 is untouched by point 0's failures.
+    EXPECT_EQ(t.state(1), PointState::kPending);
+  }
+  EXPECT_EQ(t.quarantined(), 1u);
+  EXPECT_EQ(t.attempts(0), 3);
+  // The quarantined point is out of the lease pool for good.
+  const auto l = t.acquire(0);
+  ASSERT_TRUE(l);
+  EXPECT_EQ(l->index, 1u);
+  EXPECT_EQ(t.settle(1, StatusCode::kOk, 0), PointState::kDone);
+  EXPECT_TRUE(t.all_settled());
+}
+
+TEST(LeaseTable, NonRetryableVerdictIsFinalOnFirstAttempt) {
+  LeaseTable t(1, 3, 50);
+  ASSERT_TRUE(t.acquire(0));
+  // kInvalidInput and kBudgetExhausted are data, not flakiness: recorded
+  // as done immediately, never retried, never quarantined.
+  EXPECT_EQ(t.settle(0, StatusCode::kInvalidInput, 0), PointState::kDone);
+  EXPECT_EQ(t.quarantined(), 0u);
+  EXPECT_EQ(t.retries(), 0u);
+  EXPECT_TRUE(t.all_settled());
+}
+
+TEST(LeaseTable, ReleaseReturnsPointWithoutBurningTheAttempt) {
+  LeaseTable t(1, /*max_attempts=*/1, 50);
+  auto l = t.acquire(0);
+  ASSERT_TRUE(l);
+  EXPECT_EQ(l->attempt, 1);
+  t.release(0);
+  EXPECT_EQ(t.state(0), PointState::kPending);
+  // Immediately re-leasable, still attempt 1 — with max_attempts=1 a
+  // burned attempt would have quarantined it instead.
+  l = t.acquire(0);
+  ASSERT_TRUE(l);
+  EXPECT_EQ(l->attempt, 1);
+  EXPECT_EQ(t.settle(0, StatusCode::kOk, 0), PointState::kDone);
+}
+
+TEST(LeaseTable, RestoredPointsAreDoneWithoutLeasing) {
+  LeaseTable t(3, 3, 50);
+  t.restore(0);
+  t.restore(2);
+  EXPECT_EQ(t.done(), 2u);
+  const auto l = t.acquire(0);
+  ASSERT_TRUE(l);
+  EXPECT_EQ(l->index, 1u);
+  EXPECT_EQ(t.settle(1, StatusCode::kOk, 0), PointState::kDone);
+  EXPECT_TRUE(t.all_settled());
+}
+
+TEST(LeaseTable, BackoffShiftIsCappedAt30s) {
+  LeaseTable t(1, /*max_attempts=*/40, /*backoff_base_ms=*/50);
+  std::int64_t now = 0;
+  for (int k = 0; k < 30; ++k) {
+    const auto ready = t.next_ready_ms(now);
+    if (ready.has_value()) now = *ready;
+    const auto l = t.acquire(now);
+    ASSERT_TRUE(l) << "attempt " << k;
+    t.settle(0, StatusCode::kInternal, now);
+    const auto next = t.next_ready_ms(now);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_LE(*next - now, 30000) << "backoff after attempt " << (k + 1);
+  }
+}
+
+TEST(LeaseTable, NextReadyIsNulloptWhenSomePointIsReadyNow) {
+  LeaseTable t(2, 3, 50);
+  // Both pending and ready: no wait needed.
+  EXPECT_FALSE(t.next_ready_ms(0).has_value());
+  ASSERT_TRUE(t.acquire(0));
+  // Point 1 still ready now.
+  EXPECT_FALSE(t.next_ready_ms(0).has_value());
+  ASSERT_TRUE(t.acquire(0));
+  // Everything leased: nothing pending, nothing to wait for.
+  EXPECT_FALSE(t.next_ready_ms(0).has_value());
+}
+
+}  // namespace
+}  // namespace flexnets::sweep

@@ -93,13 +93,81 @@ TEST(JournalFile, AppendLoadRoundTripAndLaterRecordWins) {
   }
   const auto records = load_journal(path);
   ASSERT_TRUE(records.ok()) << records.status().to_string();
-  ASSERT_EQ(records->size(), 3u);
-  const auto by_key = index_by_key(*records);
-  ASSERT_EQ(by_key.size(), 2u);
-  EXPECT_EQ(by_key.at("p/0").value("v"), 1.25);
-  EXPECT_EQ(by_key.at("p/1").value("v"), 3.5);
-  EXPECT_TRUE(by_key.at("p/1").ok());
+  // load_journal dedups repeated keys last-write-wins at the key's first
+  // appearance: the retried p/1 yields ONE record, the retry's, still in
+  // slot 1 so index order is stable.
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].key, "p/0");
+  EXPECT_EQ((*records)[0].value("v"), 1.25);
+  EXPECT_EQ((*records)[1].key, "p/1");
+  EXPECT_EQ((*records)[1].value("v"), 3.5);
+  EXPECT_TRUE((*records)[1].ok());
   std::remove(path.c_str());
+}
+
+TEST(JournalRecordTest, AttemptMetadataRoundTripsAndZeroIsOmitted) {
+  JournalRecord rec;
+  rec.key = "fig2/7";
+  rec.code = StatusCode::kInternal;
+  rec.message = "quarantined after 3 attempts";
+  rec.values = {{"v", 1.0}};
+  rec.attempt = 3;
+  const auto line = to_json_line(rec);
+  EXPECT_NE(line.find("\"attempt\":3"), std::string::npos);
+  const auto back = parse_json_line(line);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(rec, *back);
+
+  // attempt == 0 (single-shot) stays off the wire so pre-orchestrator
+  // journal lines are byte-identical.
+  rec.attempt = 0;
+  EXPECT_EQ(to_json_line(rec).find("\"attempt\""), std::string::npos);
+}
+
+TEST(JournalDedup, LastWriteWinsKeepsFirstAppearanceOrder) {
+  std::vector<JournalRecord> in;
+  in.push_back({"p/0", StatusCode::kInternal, "crashed", {}});
+  in.push_back({"p/1", StatusCode::kOk, "", {{"v", 1.0}}});
+  in.push_back({"p/0", StatusCode::kOk, "", {{"v", 2.0}}});  // the retry
+  in.push_back({"p/2", StatusCode::kOk, "", {{"v", 3.0}}});
+  const auto out = dedup_last_write_wins(std::move(in));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key, "p/0");
+  EXPECT_TRUE(out[0].ok());  // killed worker's record superseded
+  EXPECT_EQ(out[0].value("v"), 2.0);
+  EXPECT_EQ(out[1].key, "p/1");
+  EXPECT_EQ(out[2].key, "p/2");
+}
+
+TEST(JournalFile, MergeJournalsLaterPathWins) {
+  const auto a = temp_path("flexnets_journal_merge_a.jsonl");
+  const auto b = temp_path("flexnets_journal_merge_b.jsonl");
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(a).ok());
+    ASSERT_TRUE(j.append({"p/0", StatusCode::kOk, "", {{"v", 1.0}}}).ok());
+    ASSERT_TRUE(
+        j.append({"p/1", StatusCode::kInternal, "crashed", {}}).ok());
+  }
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(b).ok());
+    ASSERT_TRUE(j.append({"p/1", StatusCode::kOk, "", {{"v", 2.0}}}).ok());
+    ASSERT_TRUE(j.append({"p/2", StatusCode::kOk, "", {{"v", 3.0}}}).ok());
+  }
+  const auto merged = merge_journals({a, b});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  ASSERT_EQ(merged->size(), 3u);
+  EXPECT_EQ((*merged)[0].key, "p/0");
+  EXPECT_EQ((*merged)[1].key, "p/1");
+  EXPECT_TRUE((*merged)[1].ok());
+  EXPECT_EQ((*merged)[1].value("v"), 2.0);
+  EXPECT_EQ((*merged)[2].key, "p/2");
+
+  // Every path must load cleanly.
+  EXPECT_FALSE(merge_journals({a, "/nonexistent/j.jsonl"}).ok());
+  std::remove(a.c_str());
+  std::remove(b.c_str());
 }
 
 TEST(JournalFile, ToleratesKilledMidAppendTail) {

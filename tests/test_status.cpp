@@ -40,6 +40,23 @@ TEST(Status, CodeNamesRoundTrip) {
   EXPECT_FALSE(status_code_from_name("meteor-strike").has_value());
 }
 
+TEST(Status, RetryableIsExactlyInternal) {
+  // The sweep orchestrator's single retry predicate: kInternal (crash,
+  // OOM, poisoned worker) may succeed on a fresh process; every other
+  // code is a deterministic function of the input and must not retry.
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidInput,
+        StatusCode::kBudgetExhausted, StatusCode::kNonConverged,
+        StatusCode::kPartitioned, StatusCode::kInternal}) {
+    EXPECT_EQ(status_code_retryable(code), code == StatusCode::kInternal)
+        << status_code_name(code);
+  }
+  EXPECT_FALSE(Status().retryable());
+  EXPECT_FALSE(invalid_input_error("bad").retryable());
+  EXPECT_FALSE(budget_exhausted_error().retryable());
+  EXPECT_TRUE(internal_error("crash").retryable());
+}
+
 TEST(StatusOr, HoldsValue) {
   StatusOr<int> v = 42;
   ASSERT_TRUE(v.ok());

@@ -12,6 +12,8 @@
 //                             _SHARED_READONLY verification
 //   raw-rng, wall-clock, time-float-eq, unordered-iter, raw-thread,
 //   hard-exit, priority-queue ported determinism/containment rules
+//   process-api               raw fork/exec/waitpid/kill/... outside
+//                             src/sweep/process_supervisor.cpp
 //   unused-suppression        an allow() that suppressed nothing
 //
 // Exit codes: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO.

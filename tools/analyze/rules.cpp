@@ -40,6 +40,24 @@ const char* const kHardExitExempt[] = {"common/check.cpp",
 const char* const kPriorityQueueExempt[] = {
     "sim/event_queue.hpp", "sim/event_queue.cpp",
     "flow/solver_internals.hpp", "flow/solver_internals.cpp"};
+// The one file allowed to touch raw process APIs: everything else must
+// go through ProcessSupervisor so fd hygiene (O_CLOEXEC, dup2 re-homing),
+// PDEATHSIG, SIGPIPE handling, and reaping stay in a single audited place.
+const char* const kProcessApiExempt[] = {"sweep/process_supervisor.cpp"};
+
+// Raw process-control calls banned outside the supervisor.
+const char* const kProcessApiNames[] = {
+    "fork",   "vfork",       "execv", "execve", "execvp",      "execvpe",
+    "execl",  "execle",      "execlp", "posix_spawn", "posix_spawnp",
+    "waitpid", "wait3",      "wait4", "kill",   "killpg",      "raise",
+    "system", "popen",       "daemon"};
+
+bool is_process_api_name(const std::string& s) {
+  for (const char* name : kProcessApiNames) {
+    if (s == name) return true;
+  }
+  return false;
+}
 
 const char* rule_message(const std::string& rule) {
   if (rule == "raw-rng") {
@@ -64,6 +82,12 @@ const char* rule_message(const std::string& rule) {
            "work through ThreadPool / core::run_indexed (exception "
            "propagation, drain-on-destruction, deterministic indexed "
            "scheduling)";
+  }
+  if (rule == "process-api") {
+    return "raw process API (fork/exec/waitpid/kill/...) outside "
+           "sweep/process_supervisor.cpp; route subprocess work through "
+           "ProcessSupervisor so fd hygiene, PDEATHSIG, SIGPIPE, and "
+           "reaping stay in one audited place";
   }
   if (rule == "priority-queue") {
     return "std::priority_queue outside sim/event_queue and "
@@ -142,6 +166,8 @@ struct RulePass {
         file_exempt(f, kHardExitExempt, std::size(kHardExitExempt));
     const bool pq_ok = file_exempt(f, kPriorityQueueExempt,
                                    std::size(kPriorityQueueExempt));
+    const bool proc_ok =
+        file_exempt(f, kProcessApiExempt, std::size(kProcessApiExempt));
 
     auto emit = [&](std::size_t i, const char* rule) {
       rep.emit(f, t[i].line, rule, rule_message(rule));
@@ -251,6 +277,26 @@ struct RulePass {
         if (next(i) == "(" && p != "." && p != "->" &&
             (p != "::" || qualified_std)) {
           if (!exit_ok) emit(i, "hard-exit");
+        }
+      }
+
+      // --- process-api: free calls only. obj.kill() / x->fork() are
+      // methods of some wrapper and fine; `::kill` / `std::system` are
+      // exactly the raw calls being banned; `otherns::kill` is a wrapper.
+      // A preceding type-ish token (`void kill(int)`) marks a wrapper
+      // DECLARATION, not a call — `return`/`case` still read as calls.
+      if (is_process_api_name(x) && next(i) == "(") {
+        const std::string& p = prev(i);
+        const bool qualified_global_or_std =
+            p == "::" && (i < 2 || t[i - 2].text == "std" ||
+                          t[i - 2].kind != TokKind::kIdent);
+        const bool decl_like =
+            (i > 0 && t[i - 1].kind == TokKind::kIdent && p != "return" &&
+             p != "co_return" && p != "case" && p != "else" && p != "do") ||
+            p == "*" || p == "&" || p == ">";
+        if (p != "." && p != "->" && !decl_like &&
+            (p != "::" || qualified_global_or_std)) {
+          if (!proc_ok) emit(i, "process-api");
         }
       }
 

@@ -13,9 +13,15 @@
 #   4. resilience gate: bench_fig2 --journal is SIGKILLed mid-grid and
 #      resumed with --resume; the resumed "digest fig2:" line must be
 #      bit-identical to an uninterrupted run's
+#   4b. chaos gate: the sharded sweep service (src/sweep). bench_fig2
+#      --workers 4 with FLEXNETS_CRASH_AT worker crashes must still
+#      reproduce the serial digest; then the COORDINATOR is SIGKILLed
+#      mid-grid (workers must die with it via PDEATHSIG — no orphans)
+#      and --resume over the merged journal must again match bit for bit
 #   5. asan-ubsan preset: rebuild and rerun the full suite under
 #      AddressSanitizer + UndefinedBehaviorSanitizer (-Werror on), plus
-#      an explicit pass over the corrupt-input corpus
+#      an explicit pass over the corrupt-input corpus (topo files and
+#      wire-protocol .frames fuzz corpus)
 #   6. tsan preset: build the parallel determinism suite under
 #      ThreadSanitizer and run `ctest -L parallel` (thread pool contracts
 #      + parallel-vs-serial sweep bit-equality); any report is fatal
@@ -23,11 +29,12 @@
 #      invariant audits (event ordering, LP feasibility/conservation,
 #      routing-table sanity, repaired-routing liveness, determinism
 #      digests)
-#   8. perf smoke: bench_micro_flow/bench_micro_sim --json emit
-#      BENCH_MCF.json / BENCH_SIM.json and the schema is validated
-#      (required keys present, lambda finite). Timings are recorded,
-#      not gated — absolute ns/op depends on the machine; the committed
-#      JSON trajectory is what reviewers eyeball for regressions.
+#   8. perf smoke: bench_micro_flow/bench_micro_sim/bench_sweep --json
+#      emit BENCH_MCF.json / BENCH_SIM.json / BENCH_SWEEP.json and the
+#      schema is validated (required keys present, lambda finite).
+#      Timings are recorded, not gated — absolute ns/op depends on the
+#      machine; the committed JSON trajectory is what reviewers eyeball
+#      for regressions.
 #
 # clang-tidy is run only if installed; its absence is not a failure
 # (the container image ships gcc only — .clang-tidy is still the config
@@ -82,6 +89,21 @@ rm -f "$PROBE"
 "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
 echo "seeded violation rejected; clean tree passes"
 
+# Same teeth for the process-api rule: a raw fork() anywhere outside
+# src/sweep/process_supervisor.cpp must be fatal.
+step "analyze: seeded process-api violation must be fatal"
+PROC_PROBE="src/graph/__process_probe.cpp"
+trap 'rm -f "$REPO_ROOT/$PROC_PROBE"' EXIT
+printf '#include <unistd.h>\nint probe_pid() { return fork(); }\n' > "$PROC_PROBE"
+if "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null 2>&1; then
+  rm -f "$PROC_PROBE"
+  echo "analyze gate: seeded process-api violation was NOT rejected"
+  exit 1
+fi
+rm -f "$PROC_PROBE"
+"$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
+echo "seeded fork() rejected; clean tree passes"
+
 # Optional: under clang the FLEXNETS_* lock annotations expand to real
 # thread-safety attributes; verify the annotated TUs under
 # -Wthread-safety -Werror. clang's absence is not a failure (the
@@ -134,6 +156,58 @@ if [[ "$REF_DIGEST" != "$RES_DIGEST" ]]; then
 fi
 echo "resume digest matches uninterrupted run: $REF_DIGEST"
 
+# Chaos gate: the sharded orchestrator under fire. All three runs must
+# reproduce the uninterrupted serial digest captured above.
+step "chaos gate: sharded sweep with worker crashes + coordinator SIGKILL"
+# (a) clean sharded run: digest identical for any worker count.
+./build/bench/bench_fig2 --threads 2 --workers 4 > "$RES_DIR/sharded.out"
+SHARDED_DIGEST="$(grep -oE 'digest fig2: [0-9a-f]{16}' "$RES_DIR/sharded.out" | awk '{print $3}')"
+if [[ "$REF_DIGEST" != "$SHARDED_DIGEST" ]]; then
+  echo "chaos gate: sharded digest $SHARDED_DIGEST != serial $REF_DIGEST"
+  exit 1
+fi
+echo "workers=4 digest matches serial: $SHARDED_DIGEST"
+# (b) crash-injected workers: points 3 and 7 SIGKILL their worker on the
+# first attempt; the retry on a fresh worker must restore the digest.
+FLEXNETS_CRASH_AT=3,7 ./build/bench/bench_fig2 --threads 2 --workers 4 \
+  > "$RES_DIR/crashed.out"
+CRASH_DIGEST="$(grep -oE 'digest fig2: [0-9a-f]{16}' "$RES_DIR/crashed.out" | awk '{print $3}')"
+if [[ "$REF_DIGEST" != "$CRASH_DIGEST" ]]; then
+  echo "chaos gate: crash-injected digest $CRASH_DIGEST != serial $REF_DIGEST"
+  exit 1
+fi
+grep -q 'worker deaths' "$RES_DIR/crashed.out" || {
+  echo "chaos gate: sharded stats line missing from crash run"; exit 1; }
+echo "crash-injected workers recovered; digest matches: $CRASH_DIGEST"
+# (c) coordinator SIGKILL mid-grid: workers must die with it (PDEATHSIG,
+# no orphans) and --resume over the merged journal must complete the grid.
+./build/bench/bench_fig2 --threads 2 --workers 4 --journal "$RES_DIR/chaos.jsonl" \
+  --point-sleep-ms 400 > "$RES_DIR/chaos_killed.out" 2>&1 &
+CHAOS_PID=$!
+sleep 2
+kill -9 "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+sleep 1
+if pgrep -f 'bench_fig2.*sweep-worker' >/dev/null 2>&1; then
+  echo "chaos gate: orphaned workers survived the coordinator SIGKILL"
+  pkill -9 -f 'bench_fig2.*sweep-worker' || true
+  exit 1
+fi
+CHAOS_JOURNALED="$(wc -l < "$RES_DIR/chaos.jsonl")"
+if [[ "$CHAOS_JOURNALED" -lt 1 || "$CHAOS_JOURNALED" -ge 28 ]]; then
+  echo "chaos gate: SIGKILL missed the grid ($CHAOS_JOURNALED/28 points journaled)"
+  exit 1
+fi
+echo "coordinator killed with $CHAOS_JOURNALED/28 points journaled; no orphans; resuming"
+./build/bench/bench_fig2 --threads 2 --workers 4 --resume "$RES_DIR/chaos.jsonl" \
+  > "$RES_DIR/chaos_resumed.out"
+CHAOS_DIGEST="$(grep -oE 'digest fig2: [0-9a-f]{16}' "$RES_DIR/chaos_resumed.out" | awk '{print $3}')"
+if [[ "$REF_DIGEST" != "$CHAOS_DIGEST" ]]; then
+  echo "chaos gate: resumed sharded digest $CHAOS_DIGEST != serial $REF_DIGEST"
+  exit 1
+fi
+echo "sharded resume digest matches uninterrupted serial run: $CHAOS_DIGEST"
+
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (config: .clang-tidy)"
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -150,9 +224,10 @@ if [[ "$FAST" -eq 0 ]]; then
   ctest --preset asan-ubsan -j "$JOBS" --output-on-failure
 
   # Explicit pass over the corrupt-input corpus under the sanitizers: every
-  # malformed file must yield a structured kInvalidInput, never a trap.
-  step "asan-ubsan: corrupt-input corpus"
-  ctest --preset asan-ubsan -R 'CorruptInputs' --output-on-failure
+  # malformed file (topo inputs AND wire-protocol .frames fuzz corpus)
+  # must yield a structured kInvalidInput, never a trap.
+  step "asan-ubsan: corrupt-input corpus (topo + wire frames)"
+  ctest --preset asan-ubsan -R 'CorruptInputs|FramesCorpus' --output-on-failure
 fi
 
 # Required gate: the parallel determinism suite must be race-free. Only
@@ -169,6 +244,7 @@ FLEXNETS_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 step "perf smoke: micro benches --json (schema check, timings not gated)"
 ./build/bench/bench_micro_flow --json BENCH_MCF.json
 ./build/bench/bench_micro_sim --json BENCH_SIM.json
+./build/bench/bench_sweep --json BENCH_SWEEP.json
 python3 - <<'PY'
 import json
 import math
@@ -178,7 +254,8 @@ def require(cond, what):
     if not cond:
         sys.exit(f"perf smoke: {what}")
 
-for path, needs_lambda in (("BENCH_MCF.json", True), ("BENCH_SIM.json", False)):
+for path, needs_lambda in (("BENCH_MCF.json", True), ("BENCH_SIM.json", False),
+                           ("BENCH_SWEEP.json", False)):
     with open(path) as f:
         doc = json.load(f)
     require(doc.get("schema_version") == 1, f"{path}: bad schema_version")

@@ -47,6 +47,10 @@ double Args::get_double(const std::string& key, double def) const {
   return s.empty() ? def : std::strtod(s.c_str(), nullptr);
 }
 
+std::vector<std::pair<std::string, std::string>> Args::items() const {
+  return {kv_.begin(), kv_.end()};
+}
+
 std::vector<std::string> Args::unused() const {
   std::vector<std::string> out;
   for (const auto& [k, v] : kv_) {

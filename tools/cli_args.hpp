@@ -27,6 +27,12 @@ class Args {
   // Flags consulted via the getters; anything else is a user typo.
   [[nodiscard]] std::vector<std::string> unused() const;
 
+  // Every parsed flag as (key, value) pairs — value empty for bare
+  // flags. Lets the sweep coordinator rebuild a worker's argv from its
+  // own arguments. Does not mark anything used.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items()
+      const;
+
  private:
   std::map<std::string, std::string> kv_;
   mutable std::set<std::string> used_;

@@ -2,10 +2,14 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli_commands.hpp"
 #include "core/fluid_runner.hpp"
 #include "core/journal.hpp"
+#include "flow/throughput.hpp"
+#include "sweep/coordinator.hpp"
+#include "sweep/worker.hpp"
 
 namespace flexnets::cli {
 
@@ -69,6 +73,34 @@ int cmd_fluid(const Args& args) {
     return 1;
   }
 
+  // Sharding (src/sweep): --workers N runs the sweep across N worker
+  // subprocesses; --sweep-worker=fluid (internal) is this binary re-exec'ed
+  // as one of those workers, serving leases over fds 3/4 until shutdown.
+  const int workers = static_cast<int>(args.get_int("workers", 0));
+  const int max_attempts = static_cast<int>(args.get_int("max-attempts", 3));
+  if (workers < 0 || max_attempts < 1) {
+    std::fprintf(stderr,
+                 "error: --workers wants >= 0 and --max-attempts >= 1\n");
+    return 1;
+  }
+  const auto worker_grid = args.get("sweep-worker", "");
+  if (!worker_grid.empty()) {
+    if (worker_grid != "fluid") {
+      std::fprintf(stderr, "error: unknown --sweep-worker grid '%s'\n",
+                   worker_grid.c_str());
+      return 2;
+    }
+    const auto cache = flow::build_throughput_cache(*t);
+    sweep::WorkerOptions wopts;
+    wopts.num_points = opts.fractions.size();
+    wopts.key_prefix = "fluid";
+    wopts.fn = [&](std::size_t i) {
+      return core::to_journal_record(
+          "fluid", i, core::fluid_sweep_point(*t, cache, opts, i));
+    };
+    return sweep::run_worker(wopts);
+  }
+
   // --journal <path>: append each finished point durably; --resume <path>:
   // skip points already journaled there (and keep appending to it).
   core::Journal journal;
@@ -95,12 +127,47 @@ int cmd_fluid(const Args& args) {
     }
   }
 
-  core::ResilientSweepOptions ropts;
-  ropts.sweep = opts;
-  ropts.journal = &journal;
-  ropts.completed = &completed;
-  ropts.key_prefix = "fluid";
-  const auto records = core::fluid_sweep_resilient(*t, ropts);
+  std::vector<core::FluidPointRecord> records;
+  if (workers > 1) {
+    sweep::ShardedOptions sopts;
+    sopts.exec_path = "/proc/self/exe";
+    sopts.args.push_back("fluid");
+    for (const auto& [k, v] : args.items()) {
+      if (k == "workers" || k == "max-attempts" || k == "journal" ||
+          k == "resume" || k == "sweep-worker") {
+        continue;  // coordinator-only flags must not reach the worker
+      }
+      sopts.args.push_back(v.empty() ? "--" + k : "--" + k + "=" + v);
+    }
+    sopts.args.push_back("--sweep-worker=fluid");
+    sopts.workers = workers;
+    sopts.max_attempts = max_attempts;
+    sopts.journal = &journal;
+    sopts.completed = &completed;
+    sopts.key_prefix = "fluid";
+    auto sharded = sweep::run_sharded(opts.fractions.size(), sopts);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "error: sharded sweep failed: %s\n",
+                   sharded.status().to_string().c_str());
+      return 1;
+    }
+    std::printf(
+        "sharded fluid: %d workers | %zu computed, %zu restored, %zu "
+        "retries, %zu quarantined, %zu worker deaths\n",
+        workers, sharded->computed, sharded->restored, sharded->retries,
+        sharded->quarantined, sharded->worker_deaths);
+    records.reserve(sharded->records.size());
+    for (const auto& rec : sharded->records) {
+      records.push_back(core::from_journal_record(rec));
+    }
+  } else {
+    core::ResilientSweepOptions ropts;
+    ropts.sweep = opts;
+    ropts.journal = &journal;
+    ropts.completed = &completed;
+    ropts.key_prefix = "fluid";
+    records = core::fluid_sweep_resilient(*t, ropts);
+  }
 
   std::printf("topology: %s | TM: %s | eps: %.3f\n", t->name.c_str(),
               tm.c_str(), opts.eps);

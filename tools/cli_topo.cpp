@@ -46,6 +46,13 @@ void print_usage() {
       "  --threads=N               sweep workers (0 = FLEXNETS_THREADS or\n"
       "                            hardware concurrency; same-seed results\n"
       "                            are identical for every N)\n"
+      "  --journal=FILE            append each finished point durably\n"
+      "  --resume=FILE             skip points already journaled in FILE\n"
+      "  --workers=N               shard the sweep over N worker\n"
+      "                            subprocesses (crash-isolated; digest is\n"
+      "                            identical for every N)\n"
+      "  --max-attempts=N          retries before a crashy point is\n"
+      "                            quarantined (default 3)\n"
       "\n"
       "sim command:\n"
       "  --engine=packet|flow     packet-level DCTCP or flow-level max-min\n"
