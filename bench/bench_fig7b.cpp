@@ -11,9 +11,16 @@
 
 using namespace flexnets;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Fig 7(b)",
                 "two adjacent racks: ECMP's single path vs VLB's diversity");
+
+  // --threads N > 1 runs each point on the parallel packet engine
+  // (sim/pdes/) -- identical numbers, less wall clock. Absent means the
+  // historical serial engine.
+  const int flag = bench::parse_threads(argc, argv);
+  const int threads = flag == 0 ? 1 : flag;
+  if (threads > 1) std::printf("packet engine: pdes, %d threads\n", threads);
 
   const bool full = core::repro_full();
   auto topos = bench::section64_topologies(full);
@@ -28,11 +35,12 @@ int main() {
       workload::two_rack_pairs(topos.fat_tree.topo, 0, 1, per_rack);
   const auto sizes = workload::pfabric_web_search();
 
-  const std::vector<bench::Scenario> scenarios{
+  std::vector<bench::Scenario> scenarios{
       {"fat-tree", &topos.fat_tree.topo, routing::RoutingMode::kEcmp},
       {"xpander-ECMP", &topos.xpander, routing::RoutingMode::kEcmp},
       {"xpander-VLB", &topos.xpander, routing::RoutingMode::kVlb},
   };
+  for (auto& s : scenarios) s.threads = threads;
 
   // Aggregate flow-starts per second over the active servers. The direct
   // 10G link saturates around lambda * meansize * 8 = 10G -> ~530/s.

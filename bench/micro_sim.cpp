@@ -9,8 +9,12 @@
 
 #include <cstdio>
 
+#include <string>
+#include <vector>
+
 #include "core/experiment.hpp"
 #include "perf_json.hpp"
+#include "util.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link.hpp"
 #include "sim/network.hpp"
@@ -58,9 +62,11 @@ void BM_LinkTransmitCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkTransmitCycle);
 
-core::PacketResult run_e2e_packet_sim() {
+core::PacketResult run_e2e_packet_sim(int threads) {
   // A small Xpander under moderate uniform load (shared with the
-  // benchmark-mode case below).
+  // benchmark-mode case below). threads = 1 runs the serial engine;
+  // > 1 the conservative PDES engine (sim/pdes/) -- same results either
+  // way, so the cases differ only in wall clock.
   const auto x = topo::xpander(4, 6, 3, 1);  // 30 switches, 90 servers
   const auto pairs = workload::all_to_all_pairs(x.topo, x.topo.tors());
   const auto sizes = workload::pfabric_web_search();
@@ -70,25 +76,33 @@ core::PacketResult run_e2e_packet_sim() {
   opts.window_end = 6 * kMillisecond;
   opts.arrival_tail = 2 * kMillisecond;
   opts.net.routing.mode = routing::RoutingMode::kHyb;
+  opts.threads = threads;
   return core::run_packet_experiment(x.topo, *pairs, *sizes, opts);
 }
 
 void BM_EndToEndPacketSim(benchmark::State& state) {
-  // Reports simulator events per second.
+  // Reports simulator events per second; the arg is the engine's thread
+  // count (1 = serial).
+  const int threads = static_cast<int>(state.range(0));
   std::int64_t events = 0;
   for (auto _ : state) {
-    const auto r = run_e2e_packet_sim();
+    const auto r = run_e2e_packet_sim(threads);
     events += static_cast<std::int64_t>(r.events);
   }
   state.SetItemsProcessed(events);
   state.SetLabel("items = simulator events");
 }
-BENCHMARK(BM_EndToEndPacketSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndPacketSim)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // --json mode: pinned cases for the recorded trajectory.
 
-int run_json_mode(const std::string& path) {
+int run_json_mode(const std::string& path, int extra_threads) {
   std::vector<bench::PerfCase> cases;
 
   {
@@ -115,14 +129,22 @@ int run_json_mode(const std::string& path) {
     cases.push_back(c);
   }
 
-  {
+  // End-to-end cases: the serial engine plus the parallel (sim/pdes/)
+  // engine at the pinned thread counts -- or at an explicit `--threads N`.
+  // Every case dispatches the identical event stream (the engines are
+  // bit-equal), so ns/event is directly comparable across them.
+  std::vector<int> thread_cases{1, 2, 4};
+  if (extra_threads > 1) thread_cases.push_back(extra_threads);
+  for (const int threads : thread_cases) {
     std::uint64_t events = 0;
     const double ns = bench::time_median_ns(3, [&] {
-      const auto r = run_e2e_packet_sim();
+      const auto r = run_e2e_packet_sim(threads);
       events = r.events;
     });
     bench::PerfCase c;
-    c.name = "e2e_packet_sim_xpander30";
+    c.name = threads == 1 ? "e2e_packet_sim_xpander30"
+                          : "e2e_packet_sim_xpander30_t" +
+                                std::to_string(threads);
     c.add("ns_per_op", ns / static_cast<double>(events));
     c.add("events", static_cast<double>(events));
     std::printf("  %-32s %8.1f ns/event (%llu events)\n", c.name.c_str(),
@@ -139,7 +161,10 @@ int run_json_mode(const std::string& path) {
 int main(int argc, char** argv) {
   std::string path;
   if (bench::parse_json_flag(argc, argv, "BENCH_SIM.json", &path)) {
-    return run_json_mode(path);
+    // `--json --threads N` appends an e2e case at N workers on top of
+    // the pinned {1, 2, 4}. (Benchmark mode covers the same grid via the
+    // BM_EndToEndPacketSim threads arg instead of a flag.)
+    return run_json_mode(path, bench::parse_threads(argc, argv));
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

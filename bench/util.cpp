@@ -393,6 +393,7 @@ core::PacketResult run_point(const Scenario& s,
   opts.net.routing.mode = s.mode;
   opts.net.server_link.rate = s.server_rate;
   opts.seed = seed;
+  opts.threads = s.threads;
   return core::run_packet_experiment(*s.topo, pairs, sizes, opts);
 }
 

@@ -158,6 +158,10 @@ struct Scenario {
   const topo::Topology* topo = nullptr;
   routing::RoutingMode mode = routing::RoutingMode::kEcmp;
   RateBps server_rate = 10 * kGbps;  // raise to model "no server bottleneck"
+  // Packet-engine workers: 1 = serial, > 1 = the conservative PDES engine
+  // (sim/pdes/), which reproduces the serial results bit for bit -- this
+  // is purely a wall-clock knob.
+  int threads = 1;
 };
 
 // Measurement window used by the packet benches. The paper measures flows

@@ -94,6 +94,11 @@ bool ThreadPool::on_worker_thread() noexcept {
 
 ThreadPool* ThreadPool::current() noexcept { return tls_current_pool; }
 
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  return ThreadPool::default_threads();
+}
+
 int ThreadPool::default_threads() {
   if (const char* env = std::getenv("FLEXNETS_THREADS")) {
     const int n = std::atoi(env);

@@ -39,6 +39,13 @@
 
 namespace flexnets {
 
+// Worker count actually used for a request: an explicit requested > 0
+// wins, then FLEXNETS_THREADS from the environment, then
+// std::thread::hardware_concurrency(). Always >= 1. (core::resolve_threads
+// forwards here; the implementation lives in common so the engine layers
+// below core -- e.g. sim/pdes -- can resolve thread counts too.)
+[[nodiscard]] int resolve_threads(int requested = 0);
+
 class ThreadPool {
  public:
   // Spawns num_threads workers (clamped to >= 1). A 1-worker pool still

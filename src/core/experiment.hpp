@@ -39,6 +39,13 @@ struct PacketSimOptions {
   std::uint64_t max_events = 0;
   sim::NetworkConfig net;
   std::uint64_t seed = 1;
+  // Worker threads for the packet engine. 1 (the default) runs the serial
+  // simulator; > 1 runs the conservative parallel engine (sim/pdes/),
+  // which reproduces the serial event order -- and therefore the serial
+  // metrics and digest -- bit for bit. 0 resolves from FLEXNETS_THREADS /
+  // the hardware. Incompatible with max_events (the budget is a property
+  // of the serial loop).
+  int threads = 1;
 };
 
 struct PacketResult {

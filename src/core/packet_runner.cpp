@@ -1,6 +1,9 @@
 #include <cmath>
 
+#include "common/check.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel.hpp"
+#include "sim/pdes/runner.hpp"
 
 namespace flexnets::core {
 
@@ -17,36 +20,49 @@ PacketResult run_packet_experiment(const topo::Topology& topo,
                                               num_flows, opts.seed);
 
   sim::PacketNetwork net(topo, opts.net);
-  net.simulator().set_event_budget(opts.max_events);
-  net.run(flows, opts.hard_stop);
 
   PacketResult result;
-  result.truncated = net.simulator().budget_exhausted();
-  if (result.truncated) {
-    result.status = budget_exhausted_error(
-        "packet simulation truncated after ",
-        net.simulator().events_processed(), " events (budget ",
-        opts.max_events, "); metrics cover the completed prefix");
+  const int threads = resolve_threads(opts.threads);
+  const bool parallel = threads > 1;
+  if (parallel) {
+    FLEXNETS_CHECK(opts.max_events == 0,
+                   "event budgets require the serial engine (threads = 1)");
+    sim::pdes::RunnerConfig pcfg;
+    pcfg.threads = threads;
+    const auto stats = sim::pdes::run_parallel(net, flows, pcfg,
+                                               opts.hard_stop);
+    result.events = stats.events;
+  } else {
+    net.simulator().set_event_budget(opts.max_events);
+    net.run(flows, opts.hard_stop);
+    result.truncated = net.simulator().budget_exhausted();
+    if (result.truncated) {
+      result.status = budget_exhausted_error(
+          "packet simulation truncated after ",
+          net.simulator().events_processed(), " events (budget ",
+          opts.max_events, "); metrics cover the completed prefix");
+    }
+    result.events = net.simulator().events_processed();
   }
   result.flows_total = flows.size();
   std::vector<metrics::FlowRecord> records;
   records.reserve(flows.size());
-  for (std::size_t i = 0; i < net.engine().num_flows(); ++i) {
+  // Flows are pre-opened in spec order (flow id == spec index). A flow
+  // whose start event lies beyond hard_stop (or a budget truncation)
+  // never started: report its scheduled arrival and count it incomplete
+  // rather than silently dropping it from the summary.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
     const auto& f = net.engine().flow(static_cast<std::int32_t>(i));
-    records.push_back({f.start_time, f.completion_time, f.size});
-  }
-  // Flows whose arrival lies beyond hard_stop never started; count them as
-  // incomplete rather than silently dropping them from the summary. (The
-  // engine opens flows in arrival order, so the started prefix lines up
-  // with the spec list.)
-  for (std::size_t i = net.engine().num_flows(); i < flows.size(); ++i) {
-    records.push_back({flows[i].start, -1, flows[i].size});
+    if (f.start_time >= 0) {
+      records.push_back({f.start_time, f.completion_time, f.size});
+    } else {
+      records.push_back({flows[i].start, -1, flows[i].size});
+    }
   }
   result.fct = metrics::summarize(records, opts.window_begin, opts.window_end,
                                   workload::kShortFlowThreshold);
   result.drops = net.total_drops();
   result.ecn_marks = net.total_ecn_marks();
-  result.events = net.simulator().events_processed();
   return result;
 }
 

@@ -8,8 +8,7 @@
 namespace flexnets::core {
 
 int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  return ThreadPool::default_threads();
+  return flexnets::resolve_threads(requested);  // impl: common/thread_pool
 }
 
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,

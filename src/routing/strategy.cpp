@@ -11,17 +11,23 @@ SourceRouter::SourceRouter(SourceRouteConfig cfg,
                            std::uint64_t seed, KspTable* ksp)
     : cfg_(cfg),
       via_candidates_(std::move(via_candidates)),
-      rng_(splitmix64(seed ^ 0x50a7e2ULL)),
+      salt_(splitmix64(seed ^ 0x50a7e2ULL)),
       ksp_(ksp) {
   FLEXNETS_CHECK(cfg_.mode != RoutingMode::kKsp || ksp_ != nullptr,
                  "KSP mode requires a KspTable");
 }
 
-NodeId SourceRouter::pick_via(const FlowRouteState& st) {
+NodeId SourceRouter::pick_via(const FlowRouteState& st, const Packet& pkt) {
   FLEXNETS_CHECK(via_candidates_.size() >= 3,
                  "VLB needs at least one ToR besides src and dst");
-  for (;;) {
-    const NodeId v = via_candidates_[rng_.next_u64(via_candidates_.size())];
+  // Rejection-sample from a per-(flow, flowlet) hash stream; the attempt
+  // counter advances the stream until the via avoids both endpoints.
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    const std::uint64_t h = hash_words(
+        salt_ ^ static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(pkt.flow_id)),
+        (std::uint64_t{st.flowlet} << 16) | attempt, 0x766961ULL);
+    const NodeId v = via_candidates_[h % via_candidates_.size()];
     if (v != st.src_tor && v != st.dst_tor) return v;
   }
 }
@@ -36,7 +42,11 @@ void SourceRouter::stamp_ksp_route(FlowRouteState& st, Packet& pkt,
     st.ksp_choice = std::min(st.pinned_ksp,
                              static_cast<int>(paths.size()) - 1);
   } else if (new_flowlet || st.ksp_choice < 0) {
-    st.ksp_choice = static_cast<int>(rng_.next_u64(paths.size()));
+    const std::uint64_t h = hash_words(
+        salt_ ^ static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(pkt.flow_id)),
+        st.flowlet, 0x6b7370ULL);
+    st.ksp_choice = static_cast<int>(h % paths.size());
   }
   const auto& path = paths[static_cast<std::size_t>(st.ksp_choice)];
   // path = [src_tor, ..., dst_tor]; stamp the hops after src_tor. Paths
@@ -71,7 +81,9 @@ void SourceRouter::prepare(FlowRouteState& st, Packet& pkt, TimeNs now) {
     // Re-pick the bounce point at flowlet boundaries (paper 6.3: "for each
     // new flow's flowlets, ECMP paths are chosen; for flowlets after the
     // Q-threshold, VLB is used").
-    if (new_flowlet || st.via == graph::kInvalidNode) st.via = pick_via(st);
+    if (new_flowlet || st.via == graph::kInvalidNode) {
+      st.via = pick_via(st, pkt);
+    }
   } else {
     st.via = graph::kInvalidNode;
     if (cfg_.mode == RoutingMode::kKsp) stamp_ksp_route(st, pkt, new_flowlet);

@@ -83,13 +83,18 @@ class SourceRouter {
   void set_ksp(KspTable* ksp) { ksp_ = ksp; }
 
  private:
-  [[nodiscard]] NodeId pick_via(const FlowRouteState& st);
+  [[nodiscard]] NodeId pick_via(const FlowRouteState& st, const Packet& pkt);
   void stamp_ksp_route(FlowRouteState& st, Packet& pkt,
                        bool new_flowlet);
 
   SourceRouteConfig cfg_;
   std::vector<NodeId> via_candidates_;
-  Rng rng_;
+  // Stateless choices: vias and KSP paths are pure hashes of
+  // (salt, flow, flowlet), never a shared RNG stream. This keeps path
+  // selection independent of the *order* flows happen to send in, which
+  // the parallel engine (sim/pdes/) requires -- concurrent logical
+  // processes reach prepare() in a nondeterministic real-time order.
+  std::uint64_t salt_;
   KspTable* ksp_;
 };
 

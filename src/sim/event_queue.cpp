@@ -22,18 +22,24 @@ Event EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Event e = std::move(heap_.back());
   heap_.pop_back();
-  // Audit: the pop stream must be totally ordered by (time, seq). A
-  // violation means heap corruption or a comparator bug -- either would
-  // silently reorder the simulation.
+  // Audit: the pop stream must be totally ordered by the stable key
+  // (time, depth, owner, oseq, seq). A violation means heap corruption or
+  // a comparator bug -- either would silently reorder the simulation.
   if (audit_enabled()) {
-    FLEXNETS_CHECK(
-        e.time > last_pop_time_ ||
-            (e.time == last_pop_time_ && e.seq > last_pop_seq_) ||
-            last_pop_seq_ == kNoPop,
-        "event queue popped out of order: time=", e.time, " seq=", e.seq,
-        " after time=", last_pop_time_, " seq=", last_pop_seq_);
-    last_pop_time_ = e.time;
-    last_pop_seq_ = e.seq;
+    Event prev;
+    prev.time = last_pop_.time;
+    prev.depth = last_pop_.depth;
+    prev.key = last_pop_.key;
+    prev.seq = last_pop_.seq;
+    FLEXNETS_CHECK(!popped_any_ || before(prev, e),
+                   "event queue popped out of order: time=", e.time,
+                   " depth=", e.depth, " owner=", e.key.owner,
+                   " oseq=", e.key.oseq, " seq=", e.seq,
+                   " after time=", last_pop_.time, " depth=", last_pop_.depth,
+                   " owner=", last_pop_.key.owner,
+                   " oseq=", last_pop_.key.oseq, " seq=", last_pop_.seq);
+    last_pop_ = {e.time, e.depth, e.key, e.seq};
+    popped_any_ = true;
   }
   return e;
 }

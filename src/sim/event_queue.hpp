@@ -1,6 +1,21 @@
-// Discrete-event queue: a binary heap of (time, insertion-sequence) ordered
-// events. The sequence number makes simultaneous events FIFO and the whole
-// simulation deterministic.
+// Discrete-event queue: a binary heap of events ordered by a *stable key*
+// (time, depth, owner, oseq) with the insertion sequence as a final
+// fallback. The stable key — unlike a bare insertion counter — is a
+// property of the event itself, independent of the order schedule() calls
+// happen to execute in, which is what lets the parallel engine
+// (sim/pdes/) reproduce the serial dispatch order bit for bit:
+//
+//  - depth: same-timestamp causal rank. Events scheduled for a strictly
+//    later time start at depth 0; an event scheduled *at the current
+//    time* from inside a handler gets (dispatching event's depth) + 1,
+//    so zero-delay cascades always sort after their cause.
+//  - owner: which simulation object emitted the event (a link, a flow's
+//    timer, or one of the root streams seeded before the run).
+//  - oseq:  the owner's private monotone counter, making keys unique.
+//
+// Events pushed without a key (tests, benchmarks) all carry the zero key
+// and fall through to the insertion sequence, i.e. the historical
+// (time, FIFO) order.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +35,35 @@ enum class EventType : std::uint8_t {
   kRepair,        // b = fault version; control plane reconverged
 };
 
+// The (owner, oseq) half of the stable key; see the header comment.
+struct EventKey {
+  std::uint64_t owner = 0;
+  std::uint64_t oseq = 0;
+};
+
+// Owner-id construction. The category lives above bit 40 so link ids,
+// flow ids, and the root streams can never collide.
+namespace owner {
+// Root streams: events seeded before the run (or by a fault). All three
+// use the stream id itself as the owner and disambiguate via oseq (spec
+// index, fault index, fault version respectively).
+inline constexpr std::uint64_t kFlowStartRoot = 0;
+inline constexpr std::uint64_t kFaultRoot = 1;
+inline constexpr std::uint64_t kRepairRoot = 2;
+
+[[nodiscard]] constexpr std::uint64_t link(std::int32_t link_id) {
+  return (std::uint64_t{1} << 40) | static_cast<std::uint32_t>(link_id);
+}
+[[nodiscard]] constexpr std::uint64_t flow_timer(std::int32_t flow_id) {
+  return (std::uint64_t{2} << 40) | static_cast<std::uint32_t>(flow_id);
+}
+}  // namespace owner
+
 struct Event {
   TimeNs time = 0;
-  std::uint64_t seq = 0;
+  std::uint64_t seq = 0;  // insertion sequence (assigned by push)
+  std::int32_t depth = 0;
+  EventKey key;
   EventType type = EventType::kFlowStart;
   std::int32_t a = 0;
   std::uint64_t b = 0;
@@ -44,24 +85,39 @@ class EventQueue {
   [[nodiscard]] const Event& top() const;
   Event pop();
 
+  // True when x dispatches strictly before y under the stable key
+  // (time, depth, owner, oseq) with the insertion seq as final fallback.
+  // Exposed so the parallel engine can merge per-LP streams in exactly
+  // the order the serial heap would have produced.
+  [[nodiscard]] static bool before(const Event& x, const Event& y) {
+    if (x.time != y.time) return x.time < y.time;
+    if (x.depth != y.depth) return x.depth < y.depth;
+    if (x.key.owner != y.key.owner) return x.key.owner < y.key.owner;
+    if (x.key.oseq != y.key.oseq) return x.key.oseq < y.key.oseq;
+    return x.seq < y.seq;
+  }
+
  private:
   struct Later {
     bool operator()(const Event& x, const Event& y) const {
-      if (x.time != y.time) return x.time > y.time;
-      return x.seq > y.seq;
+      return before(y, x);
     }
   };
-
-  static constexpr std::uint64_t kNoPop = ~std::uint64_t{0};
 
   // A plain vector managed with std::push_heap/std::pop_heap — the same
   // binary-heap order std::priority_queue would impose, but it allows
   // reserve() and lets pop() move (not copy) the Event out.
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
-  // Audit state: the (time, seq) of the last popped event.
-  TimeNs last_pop_time_ = 0;
-  std::uint64_t last_pop_seq_ = kNoPop;
+  // Audit state: the full ordering key of the last popped event.
+  struct PopKey {
+    TimeNs time = 0;
+    std::int32_t depth = 0;
+    EventKey key;
+    std::uint64_t seq = 0;
+  };
+  PopKey last_pop_;
+  bool popped_any_ = false;
 };
 
 }  // namespace flexnets::sim

@@ -10,13 +10,13 @@ Link::Link(std::int32_t id, std::int32_t from_node, std::int32_t to_node,
   assert(cfg_.rate > 0);
 }
 
-void Link::enqueue(Simulator& sim, Packet pkt) {
+void Link::enqueue(Sched& sched, Packet pkt) {
   if (!up_) {
     ++dead_drops_;
     return;
   }
   if (!busy_) {
-    start_transmission(sim, std::move(pkt));
+    start_transmission(sched, std::move(pkt));
     return;
   }
   if (queued_bytes_ + pkt.wire_size > cfg_.queue_capacity) {
@@ -31,16 +31,19 @@ void Link::enqueue(Simulator& sim, Packet pkt) {
   queue_.push_back(std::move(pkt));
 }
 
-void Link::start_transmission(Simulator& sim, Packet pkt) {
+void Link::start_transmission(Sched& sched, Packet pkt) {
   busy_ = true;
   ++packets_sent_;
   bytes_sent_ += pkt.wire_size;
-  const TimeNs tx_done = sim.now() + serialization_time(pkt.wire_size, cfg_.rate);
+  const TimeNs tx_done =
+      sched.now() + serialization_time(pkt.wire_size, cfg_.rate);
   // The packet leaves the wire at tx_done + propagation; the transmitter is
   // free again at tx_done. Arrival is scheduled now (it cannot be affected
   // by later events); the dequeue event frees the transmitter.
-  sim.schedule_packet(tx_done + cfg_.propagation, to_, std::move(pkt));
-  sim.schedule(tx_done, EventType::kLinkDequeue, id_);
+  sched.schedule_packet(tx_done + cfg_.propagation, to_, std::move(pkt),
+                        {owner::link(id_), sched_seq_++});
+  sched.schedule(tx_done, EventType::kLinkDequeue, id_, 0,
+                 {owner::link(id_), sched_seq_++});
 }
 
 void Link::take_down() {
@@ -50,14 +53,14 @@ void Link::take_down() {
   queued_bytes_ = 0;
 }
 
-void Link::on_dequeue(Simulator& sim) {
+void Link::on_dequeue(Sched& sched) {
   assert(busy_);
   busy_ = false;
   if (!queue_.empty()) {
     Packet next = std::move(queue_.front());
     queue_.pop_front();
     queued_bytes_ -= next.wire_size;
-    start_transmission(sim, std::move(next));
+    start_transmission(sched, std::move(next));
   }
 }
 

@@ -27,10 +27,10 @@ class Link {
 
   // Queues the packet (possibly marking/dropping); starts transmitting if
   // idle. Called when a node forwards a packet onto this link.
-  void enqueue(Simulator& sim, Packet pkt);
+  void enqueue(Sched& sched, Packet pkt);
 
   // kLinkDequeue handler: head packet finished serializing.
-  void on_dequeue(Simulator& sim);
+  void on_dequeue(Sched& sched);
 
   // Fault injection. A downed link expels its queued packets (counted in
   // expelled()) and drops every subsequent enqueue (dead_drops()) until
@@ -53,7 +53,7 @@ class Link {
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
 
  private:
-  void start_transmission(Simulator& sim, Packet pkt);
+  void start_transmission(Sched& sched, Packet pkt);
 
   std::int32_t id_;
   std::int32_t from_;
@@ -71,6 +71,11 @@ class Link {
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t packets_sent_ = 0;
   Bytes bytes_sent_ = 0;
+  // Owner-private event counter: every event this link schedules gets the
+  // next value as its oseq, making its stable keys unique (and identical
+  // between the serial and parallel engines, which both reach enqueue /
+  // on_dequeue in the same per-link order).
+  std::uint64_t sched_seq_ = 0;
 };
 
 }  // namespace flexnets::sim

@@ -9,6 +9,24 @@
 
 namespace flexnets::sim {
 
+namespace {
+// The Sched the calling thread is currently dispatching an event under.
+// Thread-local because under the parallel engine several logical
+// processes dispatch concurrently, each with its own Sched.
+thread_local Sched* tls_sched = nullptr;
+
+class SchedScope {
+ public:
+  explicit SchedScope(Sched* s) : prev_(tls_sched) { tls_sched = s; }
+  ~SchedScope() { tls_sched = prev_; }
+  SchedScope(const SchedScope&) = delete;
+  SchedScope& operator=(const SchedScope&) = delete;
+
+ private:
+  Sched* prev_;
+};
+}  // namespace
+
 PacketNetwork::PacketNetwork(const topo::Topology& topo,
                              const NetworkConfig& cfg)
     : topo_(topo),
@@ -65,7 +83,7 @@ PacketNetwork::PacketNetwork(const topo::Topology& topo,
   // from relocating mid-run.
   sim_.reserve_events(links_.size() * 2 + static_cast<std::size_t>(num_hosts_));
 
-  sim_.set_handler([this](const Event& e) { handle(e); });
+  sim_.set_handler([this](const Event& e) { handle(sim_, e); });
 }
 
 Link& PacketNetwork::out_link(std::int32_t from_node, std::int32_t to_node) {
@@ -89,16 +107,26 @@ const Link& PacketNetwork::link_between(std::int32_t from_node,
   return const_cast<PacketNetwork*>(this)->out_link(from_node, to_node);
 }
 
+Sched& PacketNetwork::active_sched() const {
+  return tls_sched != nullptr ? *tls_sched
+                              : const_cast<Simulator&>(sim_);
+}
+
+TimeNs PacketNetwork::now() const { return active_sched().now(); }
+
 void PacketNetwork::inject(std::int32_t host, Packet pkt) {
   // A host has exactly one uplink (to its ToR).
   assert(out_[host].size() == 1);
-  links_[static_cast<std::size_t>(out_[host][0].second)]->enqueue(sim_,
-                                                                  std::move(pkt));
+  links_[static_cast<std::size_t>(out_[host][0].second)]->enqueue(
+      active_sched(), std::move(pkt));
 }
 
 void PacketNetwork::set_timer(std::int32_t flow, TimeNs at,
                               std::uint64_t gen) {
-  sim_.schedule(at, EventType::kTransportTimer, flow, gen);
+  // The timer generation is already the flow's private monotone counter,
+  // so it doubles as the stable key's oseq.
+  active_sched().schedule(at, EventType::kTransportTimer, flow, gen,
+                          {owner::flow_timer(flow), gen});
 }
 
 void PacketNetwork::flow_completed(std::int32_t, TimeNs) {
@@ -116,7 +144,7 @@ void PacketNetwork::forward_at_switch(graph::NodeId sw, Packet pkt) {
   }
   if (hops.empty()) {
     if (sw == pkt.dst_tor) {
-      out_link(sw, pkt.dst_host).enqueue(sim_, std::move(pkt));
+      out_link(sw, pkt.dst_host).enqueue(active_sched(), std::move(pkt));
     } else {
       drop_unroutable(sw, pkt);
     }
@@ -139,24 +167,26 @@ void PacketNetwork::forward_at_switch(graph::NodeId sw, Packet pkt) {
   } else {
     nh = forwarder_->choose_by_hash(sw, pkt, hops);
   }
-  out_link(sw, nh).enqueue(sim_, std::move(pkt));
+  out_link(sw, nh).enqueue(active_sched(), std::move(pkt));
 }
 
-void PacketNetwork::handle(const Event& e) {
+void PacketNetwork::handle(Sched& s, const Event& e) {
+  const SchedScope scope(&s);
   switch (e.type) {
     case EventType::kLinkDequeue:
-      links_[static_cast<std::size_t>(e.a)]->on_dequeue(sim_);
+      links_[static_cast<std::size_t>(e.a)]->on_dequeue(s);
       break;
     case EventType::kPacketArrive:
       if (e.a < num_switches_) {
         if (cfg_.faults != nullptr && !live_.switch_up(e.a)) {
-          ++stats_.expelled_packets;  // in-flight arrival at a dead switch
+          // In-flight arrival at a dead switch.
+          stats_.expelled_packets.fetch_add(1, std::memory_order_relaxed);
           break;
         }
         forward_at_switch(e.a, e.pkt);
       } else {
         if (timeline_ != nullptr && !e.pkt.is_ack) {
-          timeline_->record(sim_.now(), e.pkt.payload);
+          timeline_->record(s.now(), e.pkt.payload);
         }
         engine_->on_packet(e.pkt);
       }
@@ -171,17 +201,15 @@ void PacketNetwork::handle(const Event& e) {
         flow_opener_(spec);
         break;
       }
-      const auto id = engine_->open_flow(
-          host_node(spec.src_server), host_node(spec.dst_server),
-          tor_of_server_[spec.src_server], tor_of_server_[spec.dst_server],
-          spec.size);
+      // Flows were pre-opened in spec order (open_flows), so the event's
+      // spec index *is* the flow id.
+      const auto id = e.a;
       if (cfg_.faults != nullptr &&
           !pair_connected(tor_of_server_[spec.src_server],
                           tor_of_server_[spec.dst_server])) {
-        // Still opened (flow indices stay aligned with the spec list), but
-        // the endpoints cannot currently talk: abandon immediately.
+        // The endpoints cannot currently talk: abandon immediately.
         engine_->abort_flow(id);
-        ++stats_.aborted_flows;
+        stats_.aborted_flows.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       engine_->start(id);
@@ -197,26 +225,54 @@ void PacketNetwork::handle(const Event& e) {
   }
 }
 
+void PacketNetwork::open_flows(const std::vector<workload::FlowSpec>& flows) {
+  if (flow_opener_) return;  // the opener creates its own flows at start
+  // Pre-open every flow in spec order, before any event runs. This fixes
+  // flow id == spec index for both engines and keeps the engine's flow
+  // vector from reallocating mid-run -- under the parallel engine,
+  // concurrent logical processes hold references into it. Opening is
+  // side-effect-free (no events, no clock reads); a flow only becomes
+  // visible to the simulation at its kFlowStart event.
+  FLEXNETS_CHECK(engine_->num_flows() == 0,
+                 "run() may only be invoked once per PacketNetwork");
+  for (const auto& spec : flows) {
+    engine_->open_flow(host_node(spec.src_server), host_node(spec.dst_server),
+                       tor_of_server_[spec.src_server],
+                       tor_of_server_[spec.dst_server], spec.size);
+  }
+}
+
 void PacketNetwork::run(const std::vector<workload::FlowSpec>& flows,
                         TimeNs until) {
   pending_flows_ = &flows;
+  open_flows(flows);
   // Every flow start (and fault event) is scheduled up front.
   sim_.reserve_events(flows.size() +
                       (cfg_.faults != nullptr ? cfg_.faults->events().size()
                                               : 0));
   for (std::size_t i = 0; i < flows.size(); ++i) {
     sim_.schedule(flows[i].start, EventType::kFlowStart,
-                  static_cast<std::int32_t>(i));
+                  static_cast<std::int32_t>(i), 0,
+                  {owner::kFlowStartRoot, i});
   }
   if (cfg_.faults != nullptr) {
     const auto& ev = cfg_.faults->events();
     for (std::size_t i = 0; i < ev.size(); ++i) {
       sim_.schedule(ev[i].time, EventType::kFault,
-                    static_cast<std::int32_t>(i));
+                    static_cast<std::int32_t>(i), 0, {owner::kFaultRoot, i});
     }
   }
   sim_.run(until);
   pending_flows_ = nullptr;
+}
+
+void PacketNetwork::pdes_begin(const std::vector<workload::FlowSpec>& flows) {
+  FLEXNETS_CHECK(!flow_opener_,
+                 "pdes: custom flow openers are serial-only (MPTCP)");
+  FLEXNETS_CHECK(timeline_ == nullptr,
+                 "pdes: throughput timelines are serial-only");
+  pending_flows_ = &flows;
+  open_flows(flows);
 }
 
 void PacketNetwork::apply_fault(const fault::FaultEvent& fe) {
@@ -228,10 +284,11 @@ void PacketNetwork::apply_fault(const fault::FaultEvent& fe) {
   }
   comp_ = graph::connected_components(live_.surviving_graph()).id;
   ++fault_version_;
-  stats_.last_fault_time = sim_.now();
+  Sched& s = active_sched();
+  stats_.last_fault_time = s.now();
   // Recovery events repair too: restored capacity re-enters the tables.
-  sim_.schedule(sim_.now() + cfg_.control_plane_delay, EventType::kRepair, 0,
-                fault_version_);
+  s.schedule(s.now() + cfg_.control_plane_delay, EventType::kRepair, 0,
+             fault_version_, {owner::kRepairRoot, fault_version_});
 }
 
 void PacketNetwork::sync_links_of_edge(graph::EdgeId e) {
@@ -277,7 +334,7 @@ void PacketNetwork::repair_routing() {
   const auto live_tors = live_.live_tors(topo_);
   router_->set_via_candidates(live_tors);
   ++stats_.repairs;
-  stats_.last_repair_time = sim_.now();
+  stats_.last_repair_time = active_sched().now();
   if (audit_enabled()) {
     fault::audit_repaired_tables(topo_, live_, ecmp_, live_tors);
   }
@@ -295,9 +352,11 @@ void PacketNetwork::abort_doomed_flows() {
   for (std::int32_t id = 0; id < n; ++id) {
     const auto& f = engine_->flow(id);
     if (f.completed || f.aborted) continue;
+    if (f.start_time < 0) continue;  // pre-opened, not yet started: the
+                                     // connectivity check reruns at start
     if (!pair_connected(f.route.src_tor, f.route.dst_tor)) {
       engine_->abort_flow(id);
-      ++stats_.aborted_flows;
+      stats_.aborted_flows.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -306,17 +365,28 @@ void PacketNetwork::drop_unroutable(graph::NodeId sw, const Packet& pkt) {
   FLEXNETS_CHECK(cfg_.faults != nullptr, "no route from switch ", sw,
                  " toward ToR ", pkt.dst_tor, " on a fault-free network");
   if (pair_connected(sw, pkt.dst_tor)) {
-    ++stats_.blackhole_drops;  // dst is live and reachable: routing's fault
+    // dst is live and reachable: routing's fault.
+    stats_.blackhole_drops.fetch_add(1, std::memory_order_relaxed);
     if (stats_.last_repair_time > stats_.last_fault_time) {
-      ++stats_.post_repair_blackholes;
+      stats_.post_repair_blackholes.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
-    ++stats_.expelled_packets;  // dst dead or partitioned away
+    // dst dead or partitioned away.
+    stats_.expelled_packets.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 PacketNetwork::FaultStats PacketNetwork::fault_stats() const {
-  FaultStats s = stats_;
+  FaultStats s;
+  s.blackhole_drops = stats_.blackhole_drops.load(std::memory_order_relaxed);
+  s.post_repair_blackholes =
+      stats_.post_repair_blackholes.load(std::memory_order_relaxed);
+  s.expelled_packets =
+      stats_.expelled_packets.load(std::memory_order_relaxed);
+  s.aborted_flows = stats_.aborted_flows.load(std::memory_order_relaxed);
+  s.repairs = stats_.repairs;
+  s.last_fault_time = stats_.last_fault_time;
+  s.last_repair_time = stats_.last_repair_time;
   for (const auto& l : links_) {
     s.expelled_packets += l->expelled() + l->dead_drops();
   }

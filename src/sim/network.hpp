@@ -3,6 +3,7 @@
 // router, and the DCTCP engine. Dispatches all simulator events.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -45,8 +46,11 @@ class PacketNetwork final : public transport::TransportEnv {
   void run(const std::vector<workload::FlowSpec>& flows,
            TimeNs until = Simulator::kMaxTime);
 
-  // TransportEnv implementation.
-  [[nodiscard]] TimeNs now() const override { return sim_.now(); }
+  // TransportEnv implementation. During event dispatch these act on the
+  // *active* Sched (the serial simulator, or the dispatching logical
+  // process of the parallel engine); outside dispatch they fall back to
+  // the serial simulator.
+  [[nodiscard]] TimeNs now() const override;
   void inject(std::int32_t host, Packet pkt) override;
   void set_timer(std::int32_t flow, TimeNs at, std::uint64_t gen) override;
   void flow_completed(std::int32_t flow, TimeNs when) override;
@@ -114,8 +118,31 @@ class PacketNetwork final : public transport::TransportEnv {
   // (delivered-throughput timeline). Must outlive run().
   void set_timeline(metrics::ThroughputTimeline* t) { timeline_ = t; }
 
+  // --- Seams for the conservative parallel engine (sim/pdes/) ----------
+  // The parallel runner drives this network without the serial simulator
+  // loop: pdes_begin performs run()'s prologue (flow pre-opening,
+  // pending-spec registration) and rejects the serial-only features;
+  // every event is then dispatched through pdes_dispatch under the
+  // runner's own Sched implementations; pdes_end is run()'s epilogue.
+  void pdes_begin(const std::vector<workload::FlowSpec>& flows);
+  void pdes_end() { pending_flows_ = nullptr; }
+  void pdes_dispatch(Sched& s, const Event& e) { handle(s, e); }
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+  [[nodiscard]] std::int32_t num_switches() const { return num_switches_; }
+  [[nodiscard]] std::int32_t num_nodes() const {
+    return num_switches_ + num_hosts_;
+  }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] const Link& link(std::int32_t id) const {
+    return *links_[static_cast<std::size_t>(id)];
+  }
+
  private:
-  void handle(const Event& e);
+  void handle(Sched& s, const Event& e);
+  // The Sched the current event is being dispatched under (thread-local),
+  // or the serial simulator outside dispatch.
+  [[nodiscard]] Sched& active_sched() const;
+  void open_flows(const std::vector<workload::FlowSpec>& flows);
   Link& out_link(std::int32_t from_node, std::int32_t to_node);
   void forward_at_switch(graph::NodeId sw, Packet pkt);
   void apply_fault(const fault::FaultEvent& fe);
@@ -151,7 +178,22 @@ class PacketNetwork final : public transport::TransportEnv {
   graph::Graph live_graph_;  // owns the graph rebuilt tables reference
   std::vector<int> comp_;    // component id per switch, tracks live_
   std::uint64_t fault_version_ = 0;
-  FaultStats stats_;
+  // The four drop/abort counters are bumped from whatever logical process
+  // dispatches the triggering event, so under the parallel engine they
+  // need to be atomic; a relaxed sum is deterministic because each
+  // increment happens exactly once regardless of order. The repair
+  // bookkeeping fields are only written in serial contexts (fault/repair
+  // timestamps execute single-threaded).
+  struct MutableFaultStats {
+    std::atomic<std::uint64_t> blackhole_drops{0};
+    std::atomic<std::uint64_t> post_repair_blackholes{0};
+    std::atomic<std::uint64_t> expelled_packets{0};
+    std::atomic<std::uint64_t> aborted_flows{0};
+    std::uint64_t repairs = 0;
+    TimeNs last_fault_time = -1;
+    TimeNs last_repair_time = -1;
+  };
+  MutableFaultStats stats_;
   metrics::ThroughputTimeline* timeline_ = nullptr;
 };
 

@@ -1,0 +1,39 @@
+// Seeded, deterministic partitioning of a packet network's nodes into
+// logical processes (LPs) for the conservative parallel engine.
+//
+// Switches are split by a seeded multi-source BFS over the topology graph:
+// num_lps seed switches are drawn from a seeded shuffle, then the LP
+// frontiers grow round-robin, which balances LP sizes while keeping each
+// LP topologically contiguous (contiguity shrinks the fraction of
+// cross-LP links, i.e. cross-LP traffic). Every host lands in its ToR's
+// LP, so host<->ToR links never cross LPs -- only switch<->switch links
+// do, and their propagation delay is the engine's lookahead.
+//
+// The partition is a pure function of (topology, num_lps, seed):
+// independent of thread count and of any prior simulation state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace flexnets::sim::pdes {
+
+struct Partition {
+  int num_lps = 1;
+  // LP id per simulator node (switches 0..S-1, then hosts), each in
+  // [0, num_lps).
+  std::vector<int> lp_of_node;
+
+  [[nodiscard]] int lp_of(std::int32_t node) const {
+    return lp_of_node[static_cast<std::size_t>(node)];
+  }
+};
+
+// Builds the partition described above. num_lps is clamped to
+// [1, num_switches]; seed selects among the (many) balanced partitions.
+[[nodiscard]] Partition partition_topology(const topo::Topology& topo,
+                                           int num_lps, std::uint64_t seed);
+
+}  // namespace flexnets::sim::pdes

@@ -1,0 +1,78 @@
+// Conservative parallel discrete-event engine for the packet simulator.
+//
+// The network's nodes are partitioned into logical processes (LPs, see
+// partition.hpp). LPs advance in *barrier epochs*: each epoch the
+// coordinator computes the global minimum pending event time m and the
+// window [m, W) with W = m + lookahead (clipped at the next global
+// fault/repair event and at `until`), every LP dispatches its queued
+// events inside the window in stable-key order on the shared thread
+// pool, and cross-LP packet arrivals -- which the lookahead guarantees
+// land at or beyond W -- are exchanged as timestamped batches at the
+// barrier. The lookahead is the switch<->switch propagation delay: a
+// packet leaving an LP cannot arrive at a neighbor earlier than that.
+//
+// Determinism argument (bit-identical to the serial engine): the serial
+// dispatch stream is totally ordered by the stable key
+// (time, depth, owner, oseq) -- see sim/event_queue.hpp -- and every
+// same-timestamp causal cascade is LP-internal (cross-LP delivery is
+// strictly later than its cause). Each LP therefore dispatches a
+// key-sorted subsequence, every event with time < W dispatches in the
+// epoch that owns its window, and merging the per-LP epoch streams by
+// key reproduces the serial stream exactly: same events, same order,
+// same splitmix64 digest, for any thread count and any LP partition.
+//
+// Fault/repair events mutate state shared by every LP (link liveness,
+// routing tables, connectivity components), so their timestamps execute
+// single-threaded at a barrier: when the global minimum *is* such an
+// event's time, the engine drains every queue's events at exactly that
+// timestamp in merged key order before resuming parallel epochs.
+//
+// Serial-only features are rejected by PacketNetwork::pdes_begin:
+// custom flow openers (MPTCP) and throughput timelines; event budgets
+// are rejected by the callers that support them (core/packet_runner).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/pdes/partition.hpp"
+#include "workload/arrivals.hpp"
+
+namespace flexnets::sim::pdes {
+
+struct RunnerConfig {
+  // Worker threads: > 0 explicit, 0 = FLEXNETS_THREADS / hardware
+  // (common/thread_pool.hpp). Purely a wall-clock knob -- results are
+  // identical for every value.
+  int threads = 0;
+  // Logical processes: > 0 explicit, 0 = the resolved thread count.
+  // Purely a decomposition knob -- results are identical for every value.
+  int num_lps = 0;
+  // Seed for the topology partitioner (partition.hpp). Results are
+  // identical for every value; it exists so tests can prove that.
+  std::uint64_t partition_seed = 1;
+};
+
+struct RunStats {
+  std::uint64_t events = 0;  // total events dispatched
+  std::uint64_t epochs = 0;  // parallel windows executed
+  // Timestamps executed single-threaded because a fault/repair event
+  // (shared routing state) was due.
+  std::uint64_t serial_timestamps = 0;
+  // Digest over the merged dispatch stream's (time, type, a, b),
+  // accumulated only while audit_enabled() -- must equal the serial
+  // engine's Simulator::event_digest() for the same inputs.
+  std::uint64_t event_digest = 0;
+  int lps = 0;
+  int threads = 0;
+};
+
+// Runs `net` over `flows` to completion (or `until`) on the parallel
+// engine. Must be called instead of -- never after -- net.run().
+RunStats run_parallel(PacketNetwork& net,
+                      const std::vector<workload::FlowSpec>& flows,
+                      const RunnerConfig& cfg = {},
+                      TimeNs until = Simulator::kMaxTime);
+
+}  // namespace flexnets::sim::pdes

@@ -5,22 +5,27 @@
 namespace flexnets::sim {
 
 void Simulator::schedule(TimeNs at, EventType type, std::int32_t a,
-                         std::uint64_t b) {
+                         std::uint64_t b, EventKey key) {
   FLEXNETS_DCHECK(at >= now_, "cannot schedule into the past: at=", at,
                   " now=", now_);
   Event e;
   e.time = at;
+  e.depth = at == now_ ? cur_depth_ + 1 : 0;
+  e.key = key;
   e.type = type;
   e.a = a;
   e.b = b;
   queue_.push(std::move(e));
 }
 
-void Simulator::schedule_packet(TimeNs at, std::int32_t node, Packet pkt) {
+void Simulator::schedule_packet(TimeNs at, std::int32_t node, Packet pkt,
+                                EventKey key) {
   FLEXNETS_DCHECK(at >= now_, "cannot schedule into the past: at=", at,
                   " now=", now_);
   Event e;
   e.time = at;
+  e.depth = at == now_ ? cur_depth_ + 1 : 0;
+  e.key = key;
   e.type = EventType::kPacketArrive;
   e.a = node;
   e.pkt = pkt;
@@ -43,6 +48,7 @@ std::uint64_t Simulator::run(TimeNs until) {
     FLEXNETS_CHECK(e.time >= now_, "clock went backward: event time=",
                    e.time, " now=", now_);
     now_ = e.time;
+    cur_depth_ = e.depth;
     if (audit) {
       // Determinism digest: fold the full dispatch stream so two same-seed
       // runs can be compared with one integer (see common/digest.hpp).

@@ -1,6 +1,11 @@
 // The simulation clock and event loop. Event semantics live in a handler
 // installed by the network (sim/network.hpp); this class only guarantees
 // monotonic time and deterministic ordering.
+//
+// Sched is the scheduling seam between the network's event handlers and
+// whatever drives them: the serial Simulator below, or one logical
+// process of the conservative parallel engine (sim/pdes/). Handlers only
+// ever see a Sched, so the same model code runs under both.
 #pragma once
 
 #include <functional>
@@ -10,14 +15,41 @@
 
 namespace flexnets::sim {
 
-class Simulator {
+class Sched {
+ public:
+  virtual ~Sched() = default;
+
+  [[nodiscard]] virtual TimeNs now() const = 0;
+
+  // Schedules an event carrying its stable ordering key (see
+  // sim/event_queue.hpp). The implementation assigns the depth: 0 for
+  // at > now(), dispatching-event depth + 1 for at == now().
+  virtual void schedule(TimeNs at, EventType type, std::int32_t a,
+                        std::uint64_t b, EventKey key) = 0;
+  virtual void schedule_packet(TimeNs at, std::int32_t node, Packet pkt,
+                               EventKey key) = 0;
+};
+
+class Simulator final : public Sched {
  public:
   using Handler = std::function<void(const Event&)>;
 
-  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] TimeNs now() const override { return now_; }
 
-  void schedule(TimeNs at, EventType type, std::int32_t a, std::uint64_t b = 0);
-  void schedule_packet(TimeNs at, std::int32_t node, Packet pkt);
+  void schedule(TimeNs at, EventType type, std::int32_t a, std::uint64_t b,
+                EventKey key) override;
+  void schedule_packet(TimeNs at, std::int32_t node, Packet pkt,
+                       EventKey key) override;
+
+  // Keyless convenience overloads (tests, benchmarks): all events carry
+  // the zero key and tie-break by insertion order, the historical FIFO.
+  void schedule(TimeNs at, EventType type, std::int32_t a,
+                std::uint64_t b = 0) {
+    schedule(at, type, a, b, EventKey{});
+  }
+  void schedule_packet(TimeNs at, std::int32_t node, Packet pkt) {
+    schedule_packet(at, node, std::move(pkt), EventKey{});
+  }
 
   // Pre-sizes the event heap (see EventQueue::reserve). Additive: callers
   // reserve for what they are about to schedule.
@@ -42,7 +74,8 @@ class Simulator {
 
   // Determinism digest over every dispatched event's (time, type, a, b),
   // accumulated only while audit_enabled() (common/check.hpp). Two runs of
-  // the same seeded configuration must produce identical values.
+  // the same seeded configuration must produce identical values, and the
+  // parallel engine must reproduce this exact value for any thread count.
   [[nodiscard]] std::uint64_t event_digest() const { return digest_.value(); }
 
   static constexpr TimeNs kMaxTime = INT64_MAX;
@@ -50,6 +83,11 @@ class Simulator {
  private:
   EventQueue queue_;
   TimeNs now_ = 0;
+  // Depth of the event currently being dispatched; -1 before the first
+  // dispatch so pre-run schedules at t = 0 still get depth 0. Persists
+  // after run() returns, so a late schedule at the final timestamp still
+  // sorts after everything already dispatched there.
+  std::int32_t cur_depth_ = -1;
   std::uint64_t processed_ = 0;
   std::uint64_t max_events_ = 0;  // 0 = unlimited
   bool budget_exhausted_ = false;

@@ -64,7 +64,7 @@ class DctcpEngine {
     // receiver does not report completion until the size is final. Used by
     // the MPTCP chunk scheduler (transport/mptcp.hpp).
     bool size_final = true;
-    TimeNs start_time = 0;
+    TimeNs start_time = -1;  // -1 until start() (or an early abort) runs
     TimeNs completion_time = -1;
 
     // Sender.

@@ -1,0 +1,25 @@
+// Firing fixture shaped like a sim/pdes translation unit: a "logical
+// process runner" that spins up raw std::thread workers for its barrier
+// epochs instead of borrowing common/thread_pool. The raw-thread rule
+// exempts only the pool itself, so parallel-engine code written this way
+// must be rejected — the PDES determinism contract (exception
+// propagation, drain-on-destruction, indexed scheduling) lives in the
+// pool. This file is never compiled; it only has to lex.
+#include <thread>
+#include <vector>
+
+namespace flexnets::sim::pdes {
+
+struct LpEpochRunner {
+  std::vector<std::thread> workers;  // EXPECT-LINT: raw-thread
+
+  void run_epoch(int num_lps) {
+    for (int lp = 0; lp < num_lps; ++lp) {
+      workers.emplace_back([] { /* dispatch one LP's window */ });
+    }
+    for (auto& w : workers) w.join();
+    workers.clear();
+  }
+};
+
+}  // namespace flexnets::sim::pdes

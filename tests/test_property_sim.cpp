@@ -7,8 +7,13 @@
 //   - FCT is positive and at least the serialization+propagation floor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/pdes/runner.hpp"
 #include "topo/jellyfish.hpp"
 #include "workload/flow_size.hpp"
 
@@ -98,6 +103,115 @@ std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, PacketStackProperties,
                          ::testing::ValuesIn(make_cases()), case_name);
+
+// ---------------------------------------------------------------------------
+// Stable-key tie-break properties. The parallel engine's determinism proof
+// rests on the dispatch order over simultaneous events being *total* (every
+// pair of keyed events compares the same way everywhere) and *stable*
+// (independent of the order schedule() calls raced into the queue). We
+// check both directly on EventQueue with randomized keyed event sets.
+
+TEST(EventKeyTieBreak, OrderIsTotalAndInsertionIndependent) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    // Random events with colliding times/depths/owners but unique oseq, so
+    // the stable key -- never the insertion seq -- decides every tie.
+    std::vector<sim::Event> events;
+    const int n = 200 + static_cast<int>(rng.next_u64(200));
+    for (int i = 0; i < n; ++i) {
+      sim::Event e;
+      e.time = static_cast<TimeNs>(rng.next_u64(8));  // dense ties
+      e.depth = static_cast<std::int32_t>(rng.next_u64(3));
+      e.key.owner = rng.next_u64(4) == 0 ? sim::owner::kFlowStartRoot
+                                         : sim::owner::link(static_cast<int>(
+                                               rng.next_u64(5)));
+      e.key.oseq = static_cast<std::uint64_t>(i);
+      e.type = sim::EventType::kFlowStart;
+      e.a = i;
+      events.push_back(e);
+    }
+
+    auto drain = [](sim::EventQueue& q) {
+      std::vector<sim::Event> out;
+      while (!q.empty()) out.push_back(q.pop());
+      return out;
+    };
+    sim::EventQueue q1;
+    for (const auto& e : events) q1.push(e);
+    auto shuffled = events;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_u64(i)]);
+    }
+    sim::EventQueue q2;
+    for (const auto& e : shuffled) q2.push(e);
+
+    const auto s1 = drain(q1);
+    const auto s2 = drain(q2);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+      // Same event at every position regardless of insertion order...
+      EXPECT_EQ(s1[i].a, s2[i].a) << "position " << i << " seed " << seed;
+      if (i > 0) {
+        // ...and the stream is strictly increasing under the stable key
+        // alone (totality: exactly one of before(x,y) / before(y,x)).
+        EXPECT_TRUE(sim::EventQueue::before(s1[i - 1], s1[i]));
+        EXPECT_FALSE(sim::EventQueue::before(s1[i], s1[i - 1]));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-correctness property: on random topologies, workloads, thread
+// counts, and partitions, the PDES engine must (a) never dispatch an event
+// before its epoch's horizon -- enforced by FLEXNETS_CHECKs inside
+// sim/pdes/runner.cpp that this test arms via AuditScope and would surface
+// as CheckFailure -- and (b) reproduce the serial digest exactly.
+
+TEST(PdesEpochProperties, RandomInstancesMatchSerialUnderAudit) {
+  const CheckPolicyScope policy(CheckPolicy::kThrow);
+  const AuditScope audit(true);
+  for (const std::uint64_t seed : {501u, 502u, 503u, 504u, 505u}) {
+    Rng rng(seed);
+    const int n = 10 + static_cast<int>(rng.next_u64(15));
+    const int deg = 3 + static_cast<int>(rng.next_u64(3));
+    const auto t = topo::jellyfish(
+        n % 2 == 0 || deg % 2 == 0 ? n : n + 1, deg, 2, seed);
+
+    sim::NetworkConfig cfg;
+    cfg.routing.mode = routing::RoutingMode::kHyb;
+    cfg.seed = seed;
+
+    const int servers = t.num_servers();
+    std::vector<workload::FlowSpec> flows;
+    const int count = 20 + static_cast<int>(rng.next_u64(30));
+    for (int i = 0; i < count; ++i) {
+      const int src =
+          static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(servers)));
+      const int dst = (src + 1 +
+                       static_cast<int>(rng.next_u64(
+                           static_cast<std::uint64_t>(servers - 1)))) %
+                      servers;
+      flows.push_back({static_cast<TimeNs>(rng.next_u64(2 * kMillisecond)),
+                       src, dst,
+                       1000 + static_cast<Bytes>(rng.next_u64(300'000))});
+    }
+
+    sim::PacketNetwork serial_net(t, cfg);
+    serial_net.run(flows);
+    const auto want = serial_net.simulator().event_digest();
+    ASSERT_NE(want, Digest{}.value());
+
+    sim::PacketNetwork net(t, cfg);
+    sim::pdes::RunnerConfig pcfg;
+    pcfg.threads = 2 + static_cast<int>(rng.next_u64(3));
+    pcfg.num_lps = 2 + static_cast<int>(rng.next_u64(4));
+    pcfg.partition_seed = rng.next_u64(std::uint64_t{1} << 32);
+    const auto stats = sim::pdes::run_parallel(net, flows, pcfg);
+    EXPECT_EQ(stats.event_digest, want) << "seed " << seed;
+    EXPECT_EQ(stats.events, serial_net.simulator().events_processed());
+  }
+}
 
 }  // namespace
 }  // namespace flexnets

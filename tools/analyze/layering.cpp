@@ -79,9 +79,12 @@ struct JsonCursor {
 };
 
 std::string module_of_include(const std::string& target) {
-  const std::size_t slash = target.find('/');
-  if (slash == std::string::npos) return "";
-  return target.substr(0, slash);
+  // Mirror module_of (scan.cpp): the include's directory path is the
+  // module, so "sim/pdes/runner.hpp" maps to module "sim/pdes" while
+  // "sim/network.hpp" stays "sim".
+  const std::size_t last = target.rfind('/');
+  if (last == std::string::npos) return "";
+  return target.substr(0, last);
 }
 
 struct CycleFinder {

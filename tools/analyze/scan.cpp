@@ -73,9 +73,12 @@ std::string module_of(const std::string& rel_path) {
   if (slash == std::string::npos) return "";
   const std::string top = rel_path.substr(0, slash);
   if (top != "src") return top;
-  const std::size_t slash2 = rel_path.find('/', slash + 1);
-  if (slash2 == std::string::npos) return "";
-  return rel_path.substr(slash + 1, slash2 - slash - 1);
+  // Under src/ the module is the file's full directory path, so nested
+  // modules (sim/pdes) get their own layering.json entry instead of
+  // inheriting the parent's layer.
+  const std::size_t last = rel_path.rfind('/');
+  if (last == slash) return "";
+  return rel_path.substr(slash + 1, last - slash - 1);
 }
 
 std::optional<Corpus> load_corpus(const std::string& root,

@@ -22,9 +22,11 @@
 #      AddressSanitizer + UndefinedBehaviorSanitizer (-Werror on), plus
 #      an explicit pass over the corrupt-input corpus (topo files and
 #      wire-protocol .frames fuzz corpus)
-#   6. tsan preset: build the parallel determinism suite under
+#   6. tsan preset: build the parallel determinism suites under
 #      ThreadSanitizer and run `ctest -L parallel` (thread pool contracts
-#      + parallel-vs-serial sweep bit-equality); any report is fatal
+#      + parallel-vs-serial sweep bit-equality) and `ctest -L pdes`
+#      (serial-vs-parallel packet-engine digest equality across threads,
+#      topologies, and fault plans); any report is fatal
 #   7. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
 #      invariant audits (event ordering, LP feasibility/conservation,
 #      routing-table sanity, repaired-routing liveness, determinism
@@ -88,6 +90,21 @@ fi
 rm -f "$PROBE"
 "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
 echo "seeded violation rejected; clean tree passes"
+
+# Nested modules must be constrained too: sim/pdes sits below core, so a
+# pdes file reaching up into core/ must be fatal.
+step "analyze: seeded sim/pdes layering violation must be fatal"
+PDES_PROBE="src/sim/pdes/__layering_probe.cpp"
+trap 'rm -f "$REPO_ROOT/$PDES_PROBE"' EXIT
+printf '#include "core/journal.hpp"\n' > "$PDES_PROBE"
+if "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null 2>&1; then
+  rm -f "$PDES_PROBE"
+  echo "analyze gate: seeded sim/pdes layering violation was NOT rejected"
+  exit 1
+fi
+rm -f "$PDES_PROBE"
+"$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
+echo "seeded sim/pdes violation rejected; clean tree passes"
 
 # Same teeth for the process-api rule: a raw fork() anywhere outside
 # src/sweep/process_supervisor.cpp must be fatal.
@@ -230,13 +247,15 @@ if [[ "$FAST" -eq 0 ]]; then
   ctest --preset asan-ubsan -R 'CorruptInputs|FramesCorpus' --output-on-failure
 fi
 
-# Required gate: the parallel determinism suite must be race-free. Only
-# the suite's own target is built under TSan; `-L parallel` then skips
-# every other (unbuilt) test registration.
-step "tsan preset: parallel determinism suite"
+# Required gate: the parallel determinism suites must be race-free. Only
+# the suites' own targets are built under TSan; `-L parallel` / `-L pdes`
+# then skip every other (unbuilt) test registration.
+step "tsan preset: parallel determinism suites (sweep + packet PDES)"
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j "$JOBS" --target flexnets_parallel_tests
+cmake --build --preset tsan -j "$JOBS" --target flexnets_parallel_tests \
+  --target flexnets_pdes_tests
 ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
+ctest --test-dir build-tsan -L pdes --output-on-failure -j "$JOBS"
 
 step "audited rerun: FLEXNETS_AUDIT=1 ctest"
 FLEXNETS_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"
