@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "common/annotations.hpp"
+#include "common/status.hpp"
 #include "flow/mcf.hpp"
+#include "flow/tm_view.hpp"
 #include "flow/traffic_matrix.hpp"
+#include "topo/csr/csr_topology.hpp"
 #include "topo/topology.hpp"
 
 namespace flexnets::flow {
@@ -51,6 +54,11 @@ struct ThroughputCache {
 
 ThroughputCache build_throughput_cache(const topo::Topology& t);
 
+// Flat-representation builder: identical cache for a CSR twin of the same
+// topology (same edge order, same digest), so lambda through either
+// representation is bit-identical.
+ThroughputCache build_throughput_cache(const topo::CsrTopology& t);
+
 // The concrete GK instance a (topology, TM) evaluation solves: the cache's
 // doubled directed edges plus one virtual hose node per rack with demand.
 // Exposed so the golden-lambda suite and bench/micro_flow can run the
@@ -64,6 +72,22 @@ struct McfInstance {
 McfInstance build_mcf_instance(const ThroughputCache& cache,
                                const TrafficMatrix& tm);
 
+// Materialization guard for the streaming path: a GK solve must hold every
+// commodity, so handing it an implicit TM only makes sense below this many
+// pairs. Above the cap the instance is refused as structured kInvalidInput
+// instead of attempting an allocation that would OOM at hyperscale (an
+// all-to-all over 100k racks is 10^10 commodities). Callers with bigger
+// appetites pass their own cap explicitly.
+inline constexpr std::int64_t kDefaultMcfCommodityCap = 2'000'000;
+
+// Streams `tm` into a concrete GK instance. Enumeration order matches the
+// materialized generators, so the instance — and the lambda solved from it
+// — is bit-identical to the TrafficMatrix path. Returns kInvalidInput when
+// tm.num_commodities() exceeds the cap.
+StatusOr<McfInstance> build_mcf_instance(
+    const ThroughputCache& cache, const TmView& tm,
+    std::int64_t max_commodities = kDefaultMcfCommodityCap);
+
 // As above, but starts from a prebuilt cache for `t` (cheaper inside
 // sweeps, and the only state shared across concurrent points).
 double per_server_throughput(const topo::Topology& t, const TrafficMatrix& tm,
@@ -76,6 +100,21 @@ ThroughputResult per_server_throughput_budgeted(const topo::Topology& t,
                                                 const TrafficMatrix& tm,
                                                 const ThroughputOptions& opts,
                                                 const ThroughputCache& cache);
+
+// ---- Hyperscale (CSR + streaming TM) entries --------------------------
+//
+// The flat-path twins of the entries above: same GK instance bit for bit
+// when the CSR topology and TmView mirror a (Topology, TrafficMatrix)
+// pair. lambda is 0.0 and status kInvalidInput when the commodity cap
+// refuses the materialization.
+
+double per_server_throughput(const topo::CsrTopology& t, const TmView& tm,
+                             const ThroughputOptions& opts = {});
+
+ThroughputResult per_server_throughput_budgeted(
+    const topo::CsrTopology& t, const TmView& tm,
+    const ThroughputOptions& opts, const ThroughputCache& cache,
+    std::int64_t max_commodities = kDefaultMcfCommodityCap);
 
 // The throughput-proportionality ideal (paper Fig 2): a TP network built at
 // worst-case throughput `alpha` achieves min(alpha / x, 1) when only an

@@ -159,4 +159,11 @@ double moore_bound_mean_distance(int n, int d) {
   return sum / static_cast<double>(n - 1);
 }
 
+double moore_bound_mean_distance_subset(int subset_size, int max_degree) {
+  // Identical packing: the destinations are subset_size - 1 distinct nodes,
+  // and no graph of maximum degree d can place more of them close to the
+  // root than the full Moore ball allows.
+  return moore_bound_mean_distance(subset_size, max_degree);
+}
+
 }  // namespace flexnets::graph

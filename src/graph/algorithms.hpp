@@ -54,4 +54,13 @@ DijkstraResult dijkstra(const Graph& g, NodeId src,
 // throughput upper bound, paper section 4.1/5).
 double moore_bound_mean_distance(int n, int d);
 
+// Subset variant: lower bound on the mean distance from any node to
+// `subset_size - 1` OTHER distinct nodes in a graph of maximum degree
+// `max_degree` — the ball-packing argument is unchanged (at most d nodes
+// at distance 1, d(d-1) at distance 2, ...), only the number of
+// destinations packed shrinks to the subset. Used by the all-to-all
+// path-length upper bound in flow/bracket.cpp, where the active racks are
+// a subset of a (much) larger fabric.
+double moore_bound_mean_distance_subset(int subset_size, int max_degree);
+
 }  // namespace flexnets::graph

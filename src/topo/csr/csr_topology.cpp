@@ -1,0 +1,105 @@
+#include "topo/csr/csr_topology.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/digest.hpp"
+
+namespace flexnets::topo {
+
+CsrTopology CsrTopology::build(std::string name, std::int32_t num_switches,
+                               std::vector<std::pair<std::int32_t, std::int32_t>> edges,
+                               std::vector<std::int32_t> servers_per_switch,
+                               double capacity) {
+  FLEXNETS_CHECK(num_switches >= 0, "negative switch count");
+  FLEXNETS_CHECK_EQ(servers_per_switch.size(),
+                    static_cast<std::size_t>(num_switches),
+                    "servers_per_switch size mismatch");
+
+  CsrTopology t;
+  t.name = std::move(name);
+  t.num_switches = num_switches;
+
+  const auto m = static_cast<std::int64_t>(edges.size());
+  t.edge_a.resize(static_cast<std::size_t>(m));
+  t.edge_b.resize(static_cast<std::size_t>(m));
+  t.edge_capacity.assign(static_cast<std::size_t>(m), capacity);
+
+  // Counting sort over the doubled arcs: one pass for degrees, prefix sums,
+  // one placement pass. No per-node containers at any point.
+  t.offsets.assign(static_cast<std::size_t>(num_switches) + 1, 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const auto [a, b] = edges[static_cast<std::size_t>(i)];
+    FLEXNETS_CHECK(a >= 0 && a < num_switches && b >= 0 && b < num_switches,
+                   "edge endpoint out of range");
+    FLEXNETS_CHECK(a != b, "self-loop in topology edge list");
+    t.edge_a[static_cast<std::size_t>(i)] = a;
+    t.edge_b[static_cast<std::size_t>(i)] = b;
+    ++t.offsets[static_cast<std::size_t>(a) + 1];
+    ++t.offsets[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::int32_t u = 0; u < num_switches; ++u) {
+    t.offsets[static_cast<std::size_t>(u) + 1] +=
+        t.offsets[static_cast<std::size_t>(u)];
+  }
+
+  t.targets.resize(static_cast<std::size_t>(2 * m));
+  t.arc_edge.resize(static_cast<std::size_t>(2 * m));
+  t.capacities.resize(static_cast<std::size_t>(2 * m));
+  std::vector<std::int64_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const auto a = t.edge_a[static_cast<std::size_t>(i)];
+    const auto b = t.edge_b[static_cast<std::size_t>(i)];
+    const auto cap = t.edge_capacity[static_cast<std::size_t>(i)];
+    const auto pa = cursor[static_cast<std::size_t>(a)]++;
+    t.targets[static_cast<std::size_t>(pa)] = b;
+    t.arc_edge[static_cast<std::size_t>(pa)] = static_cast<std::int32_t>(i);
+    t.capacities[static_cast<std::size_t>(pa)] = cap;
+    const auto pb = cursor[static_cast<std::size_t>(b)]++;
+    t.targets[static_cast<std::size_t>(pb)] = a;
+    t.arc_edge[static_cast<std::size_t>(pb)] = static_cast<std::int32_t>(i);
+    t.capacities[static_cast<std::size_t>(pb)] = cap;
+  }
+
+  t.servers_per_switch = std::move(servers_per_switch);
+  t.server_offsets.assign(static_cast<std::size_t>(num_switches) + 1, 0);
+  for (std::int32_t u = 0; u < num_switches; ++u) {
+    FLEXNETS_CHECK(t.servers_per_switch[static_cast<std::size_t>(u)] >= 0,
+                   "negative server count");
+    t.server_offsets[static_cast<std::size_t>(u) + 1] =
+        t.server_offsets[static_cast<std::size_t>(u)] +
+        t.servers_per_switch[static_cast<std::size_t>(u)];
+  }
+  return t;
+}
+
+std::vector<CsrNodeId> CsrTopology::tors() const {
+  std::vector<CsrNodeId> out;
+  for (std::int32_t u = 0; u < num_switches; ++u) {
+    if (servers_per_switch[static_cast<std::size_t>(u)] > 0) out.push_back(u);
+  }
+  return out;
+}
+
+CsrNodeId CsrTopology::switch_of_server(std::int64_t server) const {
+  FLEXNETS_CHECK(server >= 0 && server < num_servers(),
+                 "server id out of range");
+  // First offset strictly greater than `server`, minus one: the owning
+  // switch (offsets are non-decreasing; empty switches have zero-width
+  // ranges that upper_bound skips past).
+  const auto it = std::upper_bound(server_offsets.begin(),
+                                   server_offsets.end(), server);
+  return static_cast<CsrNodeId>((it - server_offsets.begin()) - 1);
+}
+
+std::uint64_t CsrTopology::digest() const {
+  Digest d;
+  d.mix(static_cast<std::uint64_t>(num_switches));
+  for (std::size_t i = 0; i < edge_a.size(); ++i) {
+    d.mix(static_cast<std::uint64_t>(edge_a[i]));
+    d.mix(static_cast<std::uint64_t>(edge_b[i]));
+  }
+  return d.value();
+}
+
+}  // namespace flexnets::topo

@@ -1,0 +1,91 @@
+// Flat, hyperscale-ready topology representation.
+//
+// CsrTopology is the hot-path counterpart of topo::Topology: one
+// offsets/targets/capacities compressed-sparse-row adjacency built once per
+// topology, plus the undirected link list in generator order and a dense
+// server-offset table. The adjacency-list multigraph (graph::Graph) stays
+// the differential-test oracle off the hot path: this module sits BELOW
+// graph/ in tools/layering.json, so CSR code can never reach back into the
+// multigraph internals — conversions live above, in topo/csr_build.hpp.
+//
+// Identity contract: `edge_a/edge_b/edge_capacity` keep the exact edge
+// order the generator emitted (the same order graph::Graph::edges() holds
+// for the oracle construction), so a CSR topology and its oracle twin build
+// bit-identical GK instances (flow/throughput.cpp) and equal digests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexnets::topo {
+
+// Switch ids are dense [0, num_switches); kept as a standalone alias so
+// this module does not include graph/graph.hpp (same underlying type as
+// graph::NodeId, checked by a static_assert in topo/csr_build.cpp).
+using CsrNodeId = std::int32_t;
+
+struct CsrTopology {
+  std::string name;
+  std::int32_t num_switches = 0;
+
+  // Undirected network links in generator order; capacity is per direction
+  // (1.0 = one server line rate, matching the fluid-engine convention).
+  std::vector<std::int32_t> edge_a;
+  std::vector<std::int32_t> edge_b;
+  std::vector<double> edge_capacity;
+
+  // CSR adjacency over the doubled arcs: the arcs of switch u occupy
+  // [offsets[u], offsets[u+1]) in targets/arc_edge/capacities. arc_edge
+  // maps each arc back to its undirected link id.
+  std::vector<std::int64_t> offsets;
+  std::vector<std::int32_t> targets;
+  std::vector<std::int32_t> arc_edge;
+  std::vector<double> capacities;
+
+  std::vector<std::int32_t> servers_per_switch;
+  // Dense prefix sums: servers of switch s are globally numbered
+  // [server_offsets[s], server_offsets[s+1]). Size num_switches + 1.
+  std::vector<std::int64_t> server_offsets;
+
+  // Builds the CSR arrays from an edge list in one counting-sort pass
+  // (pre-sized, no per-node allocations). Rejects self-loops and
+  // out-of-range endpoints via FLEXNETS_CHECK.
+  static CsrTopology build(std::string name, std::int32_t num_switches,
+                           std::vector<std::pair<std::int32_t, std::int32_t>> edges,
+                           std::vector<std::int32_t> servers_per_switch,
+                           double capacity = 1.0);
+
+  [[nodiscard]] std::int64_t num_network_links() const {
+    return static_cast<std::int64_t>(edge_a.size());
+  }
+  [[nodiscard]] std::int64_t num_arcs() const {
+    return static_cast<std::int64_t>(targets.size());
+  }
+  [[nodiscard]] std::int64_t num_servers() const {
+    return server_offsets.empty() ? 0 : server_offsets.back();
+  }
+  [[nodiscard]] std::int32_t degree(CsrNodeId u) const {
+    return static_cast<std::int32_t>(offsets[static_cast<std::size_t>(u) + 1] -
+                                     offsets[static_cast<std::size_t>(u)]);
+  }
+
+  // Switches hosting at least one server, ascending (the ToRs).
+  [[nodiscard]] std::vector<CsrNodeId> tors() const;
+
+  // Switch hosting global server id `s`: binary search over the dense
+  // offset table, O(log n) — never a rescan of servers_per_switch.
+  [[nodiscard]] CsrNodeId switch_of_server(std::int64_t server) const;
+  [[nodiscard]] std::int64_t first_server_of_switch(CsrNodeId sw) const {
+    return server_offsets[static_cast<std::size_t>(sw)];
+  }
+
+  // Same formula as the fluid engine's topology digest (num_switches, then
+  // every edge's endpoints): csr_from(t).digest() equals the oracle's
+  // digest, so ThroughputCache stale-handoff audits work across both
+  // representations.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+}  // namespace flexnets::topo

@@ -1,0 +1,34 @@
+#include "topo/csr_build.hpp"
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace flexnets::topo {
+
+static_assert(std::is_same_v<graph::NodeId, CsrNodeId>,
+              "CsrNodeId must stay the multigraph's node id type");
+
+CsrTopology csr_from(const Topology& t) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(t.g.num_edges()));
+  for (const auto& e : t.g.edges()) edges.emplace_back(e.a, e.b);
+  std::vector<std::int32_t> servers(t.servers_per_switch.begin(),
+                                    t.servers_per_switch.end());
+  return CsrTopology::build(t.name, t.num_switches(), std::move(edges),
+                            std::move(servers));
+}
+
+Topology topology_from_csr(const CsrTopology& t) {
+  Topology out;
+  out.name = t.name;
+  out.g = graph::Graph(t.num_switches);
+  for (std::size_t i = 0; i < t.edge_a.size(); ++i) {
+    out.g.add_edge(t.edge_a[i], t.edge_b[i]);
+  }
+  out.servers_per_switch.assign(t.servers_per_switch.begin(),
+                                t.servers_per_switch.end());
+  return out;
+}
+
+}  // namespace flexnets::topo

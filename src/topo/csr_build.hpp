@@ -1,0 +1,23 @@
+// Bridges between the adjacency-list oracle (topo::Topology / graph::Graph)
+// and the flat hyperscale representation (topo::CsrTopology). This is the
+// ONLY place the two meet: topo/csr/ itself sits below graph/ in the
+// layering contract and cannot see the multigraph, so conversions — needed
+// by the differential tests and by callers migrating one side at a time —
+// live here in topo/ proper.
+#pragma once
+
+#include "topo/csr/csr_topology.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::topo {
+
+// Flat twin of `t`: edges in g.edges() order, so digests and every
+// edge-order-sensitive consumer (flow/throughput cache construction) match
+// bit for bit.
+CsrTopology csr_from(const Topology& t);
+
+// Oracle twin of `t`: edges added in edge_a/edge_b order. Round-trips with
+// csr_from (same digest both ways).
+Topology topology_from_csr(const CsrTopology& t);
+
+}  // namespace flexnets::topo

@@ -1,8 +1,81 @@
 #include "topo/fat_tree.hpp"
 
 #include <cassert>
+#include <utility>
+#include <vector>
 
 namespace flexnets::topo {
+
+namespace {
+
+struct FatTreeLinks {
+  FatTreeLayout layout;
+  std::string name;
+  std::vector<std::pair<NodeId, NodeId>> links;
+  std::vector<int> servers;
+};
+
+// The stripped fat-tree's edge list in canonical (pod, edge, agg) then
+// (stripe round-robin, pod) order. Both the multigraph and the CSR builders
+// consume this, keeping the two representations edge-for-edge identical.
+FatTreeLinks fat_tree_links(int k, int cores_kept) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  const int num_edge = k * half;
+  const int num_agg = k * half;
+  const int full_cores = half * half;
+  assert(cores_kept >= 1 && cores_kept <= full_cores);
+
+  FatTreeLinks out;
+  out.layout = {k, num_edge, num_agg, cores_kept};
+  out.name = cores_kept == full_cores
+                 ? "fat-tree(k=" + std::to_string(k) + ")"
+                 : "fat-tree(k=" + std::to_string(k) + ",cores=" +
+                       std::to_string(cores_kept) + "/" +
+                       std::to_string(full_cores) + ")";
+  out.servers.assign(static_cast<std::size_t>(num_edge + num_agg + cores_kept),
+                     0);
+
+  // Edge switches host k/2 servers each.
+  for (NodeId e = 0; e < num_edge; ++e) out.servers[e] = half;
+
+  out.links.reserve(static_cast<std::size_t>(num_edge) * half +
+                    static_cast<std::size_t>(cores_kept) * k);
+
+  // Edge <-> aggregation, full bipartite within each pod.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        out.links.emplace_back(pod * half + e, num_edge + pod * half + a);
+      }
+    }
+  }
+
+  // Aggregation <-> core: core c (of the full (k/2)^2) connects to the
+  // (c / half)-th aggregation switch of every pod. Keeping a prefix of core
+  // ids strips cores evenly across stripes only when cores_kept is a
+  // multiple of half; we instead interleave so stripes lose cores uniformly:
+  // walk stripes round-robin.
+  int added = 0;
+  for (int off = 0; off < half && added < cores_kept; ++off) {
+    for (int stripe = 0; stripe < half && added < cores_kept; ++stripe) {
+      const NodeId core = num_edge + num_agg + added;
+      for (int pod = 0; pod < k; ++pod) {
+        out.links.emplace_back(num_edge + pod * half + stripe, core);
+      }
+      ++added;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FatTreeLayout fat_tree_layout(int k, int cores_kept) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  return {k, k * half, k * half, cores_kept};
+}
 
 int FatTreeLayout::pod_of(NodeId s) const {
   const int half = k / 2;
@@ -12,56 +85,32 @@ int FatTreeLayout::pod_of(NodeId s) const {
 }
 
 FatTree fat_tree_stripped(int k, int cores_kept) {
-  assert(k >= 2 && k % 2 == 0);
-  const int half = k / 2;
-  const int num_edge = k * half;
-  const int num_agg = k * half;
-  const int full_cores = half * half;
-  assert(cores_kept >= 1 && cores_kept <= full_cores);
+  auto parts = fat_tree_links(k, cores_kept);
+  const int n = parts.layout.num_edge + parts.layout.num_agg +
+                parts.layout.num_core;
 
   FatTree ft;
-  ft.layout = {k, num_edge, num_agg, cores_kept};
-  ft.topo.name = cores_kept == full_cores
-                     ? "fat-tree(k=" + std::to_string(k) + ")"
-                     : "fat-tree(k=" + std::to_string(k) + ",cores=" +
-                           std::to_string(cores_kept) + "/" +
-                           std::to_string(full_cores) + ")";
-  ft.topo.g = graph::Graph(num_edge + num_agg + cores_kept);
-  ft.topo.servers_per_switch.assign(
-      static_cast<std::size_t>(num_edge + num_agg + cores_kept), 0);
-
-  // Edge switches host k/2 servers each.
-  for (NodeId e = 0; e < num_edge; ++e) ft.topo.servers_per_switch[e] = half;
-
-  // Edge <-> aggregation, full bipartite within each pod.
-  for (int pod = 0; pod < k; ++pod) {
-    for (int e = 0; e < half; ++e) {
-      for (int a = 0; a < half; ++a) {
-        ft.topo.g.add_edge(pod * half + e, num_edge + pod * half + a);
-      }
-    }
-  }
-
-  // Aggregation <-> core: core c (of the full (k/2)^2) connects to the
-  // (c / half)-th aggregation switch of every pod. Keeping a prefix of core
-  // ids strips cores evenly across stripes only when cores_kept is a
-  // multiple of half; we instead interleave so stripes lose cores uniformly:
-  // kept core i corresponds to full-core id perm(i) = (i * full_cores') ...
-  // Simplest uniform striping: walk stripes round-robin.
-  int added = 0;
-  for (int off = 0; off < half && added < cores_kept; ++off) {
-    for (int stripe = 0; stripe < half && added < cores_kept; ++stripe) {
-      // Full-core id = stripe * half + off; our compact id = added.
-      const NodeId core = num_edge + num_agg + added;
-      for (int pod = 0; pod < k; ++pod) {
-        ft.topo.g.add_edge(num_edge + pod * half + stripe, core);
-      }
-      ++added;
-    }
-  }
+  ft.layout = parts.layout;
+  ft.topo.name = std::move(parts.name);
+  ft.topo.g = graph::Graph(n);
+  for (const auto& [a, b] : parts.links) ft.topo.g.add_edge(a, b);
+  ft.topo.servers_per_switch = std::move(parts.servers);
   return ft;
 }
 
 FatTree fat_tree(int k) { return fat_tree_stripped(k, (k / 2) * (k / 2)); }
+
+CsrTopology fat_tree_stripped_csr(int k, int cores_kept) {
+  auto parts = fat_tree_links(k, cores_kept);
+  const int n = parts.layout.num_edge + parts.layout.num_agg +
+                parts.layout.num_core;
+  return CsrTopology::build(
+      std::move(parts.name), n, std::move(parts.links),
+      std::vector<std::int32_t>(parts.servers.begin(), parts.servers.end()));
+}
+
+CsrTopology fat_tree_csr(int k) {
+  return fat_tree_stripped_csr(k, (k / 2) * (k / 2));
+}
 
 }  // namespace flexnets::topo

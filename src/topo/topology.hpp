@@ -3,9 +3,11 @@
 // switches in switch-id order (switch 0's servers first, and so on).
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "graph/graph.hpp"
 
 namespace flexnets::topo {
@@ -17,6 +19,13 @@ struct Topology {
   graph::Graph g;                      // switch-to-switch network links
   std::vector<int> servers_per_switch;  // indexed by switch id
 
+  Topology() = default;
+  ~Topology();
+  Topology(const Topology& other);
+  Topology(Topology&& other) noexcept;
+  Topology& operator=(const Topology& other);
+  Topology& operator=(Topology&& other) noexcept;
+
   [[nodiscard]] int num_switches() const { return g.num_nodes(); }
   [[nodiscard]] int num_servers() const;
   [[nodiscard]] int num_network_links() const { return g.num_edges(); }
@@ -25,11 +34,34 @@ struct Topology {
   [[nodiscard]] std::vector<NodeId> tors() const;
 
   // Switch hosting global server id `s`, and the dense per-switch offsets.
+  // Both run on a lazily built dense offset table (binary search /
+  // O(1) lookup) instead of rescanning servers_per_switch per call — the
+  // rescans were quadratic in aggregate and dominated at 100k switches.
   [[nodiscard]] NodeId switch_of_server(int server) const;
   [[nodiscard]] int first_server_of_switch(NodeId sw) const;
 
   // Sanity check: every switch's (network degree + servers) fits `radix`.
   [[nodiscard]] bool fits_radix(int radix) const;
+
+ private:
+  // Derived index over servers_per_switch, built on first use.
+  struct ServerIndex {
+    std::vector<int> first_server;  // prefix sums, size num_switches + 1
+    std::vector<NodeId> tor_list;   // switches hosting >= 1 server
+  };
+
+  // Lazy cache of the derived index. Topology is mutated freely during
+  // construction (generators assign fields directly), then treated as
+  // immutable by the evaluation paths — some of which share one const
+  // Topology across sweep threads. First caller builds the index and
+  // installs it with a compare-exchange; a concurrent loser deletes its
+  // copy and uses the winner's, so the pointer is write-once thereafter.
+  // Mutating copies/moves reset the cache (see topology.cpp). Under
+  // FLEXNETS_AUDIT every hit is revalidated against servers_per_switch to
+  // catch in-place mutation after first use.
+  [[nodiscard]] const ServerIndex& server_index() const;
+  mutable std::atomic<const ServerIndex*> server_index_cache_
+      FLEXNETS_ATOMIC_SHARED{nullptr};
 };
 
 }  // namespace flexnets::topo

@@ -1,0 +1,170 @@
+// Differential suite: the flat CSR representation against the
+// adjacency-list oracle. Every seeded generator must produce bit-identical
+// wiring through both constructions (same edge order, same digest), and the
+// CSR graph algorithms must agree with their graph/ counterparts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/spectral.hpp"
+#include "topo/csr/csr_algorithms.hpp"
+#include "topo/csr_build.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/xpander.hpp"
+
+namespace flexnets::topo {
+namespace {
+
+// The twin contract: identical switch count, identical edge list in
+// generator order, identical server placement, equal digests, and a clean
+// round trip through topology_from_csr.
+void expect_twins(const Topology& oracle, const CsrTopology& csr) {
+  ASSERT_EQ(csr.num_switches, oracle.num_switches());
+  ASSERT_EQ(csr.num_network_links(), oracle.g.num_edges());
+  const auto& edges = oracle.g.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    ASSERT_EQ(csr.edge_a[e], edges[e].a) << "edge " << e;
+    ASSERT_EQ(csr.edge_b[e], edges[e].b) << "edge " << e;
+  }
+  ASSERT_EQ(static_cast<int>(csr.servers_per_switch.size()),
+            oracle.num_switches());
+  for (int s = 0; s < oracle.num_switches(); ++s) {
+    EXPECT_EQ(csr.servers_per_switch[s], oracle.servers_per_switch[s]);
+    EXPECT_EQ(csr.degree(s), oracle.g.degree(s));
+  }
+  EXPECT_EQ(csr.num_servers(), oracle.num_servers());
+
+  const auto converted = csr_from(oracle);
+  EXPECT_EQ(csr.digest(), converted.digest());
+  EXPECT_EQ(topology_from_csr(csr).num_switches(), oracle.num_switches());
+  EXPECT_EQ(csr_from(topology_from_csr(csr)).digest(), csr.digest());
+}
+
+TEST(CsrTwins, JellyfishSeeds) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    expect_twins(jellyfish(50, 7, 6, seed), jellyfish_csr(50, 7, 6, seed));
+  }
+}
+
+TEST(CsrTwins, JellyfishSameEquipment) {
+  expect_twins(jellyfish_same_equipment(40, 12, 150, 3),
+               jellyfish_same_equipment_csr(40, 12, 150, 3));
+}
+
+TEST(CsrTwins, Xpander) {
+  for (const std::uint64_t seed : {1ULL, 5ULL}) {
+    const auto oracle = xpander(5, 9, 6, seed);
+    expect_twins(oracle.topo, xpander_csr(5, 9, 6, seed));
+  }
+}
+
+TEST(CsrTwins, XpanderFor) {
+  // 54 = (5+1)*9: the lift construction. 50 switches: the jellyfish
+  // fallback — both paths must have flat twins.
+  expect_twins(xpander_for(54, 5, 6, 2), xpander_for_csr(54, 5, 6, 2));
+  expect_twins(xpander_for(50, 5, 6, 2), xpander_for_csr(50, 5, 6, 2));
+}
+
+TEST(CsrTwins, FatTree) {
+  expect_twins(fat_tree(4).topo, fat_tree_csr(4));
+  expect_twins(fat_tree(8).topo, fat_tree_csr(8));
+}
+
+TEST(CsrTwins, FatTreeStripped) {
+  expect_twins(fat_tree_stripped(8, 7).topo, fat_tree_stripped_csr(8, 7));
+}
+
+TEST(CsrTopology, TorsAndServerLookupMatchOracle) {
+  const auto oracle = jellyfish_same_equipment(30, 10, 77, 9);
+  const auto csr = jellyfish_same_equipment_csr(30, 10, 77, 9);
+  const auto oracle_tors = oracle.tors();
+  const auto csr_tors = csr.tors();
+  ASSERT_EQ(csr_tors.size(), oracle_tors.size());
+  for (std::size_t i = 0; i < csr_tors.size(); ++i) {
+    EXPECT_EQ(csr_tors[i], oracle_tors[i]);
+  }
+  for (int server = 0; server < oracle.num_servers(); ++server) {
+    ASSERT_EQ(csr.switch_of_server(server), oracle.switch_of_server(server))
+        << "server " << server;
+  }
+  for (int sw = 0; sw < oracle.num_switches(); ++sw) {
+    EXPECT_EQ(csr.first_server_of_switch(sw),
+              oracle.first_server_of_switch(sw));
+  }
+}
+
+TEST(CsrTopology, SameSeedSameDigestDifferentSeedDifferent) {
+  EXPECT_EQ(jellyfish_csr(64, 8, 4, 11).digest(),
+            jellyfish_csr(64, 8, 4, 11).digest());
+  EXPECT_NE(jellyfish_csr(64, 8, 4, 11).digest(),
+            jellyfish_csr(64, 8, 4, 12).digest());
+}
+
+TEST(CsrAlgorithms, BfsDistancesMatchOracle) {
+  const auto oracle = jellyfish(40, 5, 4, 2);
+  const auto csr = csr_from(oracle);
+  for (const CsrNodeId src : {0, 7, 39}) {
+    const auto want = graph::bfs_distances(oracle.g, src);
+    const auto got = csr_bfs_distances(csr, src);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "src " << src << " node " << i;
+    }
+  }
+}
+
+TEST(CsrAlgorithms, BfsTreeIsConsistent) {
+  const auto csr = jellyfish_csr(60, 6, 4, 3);
+  const auto tree = csr_bfs_tree(csr, 5);
+  ASSERT_EQ(static_cast<std::int32_t>(tree.order.size()), csr.num_switches);
+  EXPECT_EQ(tree.order.front(), 5);
+  EXPECT_EQ(tree.parent[5], kCsrUnreachable);
+  const auto dist = csr_bfs_distances(csr, 5);
+  for (CsrNodeId v = 0; v < csr.num_switches; ++v) {
+    ASSERT_EQ(tree.depth[v], dist[v]);
+    if (v == 5) continue;
+    const auto p = tree.parent[v];
+    ASSERT_GE(p, 0);
+    EXPECT_EQ(tree.depth[v], tree.depth[p] + 1);
+    // parent_arc really is an arc parent -> v.
+    const auto arc = tree.parent_arc[v];
+    ASSERT_GE(arc, csr.offsets[static_cast<std::size_t>(p)]);
+    ASSERT_LT(arc, csr.offsets[static_cast<std::size_t>(p) + 1]);
+    EXPECT_EQ(csr.targets[static_cast<std::size_t>(arc)], v);
+  }
+}
+
+TEST(CsrAlgorithms, ConnectivityMatchesOracle) {
+  const auto connected = jellyfish(32, 4, 2, 1);
+  EXPECT_EQ(csr_is_connected(csr_from(connected)),
+            graph::is_connected(connected.g));
+
+  // Two disjoint triangles: disconnected through both representations.
+  Topology split;
+  split.name = "split";
+  split.g = graph::Graph(6);
+  split.g.add_edge(0, 1);
+  split.g.add_edge(1, 2);
+  split.g.add_edge(2, 0);
+  split.g.add_edge(3, 4);
+  split.g.add_edge(4, 5);
+  split.g.add_edge(5, 3);
+  split.servers_per_switch.assign(6, 1);
+  EXPECT_FALSE(csr_is_connected(csr_from(split)));
+  EXPECT_FALSE(graph::is_connected(split.g));
+}
+
+TEST(CsrAlgorithms, SpectralEstimateTracksOracle) {
+  // Same power-iteration scheme, so the estimates agree to iteration noise.
+  const auto oracle = jellyfish(64, 8, 4, 4);
+  const auto csr = csr_from(oracle);
+  const double want = graph::second_eigenvalue(oracle.g, 200, 1);
+  const double got = csr_second_eigenvector(csr, 200, 1).lambda;
+  EXPECT_NEAR(got, want, 0.05 * want + 1e-9);
+}
+
+}  // namespace
+}  // namespace flexnets::topo

@@ -106,6 +106,21 @@ rm -f "$PDES_PROBE"
 "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
 echo "seeded sim/pdes violation rejected; clean tree passes"
 
+# topo/csr sits BELOW graph (the flat hot path must never reach back into
+# the multigraph): a csr file including graph/ must be fatal.
+step "analyze: seeded topo/csr layering violation must be fatal"
+CSR_PROBE="src/topo/csr/__layering_probe.cpp"
+trap 'rm -f "$REPO_ROOT/$CSR_PROBE"' EXIT
+printf '#include "graph/graph.hpp"\n' > "$CSR_PROBE"
+if "$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null 2>&1; then
+  rm -f "$CSR_PROBE"
+  echo "analyze gate: seeded topo/csr layering violation was NOT rejected"
+  exit 1
+fi
+rm -f "$CSR_PROBE"
+"$ANALYZE_BIN" --repo-root "$REPO_ROOT" src/ >/dev/null
+echo "seeded topo/csr violation rejected; clean tree passes"
+
 # Same teeth for the process-api rule: a raw fork() anywhere outside
 # src/sweep/process_supervisor.cpp must be fatal.
 step "analyze: seeded process-api violation must be fatal"
@@ -262,6 +277,11 @@ FLEXNETS_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 step "perf smoke: micro benches --json (schema check, timings not gated)"
 ./build/bench/bench_micro_flow --json BENCH_MCF.json
+# bench_hyperscale appends its hs_* cases into the same BENCH_MCF.json.
+# Gating here: the GK bit-identity cross-check (exit 1 on any lambda bit
+# mismatch) and the 2 GB peak-RSS budget for the 100k-switch bracket.
+# Timings stay non-gated like every other perf number.
+./build/bench/bench_hyperscale --json BENCH_MCF.json --rss-budget-mb 2048
 ./build/bench/bench_micro_sim --json BENCH_SIM.json
 ./build/bench/bench_sweep --json BENCH_SWEEP.json
 python3 - <<'PY'
@@ -292,6 +312,30 @@ for path, needs_lambda in (("BENCH_MCF.json", True), ("BENCH_SIM.json", False),
         require(all(math.isfinite(l) and l > 0 for l in lambdas),
                 f"{path}: non-finite lambda")
     print(f"perf smoke: {path} schema OK ({len(cases)} case(s))")
+
+# Hyperscale cases merged into BENCH_MCF.json: the root peak_rss_kb must be
+# recorded, the 100k bracket must be present and well-ordered
+# (0 <= lower <= upper <= 1), and the bit-identity checks must have passed.
+with open("BENCH_MCF.json") as f:
+    doc = json.load(f)
+rss = doc.get("peak_rss_kb")
+require(isinstance(rss, (int, float)) and rss > 0 and math.isfinite(rss),
+        "BENCH_MCF.json: missing/invalid root peak_rss_kb")
+by_name = {case["name"]: case for case in doc["cases"]}
+require("hs_bracket_jf100k" in by_name,
+        "BENCH_MCF.json: no hs_bracket_jf100k case")
+br = by_name["hs_bracket_jf100k"]
+require(0.0 <= br["lower"] <= br["upper"] <= 1.0 + 1e-9,
+        "BENCH_MCF.json: hs_bracket_jf100k bracket is not ordered")
+require(br.get("peak_rss_kb", 0) > 0,
+        "BENCH_MCF.json: hs_bracket_jf100k lacks peak_rss_kb")
+for name in ("hs_gk_bitcheck_jf32_a2a", "hs_gk_bitcheck_jf64_perm"):
+    require(by_name.get(name, {}).get("bit_identical") == 1,
+            f"BENCH_MCF.json: {name} not bit-identical")
+require(by_name.get("hs_cap_guard_jf100k", {}).get("cap_refused") == 1,
+        "BENCH_MCF.json: commodity cap did not refuse at 100k")
+print("perf smoke: hyperscale cases OK (bracket ordered, bit-identity, "
+      "cap guard)")
 PY
 
 step "ci.sh: all gates passed"
