@@ -1,17 +1,21 @@
 #include "fault/audit.hpp"
 
 #include "common/check.hpp"
+#include "fault/detector.hpp"
 #include "graph/algorithms.hpp"
 
 namespace flexnets::fault {
 
 namespace {
 
-// Is there a live link directly joining `a` and `b`?
+// Is there a live, non-excluded link directly joining `a` and `b`?
 bool live_edge_between(const topo::Topology& t, const LiveState& live,
-                       graph::NodeId a, graph::NodeId b) {
+                       const std::vector<char>& excluded, graph::NodeId a,
+                       graph::NodeId b) {
   for (const auto e : t.g.incident(a)) {
-    if (t.g.edge(e).other(a) == b && live.edge_live(e)) return true;
+    if (t.g.edge(e).other(a) != b || !live.edge_live(e)) continue;
+    if (!excluded.empty() && excluded[static_cast<std::size_t>(e)]) continue;
+    return true;
   }
   return false;
 }
@@ -21,7 +25,16 @@ bool live_edge_between(const topo::Topology& t, const LiveState& live,
 void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
                            const routing::EcmpTable& table,
                            const std::vector<graph::NodeId>& dsts) {
-  const graph::Graph surviving = live.surviving_graph();
+  audit_repaired_tables(t, live, table, dsts, {});
+}
+
+void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
+                           const routing::EcmpTable& table,
+                           const std::vector<graph::NodeId>& dsts,
+                           const std::vector<char>& excluded) {
+  const graph::Graph surviving =
+      excluded.empty() ? live.surviving_graph()
+                       : pruned_graph(t, live, excluded);
   for (const auto dst : dsts) {
     FLEXNETS_CHECK(live.switch_up(dst),
                    "fault audit: routing table built toward dead switch ", dst);
@@ -40,9 +53,9 @@ void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
       for (const auto h : hops) {
         FLEXNETS_CHECK(live.switch_up(h), "fault audit: entry ", at, " -> ",
                        dst, " routes through dead switch ", h);
-        FLEXNETS_CHECK(live_edge_between(t, live, at, h),
+        FLEXNETS_CHECK(live_edge_between(t, live, excluded, at, h),
                        "fault audit: entry ", at, " -> ", dst,
-                       " crosses a down link to ", h);
+                       " crosses a down or excluded link to ", h);
       }
     }
   }

@@ -17,4 +17,14 @@ void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
                            const routing::EcmpTable& table,
                            const std::vector<graph::NodeId>& dsts);
 
+// Gray-aware form: `excluded` (mask sized num_edges, from
+// GrayDetector::excludable) marks detected-gray links the control plane
+// has routed around. Table entries may not cross an excluded link, and
+// reachability is judged on the pruned graph — while undetected gray
+// links remain legal next hops, mirroring what the control plane knows.
+void audit_repaired_tables(const topo::Topology& t, const LiveState& live,
+                           const routing::EcmpTable& table,
+                           const std::vector<graph::NodeId>& dsts,
+                           const std::vector<char>& excluded);
+
 }  // namespace flexnets::fault

@@ -1,0 +1,67 @@
+// Gray-failure detection model. The data plane observes per-link gray
+// losses (hash-dropped packets, flap-window drops); the control plane only
+// learns of a gray link after `detect_threshold` such losses have been
+// observed (or after the first down transition of a flap), and then only
+// `detect_latency` later. Detection triggers the same versioned routing
+// repair as a binary fault, with the detected links optionally excluded
+// from the rebuilt tables — undetected gray links stay in the tables,
+// which is what makes blackhole and gray-loss drops distinguishable.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "fault/live_state.hpp"
+#include "graph/graph.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnets::fault {
+
+struct DetectorConfig {
+  // Gray losses a link must produce before the data plane notices it.
+  int detect_threshold = 64;
+  // Delay between the triggering observation and the control plane
+  // learning of it. Under PDES this must be >= the engine lookahead
+  // (the runner checks) so detections can be delivered across LPs.
+  TimeNs detect_latency = 100 * kMicrosecond;
+};
+
+// Which gray links the control plane currently knows about. Purely
+// bookkeeping — the engines decide *when* a link crosses the threshold
+// and call mark_detected.
+class GrayDetector {
+ public:
+  GrayDetector() = default;
+  explicit GrayDetector(const topo::Topology& t);
+
+  void mark_detected(graph::EdgeId e);
+  void clear(graph::EdgeId e);  // on kLinkRestore
+  [[nodiscard]] bool detected(graph::EdgeId e) const {
+    return detected_[static_cast<std::size_t>(e)] != 0;
+  }
+  // Links currently known-gray / total detections ever made.
+  [[nodiscard]] int detected_count() const { return detected_count_; }
+  [[nodiscard]] int detections() const { return detections_; }
+
+  // The subset of detected links that can be routed around without
+  // disconnecting the live switches, as an excluded-edge mask sized
+  // num_edges. Deterministic greedy: detected edges are visited in
+  // increasing edge id and excluded only if the live switches stay
+  // mutually connected without them — so repair on the pruned graph
+  // keeps the post_repair_blackholes == 0 proof intact.
+  [[nodiscard]] std::vector<char> excludable(const LiveState& live) const;
+
+ private:
+  const topo::Topology* topo_ = nullptr;
+  std::vector<char> detected_;
+  int detected_count_ = 0;
+  int detections_ = 0;
+};
+
+// The surviving graph restricted further to edges outside `excluded`
+// (same node ids; fresh edge ids — the shape repair rebuilds tables on).
+[[nodiscard]] graph::Graph pruned_graph(const topo::Topology& t,
+                                        const LiveState& live,
+                                        const std::vector<char>& excluded);
+
+}  // namespace flexnets::fault

@@ -23,6 +23,14 @@ const char* kind_name(FaultKind k) {
       return "switch-down";
     case FaultKind::kSwitchUp:
       return "switch-up";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kLinkLossy:
+      return "link-lossy";
+    case FaultKind::kLinkFlap:
+      return "link-flap";
+    case FaultKind::kLinkRestore:
+      return "link-restore";
   }
   return "?";
 }
@@ -32,7 +40,43 @@ std::optional<FaultKind> kind_from_name(const std::string& s) {
   if (s == "link-up") return FaultKind::kLinkUp;
   if (s == "switch-down") return FaultKind::kSwitchDown;
   if (s == "switch-up") return FaultKind::kSwitchUp;
+  if (s == "link-degrade") return FaultKind::kLinkDegrade;
+  if (s == "link-lossy") return FaultKind::kLinkLossy;
+  if (s == "link-flap") return FaultKind::kLinkFlap;
+  if (s == "link-restore") return FaultKind::kLinkRestore;
   return std::nullopt;
+}
+
+// Range checks for gray parameters, shared between parse (line-prefixed
+// errors) and check_against (event-prefixed errors). drop_prob excludes 1
+// and duty excludes 0 so a gray link always retains positive fluid
+// capacity — total loss is what kLinkDown / degrade-to-0 are for.
+Status check_gray_params(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDegrade:
+      if (!(e.p1 >= 0.0 && e.p1 <= 1.0)) {
+        return invalid_input_error("degrade fraction ", e.p1,
+                                   " outside [0, 1]");
+      }
+      break;
+    case FaultKind::kLinkLossy:
+      if (!(e.p1 >= 0.0 && e.p1 < 1.0)) {
+        return invalid_input_error("drop probability ", e.p1,
+                                   " outside [0, 1)");
+      }
+      break;
+    case FaultKind::kLinkFlap:
+      if (!(e.p1 > 0.0)) {
+        return invalid_input_error("flap period ", e.p1, " not positive");
+      }
+      if (!(e.p2 > 0.0 && e.p2 < 1.0)) {
+        return invalid_input_error("flap duty ", e.p2, " outside (0, 1)");
+      }
+      break;
+    default:
+      break;
+  }
+  return {};
 }
 
 // True if the switch graph minus `dead_edges` / `dead_switches` still
@@ -65,11 +109,16 @@ bool survivors_connected(const graph::Graph& g,
 }  // namespace
 
 bool is_link_kind(FaultKind k) {
-  return k == FaultKind::kLinkDown || k == FaultKind::kLinkUp;
+  return k != FaultKind::kSwitchDown && k != FaultKind::kSwitchUp;
 }
 
 bool is_down_kind(FaultKind k) {
   return k == FaultKind::kLinkDown || k == FaultKind::kSwitchDown;
+}
+
+bool is_gray_kind(FaultKind k) {
+  return k == FaultKind::kLinkDegrade || k == FaultKind::kLinkLossy ||
+         k == FaultKind::kLinkFlap;
 }
 
 FaultPlan::FaultPlan(std::vector<FaultEvent> events)
@@ -92,6 +141,13 @@ TimeNs FaultPlan::first_time() const {
 
 TimeNs FaultPlan::last_time() const {
   return events_.empty() ? -1 : events_.back().time;
+}
+
+bool FaultPlan::has_gray() const {
+  for (const auto& e : events_) {
+    if (is_gray_kind(e.kind)) return true;
+  }
+  return false;
 }
 
 FaultPlan FaultPlan::random(const topo::Topology& t,
@@ -152,11 +208,53 @@ FaultPlan FaultPlan::random(const topo::Topology& t,
     schedule(FaultKind::kLinkDown, FaultKind::kLinkUp, e);
     --link_budget;
   }
+
+  // Gray victims continue down the same shuffled edge list, after the
+  // binary victims, so plans with all gray budgets at zero stay
+  // bit-identical to pre-gray plans for the same seed (no extra rng draws
+  // happen unless a gray victim is actually scheduled).
+  std::vector<char> gray_edge(static_cast<std::size_t>(t.g.num_edges()), 0);
+  auto schedule_gray = [&](FaultKind kind, std::int32_t id, double p1,
+                           double p2) {
+    const TimeNs at = rng.uniform_int(opt.window_begin, opt.window_end);
+    plan.add({at, kind, id, p1, p2});
+    if (opt.repair_after >= 0) {
+      plan.add({at + opt.repair_after, FaultKind::kLinkRestore, id});
+    }
+  };
+  auto draw_gray = [&](int budget, FaultKind kind, double p1, double p2) {
+    for (const auto e : edges) {
+      if (budget == 0) break;
+      const auto& ed = t.g.edge(e);
+      if (dead_edge[e] || gray_edge[e]) continue;
+      if (dead_switch[ed.a] || dead_switch[ed.b]) continue;
+      if (kind == FaultKind::kLinkDegrade && p1 == 0.0 &&
+          opt.preserve_connectivity) {
+        // Degrading to rate 0 cuts the link for real; honor the same
+        // connectivity contract as the binary victims, and keep the edge
+        // marked dead so later degrade-0 draws account for it.
+        dead_edge[e] = 1;
+        if (!survivors_connected(t.g, dead_edge, dead_switch)) {
+          dead_edge[e] = 0;
+          continue;
+        }
+      }
+      gray_edge[e] = 1;
+      schedule_gray(kind, static_cast<std::int32_t>(e), p1, p2);
+      --budget;
+    }
+  };
+  draw_gray(opt.lossy_links, FaultKind::kLinkLossy, opt.loss_prob, 0.0);
+  draw_gray(opt.degraded_links, FaultKind::kLinkDegrade, opt.degrade_fraction,
+            0.0);
+  draw_gray(opt.flapping_links, FaultKind::kLinkFlap,
+            static_cast<double>(opt.flap_period), opt.flap_duty);
   return plan;
 }
 
 Status FaultPlan::check_against(const topo::Topology& t) const {
   std::vector<char> edge_down(static_cast<std::size_t>(t.g.num_edges()), 0);
+  std::vector<char> edge_gray(static_cast<std::size_t>(t.g.num_edges()), 0);
   std::vector<char> switch_down(static_cast<std::size_t>(t.num_switches()), 0);
   TimeNs prev = 0;
   for (std::size_t i = 0; i < events_.size(); ++i) {
@@ -176,6 +274,33 @@ Status FaultPlan::check_against(const topo::Topology& t) const {
                                    ") for topology '", t.name, "'");
       }
       auto& down = edge_down[static_cast<std::size_t>(e.id)];
+      auto& gray = edge_gray[static_cast<std::size_t>(e.id)];
+      if (is_gray_kind(e.kind)) {
+        if (const auto st = check_gray_params(e); !st.ok()) {
+          return invalid_input_error("event ", i, ": ", st.message());
+        }
+        if (down || gray) {
+          return invalid_input_error("event ", i, ": ", kind_name(e.kind),
+                                     " of link ", e.id, " while it is ",
+                                     down ? "down" : "already gray");
+        }
+        gray = 1;
+        continue;
+      }
+      if (e.kind == FaultKind::kLinkRestore) {
+        if (!gray) {
+          return invalid_input_error("event ", i,
+                                     ": link-restore of link ", e.id,
+                                     " which is not gray");
+        }
+        gray = 0;
+        continue;
+      }
+      if (gray) {
+        return invalid_input_error("event ", i, ": ", kind_name(e.kind),
+                                   " of link ", e.id,
+                                   " while it is gray (restore it first)");
+      }
       if (is_down_kind(e.kind) == static_cast<bool>(down)) {
         return invalid_input_error("event ", i, ": ", kind_name(e.kind),
                                    " of link ", e.id, " while it is ",
@@ -207,8 +332,23 @@ void FaultPlan::validate(const topo::Topology& t) const {
 
 std::string FaultPlan::serialize() const {
   std::ostringstream os;
+  os.precision(17);  // max_digits10: doubles round-trip exactly
   for (const auto& e : events_) {
-    os << e.time << ' ' << kind_name(e.kind) << ' ' << e.id << '\n';
+    os << e.time << ' ' << kind_name(e.kind) << ' ' << e.id;
+    switch (e.kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkLossy:
+        os << ' ' << e.p1;
+        break;
+      case FaultKind::kLinkFlap:
+        // The period is a TimeNs stored in a double; print it as the
+        // integer it is so the text form stays readable.
+        os << ' ' << static_cast<long long>(e.p1) << ' ' << e.p2;
+        break;
+      default:
+        break;
+    }
+    os << '\n';
   }
   return os.str();
 }
@@ -236,6 +376,32 @@ StatusOr<FaultPlan> FaultPlan::parse(const std::string& text) {
                                  kind, "'");
     }
     e.kind = *k;
+    switch (e.kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkLossy:
+        ls >> e.p1;
+        if (ls.fail()) {
+          return invalid_input_error("line ", line_no, ": ", kind,
+                                     " needs a parameter, got '", line, "'");
+        }
+        break;
+      case FaultKind::kLinkFlap: {
+        long long period = 0;
+        ls >> period >> e.p2;
+        if (ls.fail()) {
+          return invalid_input_error(
+              "line ", line_no,
+              ": link-flap needs '<period_ns> <duty>', got '", line, "'");
+        }
+        e.p1 = static_cast<double>(period);
+        break;
+      }
+      default:
+        break;
+    }
+    if (const auto st = check_gray_params(e); !st.ok()) {
+      return invalid_input_error("line ", line_no, ": ", st.message());
+    }
     if (!plan.events_.empty() && e.time < plan.events_.back().time) {
       return invalid_input_error("line ", line_no,
                                  ": events not time-sorted (", e.time,

@@ -26,15 +26,30 @@ enum class FaultKind : std::uint8_t {
   kLinkUp,      // id = EdgeId of a previously failed link coming back
   kSwitchDown,  // id = NodeId of the failing switch (all its links die)
   kSwitchUp,    // id = NodeId of a previously failed switch coming back
+  // Gray failures: the link stays in the topology but misbehaves. A gray
+  // link must be plainly up when the gray fault lands, and kLinkRestore
+  // is the only way out of a gray state (binary down/up of a gray link is
+  // rejected by check_against so the two state machines cannot tangle).
+  kLinkDegrade,  // id = EdgeId; p1 = surviving rate fraction in [0, 1]
+  kLinkLossy,    // id = EdgeId; p1 = per-packet drop probability in [0, 1)
+  kLinkFlap,     // id = EdgeId; p1 = period_ns > 0, p2 = up-duty in (0, 1)
+  kLinkRestore,  // id = EdgeId of a gray link returning to full health
 };
 
 [[nodiscard]] bool is_link_kind(FaultKind k);
 [[nodiscard]] bool is_down_kind(FaultKind k);
+// Gray onset kinds (degrade/lossy/flap). kLinkRestore is the matching
+// recovery and is neither a gray nor a down kind.
+[[nodiscard]] bool is_gray_kind(FaultKind k);
 
 struct FaultEvent {
   TimeNs time = 0;
   FaultKind kind = FaultKind::kLinkDown;
   std::int32_t id = -1;  // EdgeId for link events, NodeId for switch events
+  // Gray parameters; meaning depends on kind (see FaultKind). Zero for
+  // binary events so pre-gray plans compare and serialize unchanged.
+  double p1 = 0.0;
+  double p2 = 0.0;
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -59,6 +74,18 @@ struct RandomFaultOptions {
   // aggregation/core stages) may fail; set to true for flat topologies
   // where every switch is a ToR.
   bool allow_tor_failures = false;
+  // Gray-failure victims, drawn from the shuffled edge list *after* the
+  // binary link victims so that plans with all gray counts at zero are
+  // bit-identical to pre-gray plans for the same seed. Each victim link is
+  // distinct across all classes (binary and gray). Gray victims recover
+  // via kLinkRestore after repair_after, like the binary kinds.
+  int lossy_links = 0;        // links that silently drop packets
+  double loss_prob = 0.01;    // their per-packet drop probability, [0, 1)
+  int degraded_links = 0;     // links serving at reduced rate
+  double degrade_fraction = 0.5;  // surviving rate fraction, [0, 1]
+  int flapping_links = 0;     // links oscillating up/down
+  TimeNs flap_period = 1 * kMillisecond;  // full flap cycle length
+  double flap_duty = 0.5;     // fraction of each period spent up, (0, 1)
 };
 
 // An immutable, time-sorted schedule of fault events. Events at equal times
@@ -76,6 +103,10 @@ class FaultPlan {
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] TimeNs first_time() const;  // -1 when empty
   [[nodiscard]] TimeNs last_time() const;   // -1 when empty
+  // True if any event is a gray kind (degrade/lossy/flap). The PDES
+  // runner uses this to enforce its detection-latency lookahead bound
+  // only on plans that can actually produce detections.
+  [[nodiscard]] bool has_gray() const;
 
   // Draws a random plan over `t`, deterministic in `seed`. Victims are
   // distinct per class; see RandomFaultOptions for the knobs.
@@ -94,8 +125,13 @@ class FaultPlan {
   void validate(const topo::Topology& t) const;
 
   // Text round-trip: one "<time_ns> <kind> <id>" line per event, where
-  // <kind> is link-down | link-up | switch-down | switch-up. parse returns
-  // kInvalidInput with the offending 1-based line on malformed input.
+  // <kind> is link-down | link-up | switch-down | switch-up, with the
+  // binary kinds keeping that exact three-column form. Gray kinds append
+  // their parameters: "link-degrade <id> <fraction>", "link-lossy <id>
+  // <drop_prob>", "link-flap <id> <period_ns> <duty>", and "link-restore
+  // <id>". parse returns kInvalidInput with the offending 1-based line on
+  // malformed input, including missing/truncated or out-of-range gray
+  // parameters.
   [[nodiscard]] std::string serialize() const;
   static StatusOr<FaultPlan> parse(const std::string& text);
 

@@ -10,15 +10,32 @@
 
 namespace flexnets::fault {
 
+// Gray condition of a link: still in the topology, but misbehaving.
+enum class GrayMode : std::uint8_t {
+  kNone,
+  kDegraded,  // serving at p1 of nominal rate (p1 == 0 acts like down)
+  kLossy,     // dropping each packet with probability p1
+  kFlap,      // up for p2 of each p1-ns period, starting up at `since`
+};
+
+struct GrayState {
+  GrayMode mode = GrayMode::kNone;
+  double p1 = 0.0;
+  double p2 = 0.0;
+  TimeNs since = 0;  // when the gray fault landed (flap phase origin)
+
+  bool operator==(const GrayState&) const = default;
+};
+
 class LiveState {
  public:
   LiveState() = default;
   explicit LiveState(const topo::Topology& t);
 
-  // Applies one fault event (down/up of a link or switch). A switch event
-  // does NOT toggle its incident links' own flags: edge_live() already
-  // accounts for endpoint switches, so an independently failed link stays
-  // down when its switch recovers.
+  // Applies one fault event (down/up of a link or switch, or a gray
+  // onset/restore). A switch event does NOT toggle its incident links'
+  // own flags: edge_live() already accounts for endpoint switches, so an
+  // independently failed link stays down when its switch recovers.
   void apply(const FaultEvent& e);
 
   [[nodiscard]] bool edge_failed(graph::EdgeId e) const {
@@ -28,9 +45,19 @@ class LiveState {
     return switch_down_[static_cast<std::size_t>(n)] == 0;
   }
   // A link carries traffic iff the link itself and both endpoints are up.
+  // A link degraded to rate 0 is treated exactly like kLinkDown here, so
+  // audit + repair see it leave the surviving graph.
   [[nodiscard]] bool edge_live(graph::EdgeId e) const;
 
+  [[nodiscard]] const GrayState& gray(graph::EdgeId e) const {
+    return gray_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] bool edge_gray(graph::EdgeId e) const {
+    return gray(e).mode != GrayMode::kNone;
+  }
+
   [[nodiscard]] bool any_fault() const { return down_count_ > 0; }
+  [[nodiscard]] bool any_gray() const { return gray_count_ > 0; }
 
   // The switch graph restricted to live links (same node ids; fresh edge
   // ids). Routing tables are rebuilt against this.
@@ -44,7 +71,10 @@ class LiveState {
   const topo::Topology* topo_ = nullptr;
   std::vector<char> edge_down_;
   std::vector<char> switch_down_;
-  int down_count_ = 0;  // elements (links + switches) currently down
+  std::vector<GrayState> gray_;
+  int down_count_ = 0;  // elements (links + switches) currently degraded,
+                        // gray, or down
+  int gray_count_ = 0;  // links currently in a gray mode
 };
 
 }  // namespace flexnets::fault

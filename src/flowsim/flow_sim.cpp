@@ -93,6 +93,20 @@ bool FlowLevelSimulator::route_blocked(
   return false;
 }
 
+void FlowLevelSimulator::apply_gray_capacity(const fault::FaultEvent& fe) {
+  double factor = 1.0;
+  switch (fe.kind) {
+    case fault::FaultKind::kLinkDegrade: factor = fe.p1; break;
+    case fault::FaultKind::kLinkLossy: factor = 1.0 - fe.p1; break;
+    case fault::FaultKind::kLinkFlap: factor = fe.p2; break;
+    default: break;  // kLinkRestore: back to nominal
+  }
+  const auto e = static_cast<std::size_t>(fe.id);
+  const double bps = static_cast<double>(cfg_.link_rate) * factor;
+  capacity_[2 * e] = bps;
+  capacity_[2 * e + 1] = bps;
+}
+
 std::int32_t FlowLevelSimulator::link_id(topo::NodeId from,
                                          topo::NodeId to) const {
   const auto& v = out_link_[from];
@@ -407,6 +421,10 @@ std::vector<metrics::FlowRecord> FlowLevelSimulator::run(
       const auto& fe = cfg_.faults->events()[ep.index];
       if (!ep.repair) {
         live_.apply(fe);
+        if (fault::is_gray_kind(fe.kind) ||
+            fe.kind == fault::FaultKind::kLinkRestore) {
+          apply_gray_capacity(fe);
+        }
         // Flows crossing a dead element stall until the control plane
         // reconverges (the fluid analogue of packets draining into a
         // blackhole and the transport backing off).

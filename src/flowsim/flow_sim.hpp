@@ -96,6 +96,13 @@ class FlowLevelSimulator {
   [[nodiscard]] bool routable(int src_server, int dst_server) const;
   // Does this route cross a dead link, dead switch, or dead access link?
   [[nodiscard]] bool route_blocked(const std::vector<RouteShare>& route) const;
+  // Gray capacity model: a degraded link keeps `fraction` of its rate, a
+  // lossy link (1 - drop_prob) of it (the goodput effect of loss), and a
+  // flapping link its duty cycle's worth (the fluid time-average); a
+  // restore returns it to nominal. flowsim models the *capacity* effect
+  // of gray faults — detection and routing-around are packet-engine
+  // concepts; the fluid tables keep using lossy links at reduced rate.
+  void apply_gray_capacity(const fault::FaultEvent& fe);
 
   const topo::Topology& topo_;
   FlowSimConfig cfg_;

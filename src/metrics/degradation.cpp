@@ -68,9 +68,54 @@ double min_gbps(const std::vector<ThroughputTimeline::Bin>& series,
   return std::max(best, 0.0);
 }
 
+CountTimeline::CountTimeline(TimeNs bin) : bin_(bin) {
+  FLEXNETS_CHECK_GT(bin_, 0, "CountTimeline bin width must be positive");
+}
+
+void CountTimeline::record(TimeNs at, std::uint64_t n) {
+  FLEXNETS_DCHECK(at >= 0, "CountTimeline: negative time ", at);
+  const auto idx = static_cast<std::size_t>(at / bin_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += n;
+}
+
+std::vector<CountTimeline::Bin> CountTimeline::series(TimeNs horizon) const {
+  FLEXNETS_CHECK_GT(horizon, 0, "CountTimeline horizon must be positive");
+  const auto n = static_cast<std::size_t>((horizon + bin_ - 1) / bin_);
+  std::vector<Bin> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].begin = static_cast<TimeNs>(i) * bin_;
+    out[i].count = i < counts_.size() ? counts_[i] : 0;
+  }
+  return out;
+}
+
+std::uint64_t CountTimeline::total() const {
+  std::uint64_t sum = 0;
+  for (const auto c : counts_) sum += c;
+  return sum;
+}
+
 double fct_inflation(const FctSummary& baseline, const FctSummary& faulted) {
   if (baseline.avg_fct_ms <= 0.0) return 0.0;
   return faulted.avg_fct_ms / baseline.avg_fct_ms;
+}
+
+FctInflation fct_inflation_summary(const FctSummary& baseline,
+                                   const FctSummary& faulted) {
+  auto ratio = [](double base, double f) {
+    return base > 0.0 ? f / base : 0.0;
+  };
+  FctInflation out;
+  out.mean = ratio(baseline.avg_fct_ms, faulted.avg_fct_ms);
+  out.p50 = ratio(baseline.p50_fct_ms, faulted.p50_fct_ms);
+  out.p99 = ratio(baseline.p99_fct_ms, faulted.p99_fct_ms);
+  return out;
+}
+
+double DropBreakdown::gray_fraction() const {
+  const auto t = total();
+  return t > 0 ? static_cast<double>(gray_loss) / static_cast<double>(t) : 0.0;
 }
 
 }  // namespace flexnets::metrics

@@ -44,7 +44,58 @@ double mean_gbps(const std::vector<ThroughputTimeline::Bin>& series,
 double min_gbps(const std::vector<ThroughputTimeline::Bin>& series,
                 TimeNs begin, TimeNs end);
 
+// Counts discrete events (gray losses, drops) into fixed-width time
+// bins — the loss-timeline companion of ThroughputTimeline.
+class CountTimeline {
+ public:
+  explicit CountTimeline(TimeNs bin = kMillisecond);
+
+  void record(TimeNs at, std::uint64_t n = 1);
+
+  struct Bin {
+    TimeNs begin = 0;
+    std::uint64_t count = 0;
+  };
+  // Zero-filled series covering [0, horizon).
+  [[nodiscard]] std::vector<Bin> series(TimeNs horizon) const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  [[nodiscard]] TimeNs bin_width() const { return bin_; }
+
+ private:
+  TimeNs bin_;
+  std::vector<std::uint64_t> counts_;  // per bin index
+};
+
 // Ratio of average FCTs (faulted / baseline); 0 when the baseline is empty.
 double fct_inflation(const FctSummary& baseline, const FctSummary& faulted);
+
+// Mean, median, and tail inflation in one shot. Each ratio is 0 when its
+// baseline percentile is empty/zero — a gray run's p99 can inflate an
+// order of magnitude more than its mean, which is the point of reporting
+// the tail separately.
+struct FctInflation {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+FctInflation fct_inflation_summary(const FctSummary& baseline,
+                                   const FctSummary& faulted);
+
+// Per-class drop accounting for a faulted packet run. Blackholes are
+// routing's fault, expelled packets are the failure's fault, and gray
+// losses are silent data-plane corruption — the class the control plane
+// has to *infer*, which is why it is reported separately.
+struct DropBreakdown {
+  std::uint64_t blackhole = 0;
+  std::uint64_t expelled = 0;
+  std::uint64_t gray_loss = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return blackhole + expelled + gray_loss;
+  }
+  // Fraction of all classified drops that are gray losses (0 when none).
+  [[nodiscard]] double gray_fraction() const;
+};
 
 }  // namespace flexnets::metrics

@@ -29,6 +29,7 @@ FctSummary summarize(const std::vector<FlowRecord>& flows, TimeNs window_begin,
   }
 
   out.avg_fct_ms = all_fct.mean();
+  out.p50_fct_ms = all_fct.percentile(0.5);
   out.p99_fct_ms = all_fct.percentile(0.99);
   out.p99_short_fct_ms = short_fct.percentile(0.99);
   out.avg_long_tput_gbps = long_tput.mean();

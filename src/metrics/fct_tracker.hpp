@@ -21,6 +21,7 @@ struct FlowRecord {
 
 struct FctSummary {
   double avg_fct_ms = 0.0;
+  double p50_fct_ms = 0.0;
   double p99_fct_ms = 0.0;
   double p99_short_fct_ms = 0.0;   // flows < short_threshold
   double avg_long_tput_gbps = 0.0; // flows >= short_threshold

@@ -33,6 +33,7 @@ enum class EventType : std::uint8_t {
   kFlowStart,     // a = index into the experiment's flow list
   kFault,         // a = index into the network's FaultPlan events
   kRepair,        // b = fault version; control plane reconverged
+  kDetect,        // a = EdgeId: the control plane learns a link is gray
 };
 
 // The (owner, oseq) half of the stable key; see the header comment.
@@ -56,6 +57,9 @@ inline constexpr std::uint64_t kRepairRoot = 2;
 }
 [[nodiscard]] constexpr std::uint64_t flow_timer(std::int32_t flow_id) {
   return (std::uint64_t{2} << 40) | static_cast<std::uint32_t>(flow_id);
+}
+[[nodiscard]] constexpr std::uint64_t detect(std::int32_t edge_id) {
+  return (std::uint64_t{3} << 40) | static_cast<std::uint32_t>(edge_id);
 }
 }  // namespace owner
 

@@ -20,6 +20,18 @@ struct LinkConfig {
   Bytes ecn_threshold = 30'000;        // 20 full-sized packets
 };
 
+// Data-plane hook for gray losses: the network observes every hash-drop /
+// flap-drop a link produces and decides when the loss count crosses the
+// detection threshold. Called from link handlers, i.e. possibly from
+// inside a PDES logical process — implementations may only act through
+// `sched` (schedule events), never touch shared state directly.
+class GrayLossObserver {
+ public:
+  virtual ~GrayLossObserver() = default;
+  virtual void on_gray_loss(Sched& sched, std::int32_t link_id,
+                            std::uint64_t cumulative_losses) = 0;
+};
+
 class Link {
  public:
   Link(std::int32_t id, std::int32_t from_node, std::int32_t to_node,
@@ -42,6 +54,23 @@ class Link {
   [[nodiscard]] std::uint64_t expelled() const { return expelled_; }
   [[nodiscard]] std::uint64_t dead_drops() const { return dead_drops_; }
 
+  // Gray failures. A degraded link serializes at `fraction` of nominal
+  // rate (fraction 0 is handled by the network as take_down, never here).
+  // A lossy link drops each packet at the instant it would start
+  // serializing, decided by a stateless hash of (salt, link id, per-link
+  // packet sequence) — no shared RNG, so the serial and PDES engines
+  // reproduce the exact same drop pattern. A flapping link admission-
+  // drops every packet arriving in the down part of its duty cycle, a
+  // pure function of the current time. Gray drops are counted separately
+  // from congestion drops and reported to the observer, which implements
+  // detection.
+  void set_degraded(double fraction);
+  void set_lossy(double drop_prob, std::uint64_t salt);
+  void set_flap(TimeNs since, TimeNs period, double duty);
+  void clear_gray();
+  [[nodiscard]] std::uint64_t gray_drops() const { return gray_drops_; }
+  void set_gray_observer(GrayLossObserver* obs) { gray_observer_ = obs; }
+
   [[nodiscard]] std::int32_t id() const { return id_; }
   [[nodiscard]] std::int32_t from_node() const { return from_; }
   [[nodiscard]] std::int32_t to_node() const { return to_; }
@@ -54,6 +83,8 @@ class Link {
 
  private:
   void start_transmission(Sched& sched, Packet pkt);
+  void count_gray_drop(Sched& sched);
+  [[nodiscard]] bool flap_down_at(TimeNs now) const;
 
   std::int32_t id_;
   std::int32_t from_;
@@ -76,6 +107,20 @@ class Link {
   // between the serial and parallel engines, which both reach enqueue /
   // on_dequeue in the same per-link order).
   std::uint64_t sched_seq_ = 0;
+
+  // Gray state. effective_rate_ tracks cfg_.rate scaled by degradation;
+  // loss_seq_ is the per-link packet sequence feeding the loss hash (the
+  // same per-link-ordering argument that makes sched_seq_ deterministic
+  // across engines applies to it verbatim).
+  RateBps effective_rate_ = 0;  // set to cfg_.rate in the constructor
+  double drop_prob_ = 0.0;
+  std::uint64_t loss_salt_ = 0;
+  std::uint64_t loss_seq_ = 0;
+  TimeNs flap_since_ = 0;
+  TimeNs flap_period_ = 0;  // 0: not flapping
+  TimeNs flap_up_ns_ = 0;   // up for [0, flap_up_ns_) of each period
+  std::uint64_t gray_drops_ = 0;
+  GrayLossObserver* gray_observer_ = nullptr;
 };
 
 }  // namespace flexnets::sim

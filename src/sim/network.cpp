@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "fault/audit.hpp"
@@ -75,6 +76,17 @@ PacketNetwork::PacketNetwork(const topo::Topology& topo,
     cfg_.faults->validate(topo_);
     live_ = fault::LiveState(topo_);
     comp_ = graph::connected_components(topo_.g).id;
+    detector_ = fault::GrayDetector(topo_);
+    gray_salt_ = splitmix64(cfg_.seed ^ 0x6ea551ULL);
+    detect_seq_.assign(links_.size(), 0);
+    detect_armed_.assign(links_.size(), 0);
+    if (cfg_.faults->has_gray()) {
+      // Only network links can turn gray; server links never do.
+      for (graph::EdgeId e = 0; e < topo_.g.num_edges(); ++e) {
+        links_[static_cast<std::size_t>(2 * e)]->set_gray_observer(this);
+        links_[static_cast<std::size_t>(2 * e + 1)]->set_gray_observer(this);
+      }
+    }
   }
 
   // Steady-state event population: at most one dequeue event per link plus
@@ -222,6 +234,9 @@ void PacketNetwork::handle(Sched& s, const Event& e) {
       // Coalesced: only the repair scheduled by the latest fault rebuilds.
       if (e.b == fault_version_) repair_routing();
       break;
+    case EventType::kDetect:
+      handle_detect(s, e.a);
+      break;
   }
 }
 
@@ -271,22 +286,106 @@ void PacketNetwork::pdes_begin(const std::vector<workload::FlowSpec>& flows) {
                  "pdes: custom flow openers are serial-only (MPTCP)");
   FLEXNETS_CHECK(timeline_ == nullptr,
                  "pdes: throughput timelines are serial-only");
+  FLEXNETS_CHECK(loss_timeline_ == nullptr,
+                 "pdes: loss timelines are serial-only");
   pending_flows_ = &flows;
   open_flows(flows);
 }
 
 void PacketNetwork::apply_fault(const fault::FaultEvent& fe) {
-  live_.apply(fe);
-  if (fault::is_link_kind(fe.kind)) {
-    sync_links_of_edge(fe.id);
+  Sched& s = active_sched();
+  // Does the control plane see this event *now*? Binary faults: always.
+  // Gray onsets: only a degrade to rate 0 (exactly a kLinkDown). A
+  // restore: only if the link had left the surviving graph or had been
+  // detected — an undetected lossy/flapping link heals as silently as it
+  // broke.
+  bool structural = true;
+  if (fault::is_gray_kind(fe.kind) ||
+      fe.kind == fault::FaultKind::kLinkRestore) {
+    const auto e = static_cast<graph::EdgeId>(fe.id);
+    const bool live_before = live_.edge_live(e);
+    const bool was_detected = detector_.detected(e);
+    live_.apply(fe);
+    sync_links_of_edge(e);
+    sync_gray_of_edge(fe);
+    structural = live_.edge_live(e) != live_before ||
+                 (fe.kind == fault::FaultKind::kLinkRestore && was_detected);
+    if (fe.kind == fault::FaultKind::kLinkRestore) detector_.clear(e);
+    if (fe.kind == fault::FaultKind::kLinkFlap) {
+      // A flap announces itself at its first down transition, which is a
+      // pure function of the flap parameters — no loss threshold needed.
+      const auto period = static_cast<TimeNs>(fe.p1);
+      const TimeNs up_ns = std::max<TimeNs>(
+          1, static_cast<TimeNs>(
+                 std::llround(static_cast<double>(period) * fe.p2)));
+      const auto lid = static_cast<std::size_t>(2 * e);
+      detect_armed_[lid] = 1;
+      detect_armed_[lid + 1] = 1;
+      s.schedule(fe.time + up_ns + cfg_.detector.detect_latency,
+                 EventType::kDetect, fe.id, 0,
+                 {owner::detect(static_cast<std::int32_t>(2 * e)),
+                  detect_seq_[lid]++});
+    }
   } else {
-    sync_links_of_switch(fe.id);
+    live_.apply(fe);
+    if (fault::is_link_kind(fe.kind)) {
+      sync_links_of_edge(fe.id);
+    } else {
+      sync_links_of_switch(fe.id);
+    }
   }
+  if (!structural) return;
   comp_ = graph::connected_components(live_.surviving_graph()).id;
   ++fault_version_;
-  Sched& s = active_sched();
   stats_.last_fault_time = s.now();
   // Recovery events repair too: restored capacity re-enters the tables.
+  s.schedule(s.now() + cfg_.control_plane_delay, EventType::kRepair, 0,
+             fault_version_, {owner::kRepairRoot, fault_version_});
+}
+
+void PacketNetwork::sync_gray_of_edge(const fault::FaultEvent& fe) {
+  const auto e = static_cast<graph::EdgeId>(fe.id);
+  for (const auto id : {2 * e, 2 * e + 1}) {
+    Link& l = *links_[static_cast<std::size_t>(id)];
+    switch (fe.kind) {
+      case fault::FaultKind::kLinkDegrade:
+        // Fraction 0 is handled as take_down by sync_links_of_edge.
+        if (fe.p1 > 0.0) l.set_degraded(fe.p1);
+        break;
+      case fault::FaultKind::kLinkLossy:
+        l.set_lossy(fe.p1, gray_salt_);
+        break;
+      case fault::FaultKind::kLinkFlap:
+        l.set_flap(fe.time, static_cast<TimeNs>(fe.p1), fe.p2);
+        break;
+      default:  // kLinkRestore
+        l.clear_gray();
+        detect_armed_[static_cast<std::size_t>(id)] = 0;
+        break;
+    }
+  }
+}
+
+void PacketNetwork::on_gray_loss(Sched& sched, std::int32_t link_id,
+                                 std::uint64_t cumulative_losses) {
+  if (loss_timeline_ != nullptr) loss_timeline_->record(sched.now());
+  const auto lid = static_cast<std::size_t>(link_id);
+  if (detect_armed_[lid] != 0) return;  // detection already in flight
+  if (cumulative_losses <
+      static_cast<std::uint64_t>(cfg_.detector.detect_threshold)) {
+    return;
+  }
+  detect_armed_[lid] = 1;
+  sched.schedule(sched.now() + cfg_.detector.detect_latency,
+                 EventType::kDetect, link_id / 2, 0,
+                 {owner::detect(link_id), detect_seq_[lid]++});
+}
+
+void PacketNetwork::handle_detect(Sched& s, graph::EdgeId e) {
+  if (!live_.edge_gray(e)) return;   // restored before detection landed
+  if (detector_.detected(e)) return;  // other direction got there first
+  detector_.mark_detected(e);
+  ++fault_version_;
   s.schedule(s.now() + cfg_.control_plane_delay, EventType::kRepair, 0,
              fault_version_, {owner::kRepairRoot, fault_version_});
 }
@@ -321,7 +420,23 @@ void PacketNetwork::sync_links_of_switch(graph::NodeId sw) {
 }
 
 void PacketNetwork::repair_routing() {
-  live_graph_ = live_.surviving_graph();
+  // Route around detected-gray links when possible; undetected gray
+  // links stay in the tables (the control plane cannot avoid what it has
+  // not noticed).
+  excluded_.clear();
+  if (cfg_.route_around_gray && detector_.detected_count() > 0) {
+    excluded_ = detector_.excludable(live_);
+    std::uint64_t n = 0;
+    for (const auto x : excluded_) n += x != 0 ? 1 : 0;
+    if (n == 0) excluded_.clear();
+    // Peak across repairs: the final repair usually runs after every
+    // restore (nothing left to exclude), so the last-repair count would
+    // read 0 even when mid-episode repairs routed around detected links.
+    if (n > gray_links_excluded_) gray_links_excluded_ = n;
+  }
+  live_graph_ = excluded_.empty()
+                    ? live_.surviving_graph()
+                    : fault::pruned_graph(topo_, live_, excluded_);
   // Rebuild toward every ToR: a dead ToR is isolated in the surviving
   // graph, so its entries are empty everywhere and in-flight packets
   // toward it drop as expelled rather than dangling on stale routes.
@@ -336,7 +451,7 @@ void PacketNetwork::repair_routing() {
   ++stats_.repairs;
   stats_.last_repair_time = active_sched().now();
   if (audit_enabled()) {
-    fault::audit_repaired_tables(topo_, live_, ecmp_, live_tors);
+    fault::audit_repaired_tables(topo_, live_, ecmp_, live_tors, excluded_);
   }
   abort_doomed_flows();
 }
@@ -389,7 +504,10 @@ PacketNetwork::FaultStats PacketNetwork::fault_stats() const {
   s.last_repair_time = stats_.last_repair_time;
   for (const auto& l : links_) {
     s.expelled_packets += l->expelled() + l->dead_drops();
+    s.gray_loss_drops += l->gray_drops();
   }
+  s.detections = static_cast<std::uint64_t>(detector_.detections());
+  s.gray_links_excluded = gray_links_excluded_;
   return s;
 }
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/detector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/live_state.hpp"
 #include "metrics/degradation.hpp"
@@ -36,9 +37,20 @@ struct NetworkConfig {
   // control_plane_delay later. The plan must outlive the network.
   const fault::FaultPlan* faults = nullptr;
   TimeNs control_plane_delay = 500 * kMicrosecond;
+
+  // Gray-failure handling (engaged when the plan has gray kinds). The
+  // control plane learns of a gray link only after detect_threshold
+  // observed losses on one of its direction links (or, for a flap, its
+  // first down transition), detect_latency later; a detection triggers
+  // the usual versioned repair. When route_around_gray is set the
+  // repaired tables exclude detected links (as long as the live switches
+  // stay connected); undetected gray links always stay in the tables.
+  fault::DetectorConfig detector;
+  bool route_around_gray = true;
 };
 
-class PacketNetwork final : public transport::TransportEnv {
+class PacketNetwork final : public transport::TransportEnv,
+                            private GrayLossObserver {
  public:
   PacketNetwork(const topo::Topology& topo, const NetworkConfig& cfg);
 
@@ -110,13 +122,28 @@ class PacketNetwork final : public transport::TransportEnv {
     std::uint64_t repairs = 0;
     TimeNs last_fault_time = -1;
     TimeNs last_repair_time = -1;
+    // Gray accounting: packets hash-dropped by lossy links or admission-
+    // dropped by flapping links (never blackholes — the route existed),
+    // gray links the control plane detected, and the peak number of
+    // detected links any single repair managed to exclude from the
+    // tables (peak, not last: the final repair runs post-restore).
+    std::uint64_t gray_loss_drops = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t gray_links_excluded = 0;
   };
   [[nodiscard]] FaultStats fault_stats() const;
   [[nodiscard]] const fault::LiveState& live_state() const { return live_; }
+  [[nodiscard]] const fault::GrayDetector& gray_detector() const {
+    return detector_;
+  }
 
   // When set, every data packet delivered to a host NIC is recorded
   // (delivered-throughput timeline). Must outlive run().
   void set_timeline(metrics::ThroughputTimeline* t) { timeline_ = t; }
+  // When set, every gray loss (hash drop / flap admission drop) is
+  // recorded as a loss timeline. Serial-only, like the throughput
+  // timeline. Must outlive run().
+  void set_loss_timeline(metrics::CountTimeline* t) { loss_timeline_ = t; }
 
   // --- Seams for the conservative parallel engine (sim/pdes/) ----------
   // The parallel runner drives this network without the serial simulator
@@ -149,6 +176,12 @@ class PacketNetwork final : public transport::TransportEnv {
   void repair_routing();
   void sync_links_of_edge(graph::EdgeId e);
   void sync_links_of_switch(graph::NodeId sw);
+  void sync_gray_of_edge(const fault::FaultEvent& fe);
+  void handle_detect(Sched& s, graph::EdgeId e);
+  // GrayLossObserver: runs on whatever logical process dispatched the
+  // dropping link's event; may only schedule through `sched`.
+  void on_gray_loss(Sched& sched, std::int32_t link_id,
+                    std::uint64_t cumulative_losses) override;
   void drop_unroutable(graph::NodeId sw, const Packet& pkt);
   void abort_doomed_flows();
   [[nodiscard]] bool pair_connected(graph::NodeId a, graph::NodeId b) const;
@@ -195,6 +228,23 @@ class PacketNetwork final : public transport::TransportEnv {
   };
   MutableFaultStats stats_;
   metrics::ThroughputTimeline* timeline_ = nullptr;
+  metrics::CountTimeline* loss_timeline_ = nullptr;
+
+  // Gray-failure state (engaged iff cfg_.faults != nullptr).
+  fault::GrayDetector detector_;
+  std::uint64_t gray_salt_ = 0;  // feeds the per-link loss hash
+  // Per *link* (not edge): the monotone oseq counter behind kDetect
+  // stable keys, and whether this link already has a detection in flight
+  // for the current gray episode. Each link's entries are only touched
+  // from its owning logical process (or from serial fault timestamps), so
+  // like Link::sched_seq_ they need no synchronization and stay identical
+  // between engines.
+  std::vector<std::uint64_t> detect_seq_;
+  std::vector<char> detect_armed_;
+  // Excluded-edge mask the last repair routed around (empty: none), and
+  // the peak exclusion count across all repairs (see FaultStats).
+  std::vector<char> excluded_;
+  std::uint64_t gray_links_excluded_ = 0;
 };
 
 }  // namespace flexnets::sim

@@ -55,6 +55,7 @@ class LpRuntime final : public Sched {
 
   EventQueue queue_;
   std::vector<std::vector<Event>> outbox_;  // cross-LP sends, per dest LP
+  std::vector<Event> global_outbox_;        // kDetect sends to the global queue
   std::vector<LogRec> log_;                 // this epoch's dispatch stream
   std::uint64_t dispatched_ = 0;
 
@@ -126,6 +127,7 @@ class Engine {
     switch (e.type) {
       case EventType::kFault:
       case EventType::kRepair:
+      case EventType::kDetect:
         global_q_.push(std::move(e));
         return;
       case EventType::kLinkDequeue:
@@ -195,6 +197,26 @@ void LpRuntime::schedule(TimeNs at, EventType type, std::int32_t a,
       FLEXNETS_DCHECK(eng_.lp_of_flow_sender(a) == id_,
                       "transport timer scheduled from a foreign LP");
       break;
+    case EventType::kDetect: {
+      // Gray-loss detections execute at a serial timestamp (they mutate
+      // the detector and trigger repair), so they go to the global queue
+      // -- via this LP's private outbox, drained at the barrier. The
+      // conservative guarantee mirrors cross-LP packets: the detection
+      // must land at or beyond this epoch's window, which run_parallel
+      // enforces up front as detect_latency >= lookahead.
+      FLEXNETS_CHECK(at >= window_,
+                     "detect latency below lookahead: kDetect at t=", at,
+                     " inside epoch window ending ", window_);
+      Event e;
+      e.time = at;
+      e.depth = depth_for(at);
+      e.key = key;
+      e.type = type;
+      e.a = a;
+      e.b = b;
+      global_outbox_.push_back(std::move(e));
+      return;
+    }
     default:
       FLEXNETS_CHECK(false, "event type ", static_cast<int>(type),
                      " cannot be scheduled from an LP");
@@ -421,7 +443,9 @@ RunStats Engine::run(const std::vector<workload::FlowSpec>& flows,
       }
     }
 
-    // Barrier: exchange the timestamped cross-LP batches.
+    // Barrier: exchange the timestamped cross-LP batches, and drain the
+    // per-LP detection outboxes into the global queue (insertion order is
+    // irrelevant -- the queue orders by stable key).
     for (auto& src : lps_) {
       for (std::size_t dst = 0; dst < num_lps; ++dst) {
         for (auto& e : src->outbox_[dst]) {
@@ -429,6 +453,8 @@ RunStats Engine::run(const std::vector<workload::FlowSpec>& flows,
         }
         src->outbox_[dst].clear();
       }
+      for (auto& e : src->global_outbox_) global_q_.push(std::move(e));
+      src->global_outbox_.clear();
     }
     if (audit) merge_epoch_logs();
     ++stats_.epochs;
@@ -456,6 +482,15 @@ RunStats run_parallel(PacketNetwork& net,
   // argument. The default LinkConfig gives 100ns.
   FLEXNETS_CHECK(lookahead > 0,
                  "pdes requires network_link.propagation > 0 for lookahead");
+  // Gray plans produce kDetect events from inside LPs; the conservative
+  // argument needs them to land at or beyond the epoch window, i.e. the
+  // detection latency must cover the lookahead.
+  if (net.config().faults != nullptr && net.config().faults->has_gray()) {
+    FLEXNETS_CHECK(net.config().detector.detect_latency >= lookahead,
+                   "pdes requires detect_latency >= lookahead (",
+                   net.config().detector.detect_latency, " < ", lookahead,
+                   ")");
+  }
   const Partition part =
       partition_topology(net.topology(), num_lps, cfg.partition_seed);
   Engine eng(net, part, lookahead, threads);

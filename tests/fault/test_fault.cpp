@@ -12,6 +12,7 @@
 #include "common/check.hpp"
 #include "common/status.hpp"
 #include "fault/audit.hpp"
+#include "fault/detector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/live_state.hpp"
 #include "flowsim/flow_sim.hpp"
@@ -210,6 +211,246 @@ TEST_F(FaultTest, RepairAuditAcceptsRepairedAndRejectsStaleTables) {
   const auto stale = routing::EcmpTable::build(x.topo.g, tors);
   EXPECT_THROW(fault::audit_repaired_tables(x.topo, live, stale, tors),
                CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Gray failures: plan generation, text round-trip, the gray/binary state
+// machine, LiveState bookkeeping, and the detector.
+
+fault::RandomFaultOptions gray_opt() {
+  fault::RandomFaultOptions opt;
+  opt.window_begin = 1 * kMillisecond;
+  opt.window_end = 5 * kMillisecond;
+  opt.repair_after = 3 * kMillisecond;
+  opt.lossy_links = 2;
+  opt.loss_prob = 0.02;
+  opt.degraded_links = 1;
+  opt.degrade_fraction = 0.5;
+  opt.flapping_links = 1;
+  opt.flap_period = 1 * kMillisecond;
+  opt.flap_duty = 0.5;
+  return opt;
+}
+
+TEST_F(FaultTest, GrayRandomPlanDrawsDistinctVictimsWithRestores) {
+  const auto x = topo::xpander(3, 4, 2, 1);
+  const auto plan = fault::FaultPlan::random(x.topo, gray_opt(), 21);
+  EXPECT_TRUE(plan.has_gray());
+  plan.validate(x.topo);
+  int lossy = 0;
+  int degrade = 0;
+  int flap = 0;
+  int restore = 0;
+  std::vector<std::int32_t> victims;
+  for (const auto& e : plan.events()) {
+    switch (e.kind) {
+      case fault::FaultKind::kLinkLossy:
+        ++lossy;
+        victims.push_back(e.id);
+        EXPECT_EQ(e.p1, 0.02);
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        ++degrade;
+        victims.push_back(e.id);
+        EXPECT_EQ(e.p1, 0.5);
+        break;
+      case fault::FaultKind::kLinkFlap:
+        ++flap;
+        victims.push_back(e.id);
+        EXPECT_EQ(e.p1, static_cast<double>(1 * kMillisecond));
+        EXPECT_EQ(e.p2, 0.5);
+        break;
+      case fault::FaultKind::kLinkRestore:
+        ++restore;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected binary event in a gray-only plan";
+    }
+  }
+  EXPECT_EQ(lossy, 2);
+  EXPECT_EQ(degrade, 1);
+  EXPECT_EQ(flap, 1);
+  EXPECT_EQ(restore, 4);  // every gray victim recovers
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(std::adjacent_find(victims.begin(), victims.end()),
+            victims.end());  // victims distinct across classes
+
+  // Deterministic in the seed.
+  EXPECT_EQ(plan, fault::FaultPlan::random(x.topo, gray_opt(), 21));
+  EXPECT_NE(plan, fault::FaultPlan::random(x.topo, gray_opt(), 22));
+}
+
+TEST_F(FaultTest, GrayZeroBudgetsLeaveBinaryDrawsBitIdentical) {
+  // Gray victims draw AFTER the binary victims from the same shuffled
+  // list, so a plan with gray budgets on top of binary failures keeps the
+  // exact binary events of the gray-free plan for the same seed.
+  const auto x = topo::xpander(3, 4, 2, 1);
+  const auto binary_only = fault::FaultPlan::random(x.topo, window_opt(3, 0), 8);
+  auto opt = window_opt(3, 0);
+  opt.lossy_links = 2;
+  const auto mixed = fault::FaultPlan::random(x.topo, opt, 8);
+  std::vector<fault::FaultEvent> binary_part;
+  for (const auto& e : mixed.events()) {
+    if (!fault::is_gray_kind(e.kind) &&
+        e.kind != fault::FaultKind::kLinkRestore) {
+      binary_part.push_back(e);
+    }
+  }
+  EXPECT_EQ(binary_part, binary_only.events());
+  EXPECT_EQ(mixed.events().size(), binary_only.events().size() + 4);
+}
+
+TEST_F(FaultTest, GraySerializeParseRoundTrip) {
+  const auto x = topo::xpander(3, 4, 2, 1);
+  auto opt = gray_opt();
+  opt.link_failures = 1;  // mix a binary failure into the text form
+  opt.loss_prob = 0.12345678901234567;  // must survive the round trip
+  const auto plan = fault::FaultPlan::random(x.topo, opt, 21);
+  ASSERT_TRUE(plan.has_gray());
+  const auto text = plan.serialize();
+  EXPECT_NE(text.find("link-lossy"), std::string::npos);
+  EXPECT_NE(text.find("link-flap"), std::string::npos);
+  EXPECT_NE(text.find("link-restore"), std::string::npos);
+  const auto back = fault::FaultPlan::parse(text);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(plan, *back);
+  back->validate(x.topo);
+}
+
+TEST_F(FaultTest, ParseRejectsOutOfRangeGrayParameters) {
+  const auto lossy = fault::FaultPlan::parse("10 link-lossy 0 1.0");
+  ASSERT_FALSE(lossy.ok());
+  EXPECT_EQ(lossy.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(lossy.status().message().find("drop probability"),
+            std::string::npos);
+
+  const auto degrade = fault::FaultPlan::parse("10 link-degrade 0 -0.25");
+  ASSERT_FALSE(degrade.ok());
+  EXPECT_NE(degrade.status().message().find("degrade fraction"),
+            std::string::npos);
+
+  const auto flap = fault::FaultPlan::parse("10 link-flap 0 0 0.5");
+  ASSERT_FALSE(flap.ok());
+  EXPECT_NE(flap.status().message().find("flap period"), std::string::npos);
+
+  const auto truncated = fault::FaultPlan::parse("10 link-flap 0 1000");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("link-flap needs"),
+            std::string::npos);
+}
+
+TEST_F(FaultTest, CheckAgainstEnforcesGrayStateMachine) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  using FK = fault::FaultKind;
+
+  // Gray fault on a link that is down.
+  const fault::FaultPlan on_down({{100, FK::kLinkDown, 0},
+                                  {200, FK::kLinkLossy, 0, 0.1}});
+  auto st = on_down.check_against(x.topo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("event 1"), std::string::npos);
+  EXPECT_NE(st.message().find("while it is down"), std::string::npos);
+
+  // Second gray fault without a restore in between.
+  const fault::FaultPlan twice({{100, FK::kLinkLossy, 0, 0.1},
+                                {200, FK::kLinkDegrade, 0, 0.5}});
+  st = twice.check_against(x.topo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("already gray"), std::string::npos);
+
+  // Restore of a link that was never gray.
+  const fault::FaultPlan bad_restore({{100, FK::kLinkRestore, 0}});
+  st = bad_restore.check_against(x.topo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not gray"), std::string::npos);
+
+  // Binary transition of a gray link: the state machines must not tangle.
+  const fault::FaultPlan tangle({{100, FK::kLinkFlap, 0, 1000.0, 0.5},
+                                 {200, FK::kLinkDown, 0}});
+  st = tangle.check_against(x.topo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("restore it first"), std::string::npos);
+
+  // The legal sequence: gray, restore, then a binary failure.
+  const fault::FaultPlan good({{100, FK::kLinkLossy, 0, 0.1},
+                               {200, FK::kLinkRestore, 0},
+                               {300, FK::kLinkDown, 0}});
+  EXPECT_TRUE(good.check_against(x.topo).ok());
+}
+
+TEST_F(FaultTest, LiveStateTracksGrayStateAndDegradeZeroCutsTheEdge) {
+  const auto x = topo::xpander(3, 3, 2, 1);
+  fault::LiveState live(x.topo);
+  using FK = fault::FaultKind;
+
+  live.apply({0, FK::kLinkLossy, 0, 0.1});
+  EXPECT_TRUE(live.any_gray());
+  EXPECT_TRUE(live.edge_gray(0));
+  EXPECT_TRUE(live.edge_live(0));  // lossy links stay in the topology
+  EXPECT_EQ(live.gray(0).mode, fault::GrayMode::kLossy);
+  EXPECT_EQ(live.gray(0).p1, 0.1);
+
+  // A degrade to rate 0 is a link down in everything but name.
+  live.apply({0, FK::kLinkDegrade, 1, 0.0});
+  EXPECT_FALSE(live.edge_live(1));
+  EXPECT_TRUE(live.edge_gray(1));
+  EXPECT_EQ(live.surviving_graph().num_edges(), x.topo.g.num_edges() - 1);
+
+  live.apply({0, FK::kLinkRestore, 0});
+  live.apply({0, FK::kLinkRestore, 1});
+  EXPECT_FALSE(live.any_gray());
+  EXPECT_FALSE(live.any_fault());
+  EXPECT_TRUE(live.edge_live(1));
+
+  // Gray on an unhealthy link is a plan bug, not a no-op.
+  live.apply({0, FK::kLinkDown, 2});
+  EXPECT_THROW(live.apply({0, FK::kLinkLossy, 2, 0.1}), CheckFailure);
+  EXPECT_THROW(live.apply({0, FK::kLinkRestore, 3}), CheckFailure);
+}
+
+TEST_F(FaultTest, DetectorExcludesOnlyWhileSurvivorsStayConnected) {
+  const auto x = topo::xpander(3, 4, 2, 1);
+  fault::LiveState live(x.topo);
+  fault::GrayDetector det(x.topo);
+  EXPECT_EQ(det.detected_count(), 0);
+
+  live.apply({0, fault::FaultKind::kLinkLossy, 0, 0.1});
+  det.mark_detected(0);
+  EXPECT_TRUE(det.detected(0));
+  EXPECT_EQ(det.detected_count(), 1);
+  EXPECT_EQ(det.detections(), 1);
+
+  const auto excl = det.excludable(live);
+  ASSERT_EQ(excl.size(), static_cast<std::size_t>(x.topo.g.num_edges()));
+  EXPECT_EQ(excl[0], 1);  // an expander survives one exclusion easily
+
+  // The pruned graph drops exactly the excluded edge.
+  const auto pruned = fault::pruned_graph(x.topo, live, excl);
+  EXPECT_EQ(pruned.num_edges(), x.topo.g.num_edges() - 1);
+
+  // Detecting every incident link of a switch must NOT exclude them all:
+  // greedy exclusion stops when the live switches would disconnect.
+  fault::LiveState live2(x.topo);
+  fault::GrayDetector det2(x.topo);
+  const auto victim = x.topo.g.edge(0).a;
+  int marked = 0;
+  for (const auto e : x.topo.g.incident(victim)) {
+    live2.apply({0, fault::FaultKind::kLinkLossy, e, 0.1});
+    det2.mark_detected(e);
+    ++marked;
+  }
+  ASSERT_GT(marked, 1);
+  const auto excl2 = det2.excludable(live2);
+  int excluded = 0;
+  for (const auto e : x.topo.g.incident(victim)) excluded += excl2[e];
+  EXPECT_LT(excluded, marked);  // at least one stays to keep connectivity
+  EXPECT_GT(excluded, 0);
+
+  // clear() returns the link to the undetected pool (used on restore).
+  det.clear(0);
+  EXPECT_FALSE(det.detected(0));
+  EXPECT_EQ(det.detected_count(), 0);
+  EXPECT_EQ(det.detections(), 1);  // the cumulative count survives
 }
 
 // ---------------------------------------------------------------------------

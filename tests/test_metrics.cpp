@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "metrics/degradation.hpp"
 #include "metrics/fct_tracker.hpp"
 #include "workload/flow_size.hpp"
 
@@ -68,6 +69,81 @@ TEST(FlowRecord, Accessors) {
   EXPECT_EQ(r.fct(), 20);
   const FlowRecord open{10, -1, 5};
   EXPECT_FALSE(open.completed());
+}
+
+TEST(FctSummary, ReportsMedianAlongsideTail) {
+  std::vector<FlowRecord> flows;
+  for (int i = 1; i <= 100; ++i) {
+    flows.push_back(rec(0, i * kMillisecond, 50 * kKB));
+  }
+  const auto s = summarize(flows, 0, kSecond, workload::kShortFlowThreshold);
+  EXPECT_NEAR(s.p50_fct_ms, 50.0, 1.0);
+  EXPECT_NEAR(s.p99_fct_ms, 99.0, 1.0);
+  EXPECT_GT(s.p99_fct_ms, s.p50_fct_ms);
+}
+
+TEST(FctInflation, SummaryReportsMeanMedianAndTailSeparately) {
+  // Baseline: uniform 1..100 ms. Faulted: the top 10% blow up tenfold
+  // (gray-loss retransmission tails), the rest are untouched -- the mean
+  // moves a little, the p50 not at all, the p99 by an order of magnitude.
+  std::vector<FlowRecord> base;
+  std::vector<FlowRecord> faulted;
+  for (int i = 1; i <= 100; ++i) {
+    base.push_back(rec(0, i * kMillisecond, 50 * kKB));
+    const TimeNs end = i > 90 ? 10 * i * kMillisecond : i * kMillisecond;
+    faulted.push_back(rec(0, end, 50 * kKB));
+  }
+  const auto b = summarize(base, 0, kSecond, workload::kShortFlowThreshold);
+  const auto f = summarize(faulted, 0, kSecond, workload::kShortFlowThreshold);
+  const auto infl = fct_inflation_summary(b, f);
+  EXPECT_NEAR(infl.p50, 1.0, 0.05);
+  EXPECT_NEAR(infl.p99, 10.0, 0.5);
+  EXPECT_GT(infl.mean, 1.5);
+  EXPECT_LT(infl.mean, 4.0);
+  EXPECT_GT(infl.p99, infl.mean);  // the tail is the story
+
+  // Legacy mean-only helper agrees with the summary's mean component.
+  EXPECT_DOUBLE_EQ(fct_inflation(b, f), infl.mean);
+
+  // Empty baselines yield 0 ratios rather than dividing by zero.
+  const FctSummary empty;
+  const auto zero = fct_inflation_summary(empty, f);
+  EXPECT_DOUBLE_EQ(zero.mean, 0.0);
+  EXPECT_DOUBLE_EQ(zero.p50, 0.0);
+  EXPECT_DOUBLE_EQ(zero.p99, 0.0);
+}
+
+TEST(CountTimeline, BinsEventsAndZeroFillsTheSeries) {
+  CountTimeline t(kMillisecond);
+  t.record(100);                       // bin 0
+  t.record(1 * kMillisecond + 1, 3);   // bin 1
+  t.record(1 * kMillisecond + 2);      // bin 1
+  t.record(4 * kMillisecond);          // bin 4
+  EXPECT_EQ(t.total(), 6u);
+  EXPECT_EQ(t.bin_width(), kMillisecond);
+
+  const auto series = t.series(6 * kMillisecond);
+  ASSERT_EQ(series.size(), 6u);
+  EXPECT_EQ(series[0].count, 1u);
+  EXPECT_EQ(series[1].count, 4u);
+  EXPECT_EQ(series[2].count, 0u);
+  EXPECT_EQ(series[4].count, 1u);
+  EXPECT_EQ(series[5].count, 0u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].begin, static_cast<TimeNs>(i) * kMillisecond);
+  }
+  // A shorter horizon truncates without losing the recorded total.
+  EXPECT_EQ(t.series(2 * kMillisecond).size(), 2u);
+  EXPECT_EQ(t.total(), 6u);
+}
+
+TEST(DropBreakdown, ClassifiesAndReportsGrayFraction) {
+  const DropBreakdown d{10, 30, 60};
+  EXPECT_EQ(d.total(), 100u);
+  EXPECT_DOUBLE_EQ(d.gray_fraction(), 0.6);
+  const DropBreakdown none{0, 0, 0};
+  EXPECT_EQ(none.total(), 0u);
+  EXPECT_DOUBLE_EQ(none.gray_fraction(), 0.0);
 }
 
 }  // namespace

@@ -4,6 +4,11 @@
 #   2. fault:  the live fault-injection suite (`ctest -L fault`) and the
 #      bench_failures_live smoke run (dip + reconvergence + zero
 #      post-repair blackholes acceptance checks)
+#   2b. gray:  the gray-failure differential suite (`ctest -L gray`) and
+#      the bench_gray --digest-check gate — same-seed event-digest
+#      bit-equality between the serial engine and PDES at --threads 2
+#      and 4 on a jellyfish pure-gray plan and a fat-tree
+#      binary+gray cocktail
 #   3. lint:   flexnets_analyze (via the lint_flexnets.py wrapper)
 #      fixture self-test + src/ scan — the cross-TU static analyzer
 #      enforcing the ported determinism rules, include-graph layering
@@ -24,16 +29,20 @@
 #      wire-protocol .frames fuzz corpus)
 #   6. tsan preset: build the parallel determinism suites under
 #      ThreadSanitizer and run `ctest -L parallel` (thread pool contracts
-#      + parallel-vs-serial sweep bit-equality) and `ctest -L pdes`
+#      + parallel-vs-serial sweep bit-equality), `ctest -L pdes`
 #      (serial-vs-parallel packet-engine digest equality across threads,
-#      topologies, and fault plans); any report is fatal
+#      topologies, and fault plans), and `ctest -L gray` (the same
+#      equality on gray plans, where per-link loss counters and the
+#      detection machinery are in play); any report is fatal
 #   7. audited tier-1 rerun: FLEXNETS_AUDIT=1 enables the runtime
 #      invariant audits (event ordering, LP feasibility/conservation,
 #      routing-table sanity, repaired-routing liveness, determinism
 #      digests)
 #   8. perf smoke: bench_micro_flow/bench_micro_sim/bench_sweep --json
-#      emit BENCH_MCF.json / BENCH_SIM.json / BENCH_SWEEP.json and the
-#      schema is validated (required keys present, lambda finite).
+#      emit BENCH_MCF.json / BENCH_SIM.json / BENCH_SWEEP.json, bench_gray
+#      --json appends the resilience-showdown grid into BENCH_SIM.json,
+#      and the schema is validated (required keys present, lambda finite,
+#      gray cases carry a zero post_repair_blackholes).
 #      Timings are recorded, not gated — absolute ns/op depends on the
 #      machine; the committed JSON trajectory is what reviewers eyeball
 #      for regressions.
@@ -70,6 +79,18 @@ ctest --test-dir build -L fault --output-on-failure -j "$JOBS"
 
 step "live-failure smoke: bench_failures_live"
 ./build/bench/bench_failures_live
+
+step "gray suite: ctest -L gray"
+ctest --test-dir build -L gray --output-on-failure -j "$JOBS"
+
+# Gray-determinism gate: the PDES engine must reproduce the serial event
+# digest bit for bit on plans that exercise per-packet loss, degraded
+# service rates, flapping, and detection-triggered repairs. bench_gray
+# --digest-check runs a jellyfish pure-gray plan and a fat-tree
+# binary+gray cocktail serially, then at --threads 2 and 4, and exits
+# nonzero on any digest mismatch (or if no gray loss was exercised).
+step "gray-determinism gate: bench_gray --digest-check"
+./build/bench/bench_gray --digest-check
 
 step "lint: rule self-test + src/ scan"
 ANALYZE_BIN="build/tools/analyze/flexnets_analyze"
@@ -265,12 +286,13 @@ fi
 # Required gate: the parallel determinism suites must be race-free. Only
 # the suites' own targets are built under TSan; `-L parallel` / `-L pdes`
 # then skip every other (unbuilt) test registration.
-step "tsan preset: parallel determinism suites (sweep + packet PDES)"
+step "tsan preset: parallel determinism suites (sweep + packet PDES + gray)"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS" --target flexnets_parallel_tests \
-  --target flexnets_pdes_tests
+  --target flexnets_pdes_tests --target flexnets_gray_tests
 ctest --test-dir build-tsan -L parallel --output-on-failure -j "$JOBS"
 ctest --test-dir build-tsan -L pdes --output-on-failure -j "$JOBS"
+ctest --test-dir build-tsan -L gray --output-on-failure -j "$JOBS"
 
 step "audited rerun: FLEXNETS_AUDIT=1 ctest"
 FLEXNETS_AUDIT=1 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -283,6 +305,10 @@ step "perf smoke: micro benches --json (schema check, timings not gated)"
 # Timings stay non-gated like every other perf number.
 ./build/bench/bench_hyperscale --json BENCH_MCF.json --rss-budget-mb 2048
 ./build/bench/bench_micro_sim --json BENCH_SIM.json
+# bench_gray appends the gray_* resilience-showdown cases into the same
+# BENCH_SIM.json; its own acceptance check (zero post-repair blackholes
+# on every grid cell) makes it exit nonzero on a broken repair.
+./build/bench/bench_gray --json BENCH_SIM.json
 ./build/bench/bench_sweep --json BENCH_SWEEP.json
 python3 - <<'PY'
 import json
@@ -312,6 +338,26 @@ for path, needs_lambda in (("BENCH_MCF.json", True), ("BENCH_SIM.json", False),
         require(all(math.isfinite(l) and l > 0 for l in lambdas),
                 f"{path}: non-finite lambda")
     print(f"perf smoke: {path} schema OK ({len(cases)} case(s))")
+
+# Gray showdown cases merged into BENCH_SIM.json: every grid cell must
+# report a finite p99 FCT inflation and a zero post-repair blackhole
+# count (the graceful-degradation acceptance bar), and all three
+# cost-equalized topologies must be present.
+with open("BENCH_SIM.json") as f:
+    doc = json.load(f)
+gray = [c for c in doc["cases"] if c["name"].startswith("gray_")]
+require(gray, "BENCH_SIM.json: no gray_* cases (bench_gray --json missing?)")
+for case in gray:
+    p99 = case.get("fct_infl_p99")
+    require(isinstance(p99, (int, float)) and math.isfinite(p99) and p99 > 0,
+            f"BENCH_SIM.json: {case['name']}: bad fct_infl_p99")
+    require(case.get("post_repair_blackholes") == 0,
+            f"BENCH_SIM.json: {case['name']}: post-repair blackholes remain")
+for topo in ("fat_tree", "xpander", "jellyfish"):
+    require(any(c["name"].startswith(f"gray_{topo}_") for c in gray),
+            f"BENCH_SIM.json: no gray cases for {topo}")
+print(f"perf smoke: gray showdown cases OK ({len(gray)} cell(s), "
+      "zero post-repair blackholes)")
 
 # Hyperscale cases merged into BENCH_MCF.json: the root peak_rss_kb must be
 # recorded, the 100k bracket must be present and well-ordered
